@@ -1,0 +1,369 @@
+// Package relaxedcc_test hosts the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (Section 4),
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics: benchmarks reporting reproduction quantities attach them
+// via b.ReportMetric (e.g. local%/analytic% for Figure 4.2, plan numbers
+// for Figure 4.1).
+package relaxedcc_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"relaxedcc/internal/cc"
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/harness"
+	"relaxedcc/internal/opt"
+	"relaxedcc/internal/qcache"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/tpcd"
+	"relaxedcc/internal/tuner"
+)
+
+var (
+	benchOnce sync.Once
+	benchSys  *core.System
+	benchErr  error
+)
+
+// benchSystem lazily builds the shared experimental system: physical scale
+// 0.01 (1,500 customers, 15,000 orders), shadow statistics scaled to the
+// paper's scale-1.0 cardinalities.
+func benchSystem(b *testing.B) *core.System {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSys, benchErr = harness.NewSystem(harness.Config{
+			ScaleFactor: 0.01, Seed: 2004, ScaleStatsToPaper: true,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSys
+}
+
+// BenchmarkTable41Setup measures standing up the paper's cache
+// configuration (Table 4.1): two currency regions and two materialized
+// views over a freshly loaded TPC-D database.
+func BenchmarkTable41Setup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem()
+		tpcd.CreateSchema(sys)
+		if err := tpcd.SetupCache(sys); err != nil {
+			b.Fatal(err)
+		}
+		if err := tpcd.Load(sys, tpcd.Config{ScaleFactor: 0.002, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig41PlanChoice optimizes every Table 4.2/4.3 query variant,
+// verifying each lands on the paper's plan (Figure 4.1), and reports the
+// per-query optimization time.
+func BenchmarkFig41PlanChoice(b *testing.B) {
+	sys := benchSystem(b)
+	cases := harness.PlanChoiceCases()
+	sels := make([]*sqlparser.SelectStmt, len(cases))
+	for i, c := range cases {
+		sel, err := sqlparser.ParseSelect(c.SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sels[i] = sel
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, sel := range sels {
+			plan, _, err := sys.Cache.Plan(sel, opt.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want := cases[j].Expected; want != 0 && harness.PlanNumber(plan) != want {
+				b.Fatalf("%s: got plan %d, want %d", cases[j].Name, harness.PlanNumber(plan), want)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(cases)), "queries/op")
+}
+
+// BenchmarkFig42aWorkloadVsBound reproduces one point of Figure 4.2(a)
+// (d=5s, f=100s, B=55s -> 50% local) and reports measured vs analytic.
+func BenchmarkFig42aWorkloadVsBound(b *testing.B) {
+	var measured, analytic float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.WorkloadVsBound(
+			[]time.Duration{5 * time.Second},
+			[]time.Duration{55 * time.Second},
+			40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := pts[5*time.Second][0]
+		measured, analytic = p.Measured, p.Analytic
+	}
+	b.ReportMetric(measured*100, "local%")
+	b.ReportMetric(analytic*100, "analytic%")
+}
+
+// BenchmarkFig42bWorkloadVsInterval reproduces one point of Figure 4.2(b)
+// (d=5s, B=10s, f=20s -> 25% local).
+func BenchmarkFig42bWorkloadVsInterval(b *testing.B) {
+	var measured, analytic float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.WorkloadVsInterval(
+			[]time.Duration{5 * time.Second},
+			[]time.Duration{20 * time.Second},
+			40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := pts[5*time.Second][0]
+		measured, analytic = p.Measured, p.Analytic
+	}
+	b.ReportMetric(measured*100, "local%")
+	b.ReportMetric(analytic*100, "analytic%")
+}
+
+// benchPlan plans sql once and executes it per iteration.
+func benchPlan(b *testing.B, sys *core.System, sql string, opts opt.Options) {
+	b.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, _, err := sys.Cache.Plan(sel, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := &exec.EvalContext{Now: sys.Clock.Now()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root, err := plan.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Run(root, ctx, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable44GuardOverhead times the Table 4.4 configurations: each of
+// Q1-Q3 executed down the guarded local branch, the guarded remote branch,
+// and as traditional unguarded local/remote plans. Comparing the guard-*
+// and plain-* sub-benchmarks yields the table's overhead rows.
+func BenchmarkTable44GuardOverhead(b *testing.B) {
+	sys := benchSystem(b)
+	for _, q := range harness.GuardQueries() {
+		b.Run(q.Name+"/guard-local", func(b *testing.B) {
+			benchPlan(b, sys, q.Fresh, opt.Options{ForceLocal: true})
+		})
+		b.Run(q.Name+"/plain-local", func(b *testing.B) {
+			benchPlan(b, sys, q.Fresh, opt.Options{NoGuards: true, ForceLocal: true, IgnoreConstraints: true})
+		})
+		b.Run(q.Name+"/guard-remote", func(b *testing.B) {
+			benchPlan(b, sys, q.Stale, opt.Options{ForceLocal: true})
+		})
+		b.Run(q.Name+"/plain-remote", func(b *testing.B) {
+			benchPlan(b, sys, q.Plain, opt.Options{NoViews: true, IgnoreConstraints: true})
+		})
+	}
+}
+
+// BenchmarkTable45GuardPhases reports the per-phase guard overhead
+// measurement behind Table 4.5 as custom metrics (microseconds).
+func BenchmarkTable45GuardPhases(b *testing.B) {
+	sys := benchSystem(b)
+	var setup, run, shutdown float64
+	for i := 0; i < b.N; i++ {
+		measured, err := harness.MeasureGuardOverhead(sys, 70)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ov := measured["Q1"]["local"].Overhead()
+		setup = float64(ov.Setup.Nanoseconds()) / 1e3
+		run = float64(ov.Run.Nanoseconds()) / 1e3
+		shutdown = float64(ov.Shutdown.Nanoseconds()) / 1e3
+	}
+	b.ReportMetric(setup, "setup-us")
+	b.ReportMetric(run, "run-us")
+	b.ReportMetric(shutdown, "shutdown-us")
+}
+
+// ---- ablation benchmarks (DESIGN.md section 5) ----
+
+// BenchmarkAblationGuardVsUnguarded isolates the pure guard cost on the
+// smallest local query.
+func BenchmarkAblationGuardVsUnguarded(b *testing.B) {
+	sys := benchSystem(b)
+	q := tpcd.PointQuery(17, "CURRENCY 3600 ON (Customer)")
+	b.Run("guarded", func(b *testing.B) { benchPlan(b, sys, q, opt.Options{ForceLocal: true}) })
+	b.Run("unguarded", func(b *testing.B) {
+		benchPlan(b, sys, q, opt.Options{NoGuards: true, ForceLocal: true, IgnoreConstraints: true})
+	})
+}
+
+// BenchmarkAblationCostBasedVsAlwaysLocal contrasts the paper's cost-based
+// choice with the always-use-the-cache heuristic of earlier systems on Q6
+// (where the back-end index makes remote the right answer).
+func BenchmarkAblationCostBasedVsAlwaysLocal(b *testing.B) {
+	sys := benchSystem(b)
+	q := tpcd.RangeQuery(0, 3.85, "CURRENCY 3600 ON (Customer)")
+	b.Run("cost-based", func(b *testing.B) { benchPlan(b, sys, q, opt.Options{}) })
+	b.Run("always-local", func(b *testing.B) { benchPlan(b, sys, q, opt.Options{ForceLocal: true}) })
+}
+
+// BenchmarkOptimizerConsistencyChecking measures the cost of compile-time
+// consistency checking by optimizing Q5 (two guarded views) with and
+// without constraint machinery engaged.
+func BenchmarkOptimizerConsistencyChecking(b *testing.B) {
+	sys := benchSystem(b)
+	sel, err := sqlparser.ParseSelect(tpcd.JoinQuery("C.c_acctbal >= 0", "CURRENCY 30 ON (C), 30 ON (O)"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("with-constraints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Cache.Plan(sel, opt.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ignore-constraints", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Cache.Plan(sel, opt.Options{IgnoreConstraints: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConstraintNormalization measures cc.Normalize on the paper's Q2
+// constraint shape.
+func BenchmarkConstraintNormalization(b *testing.B) {
+	reqs := []cc.Requirement{
+		{Bound: 5 * time.Minute, Set: []cc.InstanceID{1, 2, 3}},
+		{Bound: 10 * time.Minute, Set: []cc.InstanceID{2, 3}},
+		{Bound: 30 * time.Minute, Set: []cc.InstanceID{4}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cc.Normalize(reqs)
+		if len(c.Classes) != 2 {
+			b.Fatal("unexpected normalization")
+		}
+	}
+}
+
+// BenchmarkReplicationApply measures agent throughput applying one
+// propagation step of update transactions.
+func BenchmarkReplicationApply(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := tpcd.NewLoadedSystem(tpcd.Config{ScaleFactor: 0.002, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 1; k <= 100; k++ {
+			if _, err := sys.Exec(
+				"UPDATE Customer SET c_acctbal = 1.0 WHERE c_custkey = " + itoa(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := sys.Run(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "txns/op")
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// BenchmarkEndToEndQuery is the adoption-path microbenchmark: the full
+// parse-optimize-execute pipeline at the cache for local and remote
+// answers.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	sys := benchSystem(b)
+	b.Run("local-point", func(b *testing.B) {
+		q := tpcd.PointQuery(17, "CURRENCY 3600 ON (Customer)")
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("remote-point", func(b *testing.B) {
+		q := tpcd.PointQuery(17, "")
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkResultCache measures the application-level query-result cache
+// (internal/qcache) hit path vs. the recompute path.
+func BenchmarkResultCache(b *testing.B) {
+	sys := benchSystem(b)
+	rc := qcache.New(sys.Clock, sys.Cache.NewSession(), 128)
+	q := tpcd.PointQuery(17, "CURRENCY 3600 ON (Customer)")
+	if _, _, err := rc.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, outcome, err := rc.Query(q); err != nil || outcome != qcache.Hit {
+				b.Fatalf("outcome=%v err=%v", outcome, err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		noClause := tpcd.PointQuery(17, "")
+		for i := 0; i < b.N; i++ {
+			if _, _, err := rc.Query(noClause); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRegionTuner measures the tuner's optimization cost.
+func BenchmarkRegionTuner(b *testing.B) {
+	w := tuner.Workload{
+		QueriesPerSecond: 50,
+		Bounds: []tuner.BoundShare{
+			{Bound: 10 * time.Second, Weight: 0.3},
+			{Bound: time.Minute, Weight: 0.3},
+			{Bound: 10 * time.Minute, Weight: 0.4},
+		},
+	}
+	c := tuner.Costs{RefreshCost: 10, RemotePenalty: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuner.Tune(w, c, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command rccbench regenerates every table and figure from the paper's
+// evaluation section (Section 4) against the Go reproduction:
+//
+//	rccbench [-sf 0.02] [-reps 200] [-raw-stats]
+//
+// Output goes to stdout; see EXPERIMENTS.md for the paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relaxedcc/internal/harness"
+)
+
+func main() {
+	cfg := harness.DefaultConfig()
+	flag.Float64Var(&cfg.ScaleFactor, "sf", cfg.ScaleFactor,
+		"physical TPC-D scale factor (1.0 = paper's 150k customers)")
+	flag.IntVar(&cfg.Reps, "reps", cfg.Reps,
+		"repetitions per timed measurement")
+	rawStats := flag.Bool("raw-stats", false,
+		"use physical statistics instead of scaling them to the paper's cardinalities")
+	flag.BoolVar(&cfg.Extras, "extras", false,
+		"also run extension experiments (back-end offload, region tuning)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "data generation seed")
+	flag.Parse()
+	cfg.ScaleStatsToPaper = !*rawStats
+
+	if err := harness.RunAll(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "rccbench:", err)
+		os.Exit(1)
+	}
+}

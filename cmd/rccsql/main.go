@@ -1,0 +1,133 @@
+// Command rccsql is a small interactive SQL shell against a loaded
+// back-end + MTCache pair. Statements execute at the cache with full C&C
+// enforcement; DML forwards to the back end.
+//
+//	go run ./cmd/rccsql [-sf 0.005]
+//
+// Meta commands:
+//
+//	\run <duration>   advance simulated time (heartbeats + replication)
+//	\regions          show currency regions and their staleness
+//	\stats            show remote-link traffic counters
+//	\plan <query>     show the chosen plan without executing
+//	\q                quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"relaxedcc/internal/harness"
+	"relaxedcc/internal/opt"
+	"relaxedcc/internal/sqlparser"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.005, "physical TPC-D scale factor")
+	flag.Parse()
+
+	fmt.Printf("loading TPC-D at scale %.3f (%d customers, %d orders)...\n",
+		*sf, int(150000**sf), int(1500000**sf))
+	sys, err := harness.NewSystem(harness.Config{ScaleFactor: *sf, Seed: 2004, ScaleStatsToPaper: false})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sess := sys.Cache.NewSession()
+	fmt.Println(`ready. tables: Customer, Orders; views: cust_prj (CR1), orders_prj (CR2).`)
+	fmt.Println(`try: SELECT c_name FROM Customer WHERE c_custkey = 17 CURRENCY 60 ON (Customer)`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("rcc> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case strings.HasPrefix(line, `\run `):
+			d, err := time.ParseDuration(strings.TrimSpace(strings.TrimPrefix(line, `\run `)))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := sys.Run(d); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("advanced to t=%v\n", sys.Clock.Now().Format("15:04:05"))
+		case line == `\regions`:
+			now := sys.Clock.Now()
+			for _, r := range sys.Cache.Catalog().Regions() {
+				ts, ok := sys.Cache.LastSync(r.ID)
+				stale := "never synced"
+				if ok {
+					stale = fmt.Sprintf("%v stale", now.Sub(ts))
+				}
+				fmt.Printf("  CR%d %-16s interval=%v delay=%v  %s\n",
+					r.ID, r.Name, r.UpdateInterval, r.UpdateDelay, stale)
+			}
+		case line == `\stats`:
+			st := sys.Cache.Link().Stats()
+			fmt.Printf("  remote queries=%d rows=%d bytes=%d\n", st.Queries, st.Rows, st.Bytes)
+		case strings.HasPrefix(line, `\plan `):
+			sql := strings.TrimPrefix(line, `\plan `)
+			sel, err := sqlparser.ParseSelect(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			plan, q, err := sys.Cache.Plan(sel, opt.Options{})
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  constraint: %v\n  plan:       %s\n  est. cost:  %.3f ms\n  class:      %s\n",
+				q.Constraint, plan.Shape, plan.Cost, harness.PlanLabel(plan))
+		case strings.HasPrefix(line, `\`):
+			fmt.Println("unknown meta command; try \\run 30s, \\regions, \\stats, \\plan <q>, \\q")
+		default:
+			res, err := sess.Execute(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if res.Plan != nil {
+				src := "back end"
+				if len(res.LocalViews) > 0 && res.RemoteQueries == 0 {
+					src = "local views"
+				} else if len(res.LocalViews) > 0 {
+					src = "local views + back end"
+				}
+				fmt.Printf("-- plan: %s  (answered from %s)\n", res.Plan.Shape, src)
+			}
+			if res.Schema != nil && len(res.Schema.Cols) > 0 {
+				fmt.Println("  " + strings.Join(res.Schema.ColumnNames(), " | "))
+			}
+			for i, row := range res.Rows {
+				if i == 25 {
+					fmt.Printf("  ... (%d rows)\n", len(res.Rows))
+					break
+				}
+				vals := make([]string, len(row))
+				for j, v := range row {
+					vals[j] = v.Display()
+				}
+				fmt.Println("  " + strings.Join(vals, " | "))
+			}
+			if res.ServedStale {
+				fmt.Println("  (warning: served stale local data)")
+			}
+		}
+	}
+}

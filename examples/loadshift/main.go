@@ -1,0 +1,66 @@
+// Loadshift: a miniature of the paper's Figure 4.2 — how much of a query
+// workload the cache absorbs as the application relaxes its currency bound,
+// and how that share collapses when replication slows down.
+//
+//	go run ./examples/loadshift
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"relaxedcc/internal/cc"
+	"relaxedcc/internal/harness"
+)
+
+func main() {
+	fmt.Println("Local workload share vs currency bound (f=100s propagation interval)")
+	fmt.Println("measured by sampling the replica's staleness across the propagation cycle;")
+	fmt.Println("the analytic curve is the paper's formula p = clamp((B-d)/f, 0, 1).")
+
+	delays := []time.Duration{1 * time.Second, 10 * time.Second}
+	var bounds []time.Duration
+	for b := 0; b <= 120; b += 15 {
+		bounds = append(bounds, time.Duration(b)*time.Second)
+	}
+	byDelay, err := harness.WorkloadVsBound(delays, bounds, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range delays {
+		fmt.Printf("\npropagation delay d = %v\n", d)
+		fmt.Printf("%8s  %9s  %9s  %s\n", "bound", "measured", "analytic", "")
+		for _, p := range byDelay[d] {
+			bar := strings.Repeat("#", int(p.Measured*40+0.5))
+			fmt.Printf("%8.0fs  %8.1f%%  %8.1f%%  %s\n",
+				p.Bound.Seconds(), p.Measured*100, p.Analytic*100, bar)
+		}
+	}
+
+	fmt.Println("\nWith a fixed 10s bound, slowing replication pushes work back to the server:")
+	fmt.Printf("%10s  %9s  %9s\n", "interval", "measured", "analytic")
+	intervals := []time.Duration{2 * time.Second, 5 * time.Second, 10 * time.Second,
+		20 * time.Second, 50 * time.Second, 100 * time.Second}
+	byD, err := harness.WorkloadVsInterval([]time.Duration{5 * time.Second}, intervals, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range byD[5*time.Second] {
+		fmt.Printf("%9.0fs  %8.1f%%  %8.1f%%\n",
+			p.Interval.Seconds(), p.Measured*100, p.Analytic*100)
+	}
+
+	// Sanity check the formula's closed form at a few points.
+	fmt.Println("\nformula spot checks:")
+	for _, c := range []struct {
+		b, d, f time.Duration
+	}{
+		{55 * time.Second, 5 * time.Second, 100 * time.Second},
+		{10 * time.Second, 5 * time.Second, 0}, // continuous propagation
+	} {
+		fmt.Printf("  p(B=%v, d=%v, f=%v) = %.2f\n",
+			c.b, c.d, c.f, cc.LocalProbability(c.b, c.d, c.f))
+	}
+}

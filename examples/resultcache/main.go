@@ -1,0 +1,80 @@
+// Resultcache: the paper's third motivating scenario — an application-level
+// cache of query results that tracks how stale each cached result is and
+// transparently recomputes results that no longer satisfy a caller's
+// currency requirement.
+//
+//	go run ./examples/resultcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/qcache"
+)
+
+func main() {
+	sys := core.NewSystem()
+	sys.MustExec(`CREATE TABLE Scores (
+		s_id BIGINT NOT NULL PRIMARY KEY,
+		s_team VARCHAR(20) NOT NULL,
+		s_points BIGINT NOT NULL)`)
+	for i := 1; i <= 8; i++ {
+		sys.MustExec(fmt.Sprintf("INSERT INTO Scores VALUES (%d, 'team-%d', %d)", i, i, i*7))
+	}
+	sys.Analyze()
+	if err := sys.AddRegion(&catalog.Region{
+		ID: 1, Name: "scores", UpdateInterval: 10 * time.Second,
+		UpdateDelay: time.Second, HeartbeatInterval: time.Second,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.CreateView(&catalog.View{
+		Name: "scores_prj", BaseTable: "Scores",
+		Columns: []string{"s_id", "s_team", "s_points"}, RegionID: 1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(12 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	rc := qcache.New(sys.Clock, sys.Cache.NewSession(), 100)
+	leaderboard := "SELECT s_team, s_points FROM Scores ORDER BY s_points DESC CURRENCY 30 ON (Scores)"
+
+	ask := func(label, q string) {
+		res, outcome, err := rc.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s -> %-7s top: %s %v\n",
+			label, outcome, res.Rows[0][0].Display(), res.Rows[0][1])
+	}
+
+	fmt.Println("A leaderboard page asks the result cache; many requests, one computation:")
+	ask("request 1 (cold)", leaderboard)
+	ask("request 2", leaderboard)
+	ask("request 3", leaderboard)
+
+	fmt.Println("\nA score changes on the master; cached result ages past 30s:")
+	if _, err := sys.Exec("UPDATE Scores SET s_points = 999 WHERE s_id = 3"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(45 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	ask("request 4 (entry too old)", leaderboard)
+	ask("request 5", leaderboard)
+
+	fmt.Println("\nA stricter caller (5s bound) and an unconstrained caller share the entry:")
+	ask("request 6 (CURRENCY 5)",
+		"SELECT s_team, s_points FROM Scores ORDER BY s_points DESC CURRENCY 5 ON (Scores)")
+	ask("request 7 (CURRENCY 120)",
+		"SELECT s_team, s_points FROM Scores ORDER BY s_points DESC CURRENCY 120 ON (Scores)")
+
+	st := rc.Stats()
+	fmt.Printf("\ncache stats: hits=%d misses=%d refreshes=%d\n", st.Hits, st.Misses, st.Refreshes)
+}

@@ -1,0 +1,3 @@
+module relaxedcc
+
+go 1.22

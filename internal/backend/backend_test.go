@@ -1,0 +1,291 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/vclock"
+)
+
+func newServer(t *testing.T) (*Server, *vclock.Virtual) {
+	t.Helper()
+	clock := vclock.NewVirtual()
+	s := New(clock)
+	if _, err := s.Exec(`CREATE TABLE t (id BIGINT NOT NULL PRIMARY KEY, name VARCHAR(20), bal DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	return s, clock
+}
+
+func TestCreateTableAndInsert(t *testing.T) {
+	s, _ := newServer(t)
+	n, err := s.Exec("INSERT INTO t (id, name, bal) VALUES (1, 'a', 10.5), (2, 'b', 20)")
+	if err != nil || n != 2 {
+		t.Fatalf("insert = %d, %v", n, err)
+	}
+	res, err := s.Query("SELECT name FROM t WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "b" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestInsertWithoutColumnList(t *testing.T) {
+	s, _ := newServer(t)
+	if _, err := s.Exec("INSERT INTO t VALUES (1, 'a', 1.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO t VALUES (2)"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestInsertDuplicateRollsBackStatement(t *testing.T) {
+	s, _ := newServer(t)
+	if _, err := s.Exec("INSERT INTO t (id, name, bal) VALUES (1, 'a', 1)"); err != nil {
+		t.Fatal(err)
+	}
+	seq := s.Log().LastSeq()
+	// Multi-row insert where the second row conflicts: whole statement out.
+	if _, err := s.Exec("INSERT INTO t (id, name, bal) VALUES (5, 'x', 1), (1, 'dup', 2)"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	res, _ := s.Query("SELECT id FROM t WHERE id = 5")
+	if len(res.Rows) != 0 {
+		t.Fatal("failed statement left partial changes")
+	}
+	if s.Log().LastSeq() != seq {
+		t.Fatal("failed statement appended to the log")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	s, _ := newServer(t)
+	s.Exec("INSERT INTO t VALUES (1, 'a', 1), (2, 'b', 2), (3, 'c', 3)")
+	n, err := s.Exec("UPDATE t SET bal = bal + 10 WHERE id >= 2")
+	if err != nil || n != 2 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	res, _ := s.Query("SELECT bal FROM t WHERE id = 3")
+	if res.Rows[0][0].Float() != 13 {
+		t.Fatalf("bal = %v", res.Rows[0][0])
+	}
+	// Update of the primary key is delete+insert under the hood.
+	if _, err := s.Exec("UPDATE t SET id = 30 WHERE id = 3"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Query("SELECT bal FROM t WHERE id = 30")
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 13 {
+		t.Fatalf("moved row = %v", res.Rows)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := newServer(t)
+	s.Exec("INSERT INTO t VALUES (1, 'a', 1), (2, 'b', 2)")
+	n, err := s.Exec("DELETE FROM t WHERE id = 1")
+	if err != nil || n != 1 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	res, _ := s.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("count after delete")
+	}
+	// Unqualified delete removes everything.
+	if _, err := s.Exec("DELETE FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("count after delete all")
+	}
+}
+
+func TestCommitLogRecordsChanges(t *testing.T) {
+	s, clock := newServer(t)
+	base := s.Log().LastSeq()
+	clock.Advance(5 * time.Second)
+	s.Exec("INSERT INTO t VALUES (1, 'a', 1)")
+	clock.Advance(5 * time.Second)
+	s.Exec("UPDATE t SET name = 'z' WHERE id = 1")
+	s.Exec("DELETE FROM t WHERE id = 1")
+	recs := s.Log().Since(base)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Changes[0].Op.String() != "INSERT" || recs[1].Changes[0].Op.String() != "UPDATE" {
+		t.Fatal("ops")
+	}
+	if recs[1].Changes[0].Old[1].Str() != "a" || recs[1].Changes[0].New[1].Str() != "z" {
+		t.Fatal("before/after images")
+	}
+	if !recs[0].TS.At.Equal(vclock.Epoch.Add(5 * time.Second)) {
+		t.Fatalf("commit time = %v", recs[0].TS.At)
+	}
+}
+
+func TestCreateIndexAndUseIt(t *testing.T) {
+	s, _ := newServer(t)
+	for i := 1; i <= 100; i++ {
+		s.Exec("INSERT INTO t VALUES (" + itoa(i) + ", 'x', " + itoa(i) + ".0)")
+	}
+	if _, err := s.Exec("CREATE INDEX ix_bal ON t (bal)"); err != nil {
+		t.Fatal(err)
+	}
+	s.AnalyzeAll()
+	res, err := s.Query("SELECT id FROM t WHERE bal BETWEEN 10 AND 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if _, err := s.Exec("CREATE INDEX ix2 ON missing (x)"); err == nil {
+		t.Fatal("index on missing table accepted")
+	}
+}
+
+func itoa(i int) string {
+	return sqltypes.NewInt(int64(i)).String()
+}
+
+func TestTrivialSelect(t *testing.T) {
+	s, _ := newServer(t)
+	res, err := s.Query("SELECT 1 + 1 AS two, 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 || res.Rows[0][1].Str() != "x" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Schema.Cols[0].Name != "two" {
+		t.Fatal("alias")
+	}
+}
+
+func TestHeartbeatLifecycle(t *testing.T) {
+	s, clock := newServer(t)
+	if err := s.RegisterRegion(&catalog.Region{ID: 1, Name: "CR1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Beat(99); err == nil {
+		t.Fatal("beat of unknown region accepted")
+	}
+	clock.Advance(7 * time.Second)
+	if err := s.Beat(1); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := s.Table(HeartbeatTable).Get(sqltypes.Row{sqltypes.NewInt(1)})
+	if !ok || !row[1].Time().Equal(clock.Now()) {
+		t.Fatalf("heartbeat row = %v", row)
+	}
+	// The beat is an ordinary logged transaction.
+	recs := s.Log().Since(0)
+	last := recs[len(recs)-1]
+	if last.Changes[0].Table != HeartbeatTable {
+		t.Fatal("beat not logged")
+	}
+}
+
+func TestStatementErrors(t *testing.T) {
+	s, _ := newServer(t)
+	bad := []string{
+		"INSERT INTO missing VALUES (1)",
+		"UPDATE missing SET x = 1",
+		"DELETE FROM missing",
+		"UPDATE t SET nope = 1",
+		"INSERT INTO t (nope) VALUES (1)",
+		"CREATE TABLE t (id INT PRIMARY KEY)", // duplicate
+		"BEGIN TIMEORDERED",                   // session statements not for the back end
+	}
+	for _, sql := range bad {
+		if _, err := s.Exec(sql); err == nil {
+			t.Errorf("%q accepted", sql)
+		}
+	}
+	if _, err := s.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("query of missing table accepted")
+	}
+	if _, err := s.Query("not sql at all"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRows(t *testing.T) {
+	s, _ := newServer(t)
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewFloat(1)},
+		{sqltypes.NewInt(2), sqltypes.NewString("b"), sqltypes.NewFloat(2)},
+	}
+	if err := s.LoadRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadRows("missing", rows); err == nil {
+		t.Fatal("LoadRows into missing table accepted")
+	}
+	// Duplicate load rolls back entirely.
+	if err := s.LoadRows("t", rows); err == nil {
+		t.Fatal("duplicate LoadRows accepted")
+	}
+	res, _ := s.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatal("rollback failed")
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	s, _ := newServer(t)
+	for i := 1; i <= 50; i++ {
+		s.Exec("INSERT INTO t VALUES (" + itoa(i) + ", 'n', 1.0)")
+	}
+	s.AnalyzeAll()
+	stats := s.Catalog().Table("t").Stats
+	if stats.Rows() != 50 {
+		t.Fatalf("rows = %d", stats.Rows())
+	}
+	if cs := stats.Column("id"); cs == nil || cs.NDV != 50 {
+		t.Fatalf("id stats = %+v", cs)
+	}
+}
+
+func TestAggregationAndArithmetic(t *testing.T) {
+	s, _ := newServer(t)
+	s.Exec("INSERT INTO t VALUES (1, 'a', 10), (2, 'a', 20), (3, 'b', 30)")
+	res, err := s.Query(`SELECT name, COUNT(*) AS n, SUM(bal) AS total, MIN(bal), MAX(bal), AVG(bal)
+		FROM t GROUP BY name ORDER BY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	a := res.Rows[0]
+	if a[0].Str() != "a" || a[1].Int() != 2 || a[2].Float() != 30 || a[3].Float() != 10 || a[4].Float() != 20 || a[5].Float() != 15 {
+		t.Fatalf("group a = %v", a)
+	}
+}
+
+func TestQueryWithCurrencyClauseAtBackend(t *testing.T) {
+	// The back end accepts currency clauses and satisfies them trivially.
+	s, _ := newServer(t)
+	s.Exec("INSERT INTO t VALUES (1, 'a', 1)")
+	res, err := s.Query("SELECT id FROM t CURRENCY 10 MIN ON (t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatal("rows")
+	}
+}
+
+func TestUnsupportedStatement(t *testing.T) {
+	s, _ := newServer(t)
+	if _, err := s.ExecStmt(nil); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("err = %v", err)
+	}
+}

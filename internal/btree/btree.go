@@ -1,0 +1,412 @@
+// Package btree implements an in-memory B+-tree keyed by order-preserving
+// byte-string keys (see sqltypes.Key).
+//
+// The tree stores one payload per key in its leaves; leaves are linked for
+// fast range scans. It backs both clustered and secondary indexes in
+// internal/storage. The implementation is a textbook B+-tree with node
+// splitting on the way down and rebalancing (borrow/merge) on delete.
+//
+// The tree is not safe for concurrent mutation; callers synchronize (tables
+// hold an RWMutex).
+package btree
+
+import "sort"
+
+// degree is the maximum number of children of an interior node. Leaves hold
+// up to degree-1 entries.
+const degree = 64
+
+// Tree is a B+-tree mapping string keys to arbitrary payloads.
+// The zero value is an empty tree ready for use.
+type Tree struct {
+	root   *node
+	length int
+}
+
+type node struct {
+	// keys holds the entry keys in a leaf, or the separator keys in an
+	// interior node (len(children) == len(keys)+1).
+	keys     []string
+	vals     []any   // leaf only
+	children []*node // interior only
+	next     *node   // leaf only: right sibling
+	leaf     bool
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.length }
+
+// Get returns the payload stored under key, if any.
+func (t *Tree) Get(key string) (any, bool) {
+	n := t.root
+	if n == nil {
+		return nil, false
+	}
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.SearchStrings(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Set stores val under key, replacing any existing payload.
+// It reports whether the key was newly inserted.
+func (t *Tree) Set(key string, val any) bool {
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+	if t.root.full() {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	inserted := t.root.insert(key, val)
+	if inserted {
+		t.length++
+	}
+	return inserted
+}
+
+func (n *node) full() bool { return len(n.keys) >= degree-1 }
+
+// childIndex returns the child slot to descend into for key.
+func childIndex(keys []string, key string) int {
+	// Separator keys[i] is the smallest key in children[i+1].
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+func (n *node) insert(key string, val any) bool {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = val
+			return false
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true
+	}
+	i := childIndex(n.keys, key)
+	if n.children[i].full() {
+		n.splitChild(i)
+		if key >= n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insert(key, val)
+}
+
+// splitChild splits the full child at index i, promoting a separator.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.keys) / 2
+	var sep string
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.vals = child.vals[:mid:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[: mid+1 : mid+1]
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+func (t *Tree) Delete(key string) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.delete(key)
+	if deleted {
+		t.length--
+	}
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.length == 0 {
+		t.root = nil
+	}
+	return deleted
+}
+
+const minKeys = (degree - 1) / 2
+
+func (n *node) delete(key string) bool {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	i := childIndex(n.keys, key)
+	child := n.children[i]
+	if len(child.keys) <= minKeys {
+		n.rebalance(i)
+		i = childIndex(n.keys, key)
+		child = n.children[i]
+	}
+	return child.delete(key)
+}
+
+// rebalance ensures children[i] has more than minKeys entries by borrowing
+// from a sibling or merging with one.
+func (n *node) rebalance(i int) {
+	child := n.children[i]
+	if i > 0 && len(n.children[i-1].keys) > minKeys {
+		left := n.children[i-1]
+		if child.leaf {
+			k := len(left.keys) - 1
+			child.keys = append([]string{left.keys[k]}, child.keys...)
+			child.vals = append([]any{left.vals[k]}, child.vals...)
+			left.keys = left.keys[:k]
+			left.vals = left.vals[:k]
+			n.keys[i-1] = child.keys[0]
+		} else {
+			k := len(left.keys) - 1
+			child.keys = append([]string{n.keys[i-1]}, child.keys...)
+			child.children = append([]*node{left.children[k+1]}, child.children...)
+			n.keys[i-1] = left.keys[k]
+			left.keys = left.keys[:k]
+			left.children = left.children[:k+1]
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys {
+		right := n.children[i+1]
+		if child.leaf {
+			child.keys = append(child.keys, right.keys[0])
+			child.vals = append(child.vals, right.vals[0])
+			right.keys = right.keys[1:]
+			right.vals = right.vals[1:]
+			n.keys[i] = right.keys[0]
+		} else {
+			child.keys = append(child.keys, n.keys[i])
+			child.children = append(child.children, right.children[0])
+			n.keys[i] = right.keys[0]
+			right.keys = right.keys[1:]
+			right.children = right.children[1:]
+		}
+		return
+	}
+	// Merge child with a sibling.
+	if i == len(n.children)-1 {
+		i--
+		child = n.children[i]
+	}
+	right := n.children[i+1]
+	if child.leaf {
+		child.keys = append(child.keys, right.keys...)
+		child.vals = append(child.vals, right.vals...)
+		child.next = right.next
+	} else {
+		child.keys = append(child.keys, n.keys[i])
+		child.keys = append(child.keys, right.keys...)
+		child.children = append(child.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every entry in ascending key order until fn returns
+// false.
+func (t *Tree) Ascend(fn func(key string, val any) bool) {
+	t.AscendRange("", "", fn)
+}
+
+// AscendRange calls fn for entries with start <= key < end in ascending
+// order, until fn returns false. An empty start means from the beginning; an
+// empty end means to the end.
+func (t *Tree) AscendRange(start, end string, fn func(key string, val any) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, start)]
+	}
+	// The descent can land one leaf early when start equals a separator;
+	// scan forward within the linked leaves.
+	i := sort.SearchStrings(n.keys, start)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if end != "" && n.keys[i] >= end {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// AscendPrefix calls fn for every entry whose key begins with prefix.
+func (t *Tree) AscendPrefix(prefix string, fn func(key string, val any) bool) {
+	if prefix == "" {
+		t.Ascend(fn)
+		return
+	}
+	t.AscendRange(prefix, prefixEnd(prefix), fn)
+}
+
+// PrefixEnd returns the smallest string greater than every string with the
+// given prefix, or "" if there is none (all 0xFF). It is exported for range
+// construction by callers that build composite index keys.
+func PrefixEnd(prefix string) string { return prefixEnd(prefix) }
+
+// prefixEnd returns the smallest string greater than every string with the
+// given prefix, or "" if there is none (all 0xFF).
+func prefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// Min returns the smallest key and its payload.
+func (t *Tree) Min() (key string, val any, ok bool) {
+	n := t.root
+	if n == nil {
+		return "", nil, false
+	}
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return "", nil, false
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Max returns the largest key and its payload.
+func (t *Tree) Max() (key string, val any, ok bool) {
+	n := t.root
+	if n == nil {
+		return "", nil, false
+	}
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) == 0 {
+		return "", nil, false
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.keys)-1], true
+}
+
+// CheckInvariants walks the tree verifying structural invariants; it is used
+// by tests (including property-based tests). It returns a non-empty string
+// describing the first violation found, or "" if the tree is well-formed.
+func (t *Tree) CheckInvariants() string {
+	if t.root == nil {
+		if t.length != 0 {
+			return "nil root with nonzero length"
+		}
+		return ""
+	}
+	count, _, _, msg := t.root.check(true)
+	if msg != "" {
+		return msg
+	}
+	if count != t.length {
+		return "length mismatch"
+	}
+	// All leaves must be reachable via next-pointers in sorted order.
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	seen := 0
+	prev := ""
+	first := true
+	for ; n != nil; n = n.next {
+		for _, k := range n.keys {
+			if !first && k <= prev {
+				return "leaf chain out of order"
+			}
+			prev, first = k, false
+			seen++
+		}
+	}
+	if seen != t.length {
+		return "leaf chain misses entries"
+	}
+	return ""
+}
+
+func (n *node) check(isRoot bool) (count int, min, max string, msg string) {
+	if n.leaf {
+		if len(n.vals) != len(n.keys) {
+			return 0, "", "", "leaf keys/vals length mismatch"
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				return 0, "", "", "leaf keys out of order"
+			}
+		}
+		if len(n.keys) == 0 && !isRoot {
+			return 0, "", "", "empty non-root leaf"
+		}
+		if len(n.keys) == 0 {
+			return 0, "", "", ""
+		}
+		return len(n.keys), n.keys[0], n.keys[len(n.keys)-1], ""
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, "", "", "interior child count mismatch"
+	}
+	if !isRoot && len(n.keys) < minKeys {
+		return 0, "", "", "interior underflow"
+	}
+	for i, c := range n.children {
+		cc, cmin, cmax, cmsg := c.check(false)
+		if cmsg != "" {
+			return 0, "", "", cmsg
+		}
+		count += cc
+		if i > 0 && cmin < n.keys[i-1] {
+			return 0, "", "", "child min below separator"
+		}
+		if i < len(n.keys) && cmax >= n.keys[i] {
+			return 0, "", "", "child max not below separator"
+		}
+		if i == 0 {
+			min = cmin
+		}
+		if i == len(n.children)-1 {
+			max = cmax
+		}
+	}
+	return count, min, max, ""
+}

@@ -1,0 +1,288 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete("x") {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	called := false
+	tr.Ascend(func(string, any) bool { called = true; return true })
+	if called {
+		t.Fatal("Ascend on empty tree visited an entry")
+	}
+}
+
+func TestSetGetSingle(t *testing.T) {
+	tr := New()
+	if !tr.Set("a", 1) {
+		t.Fatal("first Set returned false")
+	}
+	if tr.Set("a", 2) {
+		t.Fatal("overwrite Set returned true")
+	}
+	v, ok := tr.Get("a")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get = %v,%v, want 2,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestInsertManyAscendSorted(t *testing.T) {
+	tr := New()
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Set(fmt.Sprintf("%08d", i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+	want := 0
+	tr.Ascend(func(k string, v any) bool {
+		if v.(int) != want {
+			t.Fatalf("ascend order: got %d, want %d", v.(int), want)
+		}
+		want++
+		return true
+	})
+	if want != n {
+		t.Fatalf("visited %d entries, want %d", want, n)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("%03d", i), i)
+	}
+	var got []int
+	tr.AscendRange("010", "020", func(k string, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range [010,020) = %v", got)
+	}
+	// Early termination.
+	count := 0
+	tr.AscendRange("000", "", func(string, any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Start beyond the end.
+	visited := false
+	tr.AscendRange("zzz", "", func(string, any) bool { visited = true; return true })
+	if visited {
+		t.Fatal("range past max visited entries")
+	}
+}
+
+func TestAscendRangeStartEqualsSeparator(t *testing.T) {
+	// Insert enough sequential keys to force splits, then scan starting at
+	// every key; each scan must start exactly at its key.
+	tr := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Set(fmt.Sprintf("%05d", i), i)
+	}
+	for i := 0; i < n; i += 7 {
+		start := fmt.Sprintf("%05d", i)
+		first := -1
+		tr.AscendRange(start, "", func(k string, v any) bool {
+			first = v.(int)
+			return false
+		})
+		if first != i {
+			t.Fatalf("scan from %s started at %d", start, first)
+		}
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New()
+	tr.Set("apple", 1)
+	tr.Set("app", 2)
+	tr.Set("banana", 3)
+	tr.Set("applet", 4)
+	var keys []string
+	tr.AscendPrefix("app", func(k string, v any) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []string{"app", "apple", "applet"}
+	if len(keys) != len(want) {
+		t.Fatalf("prefix scan = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("prefix scan = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestPrefixEndAllFF(t *testing.T) {
+	if got := prefixEnd("\xff\xff"); got != "" {
+		t.Fatalf("prefixEnd(0xffff) = %q, want empty", got)
+	}
+	if got := prefixEnd("a\xff"); got != "b" {
+		t.Fatalf("prefixEnd = %q, want b", got)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	const n = 3000
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(n)
+	for _, i := range keys {
+		tr.Set(fmt.Sprintf("%08d", i), i)
+	}
+	del := rng.Perm(n)
+	for step, i := range del {
+		if !tr.Delete(fmt.Sprintf("%08d", i)) {
+			t.Fatalf("Delete(%d) returned false", i)
+		}
+		if step%500 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("after %d deletes: %s", step+1, msg)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after delete-all = %d", tr.Len())
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants after delete-all: %s", msg)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Set(fmt.Sprintf("%03d", i), i)
+	}
+	if tr.Delete("999") {
+		t.Fatal("Delete of missing key returned true")
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len changed after failed delete: %d", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"m", "c", "z", "a", "q"} {
+		tr.Set(k, k)
+	}
+	if k, _, _ := tr.Min(); k != "a" {
+		t.Fatalf("Min = %q", k)
+	}
+	if k, _, _ := tr.Max(); k != "z" {
+		t.Fatalf("Max = %q", k)
+	}
+}
+
+// TestQuickAgainstMap property-tests the tree against a reference map under
+// random interleaved inserts, overwrites and deletes.
+func TestQuickAgainstMap(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]int{}
+		for op := 0; op < 2000; op++ {
+			k := fmt.Sprintf("%04d", rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				tr.Set(k, v)
+				ref[k] = v
+			case 2:
+				gotDel := tr.Delete(k)
+				_, had := ref[k]
+				if gotDel != had {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if tr.CheckInvariants() != "" {
+			return false
+		}
+		// Full contents must match, in sorted order.
+		keys := make([]string, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		ok := true
+		tr.Ascend(func(k string, v any) bool {
+			if i >= len(keys) || k != keys[i] || v.(int) != ref[k] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(keys)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	keys := make([]string, 100000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New()
+		for _, k := range keys {
+			tr.Set(k, i)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Set(fmt.Sprintf("%08d", i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("%08d", i%100000))
+	}
+}

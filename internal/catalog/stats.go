@@ -1,0 +1,271 @@
+package catalog
+
+import (
+	"sync"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// histogramBuckets is the number of equi-width buckets kept per numeric
+// column.
+const histogramBuckets = 32
+
+// ColumnStats summarizes one column for cardinality estimation.
+type ColumnStats struct {
+	NDV       int64 // number of distinct values
+	NullCount int64
+	Min, Max  sqltypes.Value // numeric columns only (Null otherwise)
+	// Histogram is an equi-width histogram over [Min, Max] for numeric
+	// columns; Histogram[i] counts rows in the i-th bucket.
+	Histogram []int64
+}
+
+// TableStats summarizes a table for the optimizer. At the cache these
+// reflect the *back-end* data (the shadow-catalog trick from Section 3), so
+// they are set by copying, not derived from local storage.
+type TableStats struct {
+	mu       sync.RWMutex
+	RowCount int64
+	Columns  map[string]*ColumnStats
+	// AvgRowBytes estimates the serialized width of a row; used to cost
+	// shipping rows over the cache/back-end link.
+	AvgRowBytes int64
+}
+
+// NewTableStats returns empty statistics.
+func NewTableStats() *TableStats {
+	return &TableStats{Columns: map[string]*ColumnStats{}, AvgRowBytes: 64}
+}
+
+func (s *TableStats) clone() *TableStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := &TableStats{RowCount: s.RowCount, AvgRowBytes: s.AvgRowBytes, Columns: map[string]*ColumnStats{}}
+	for name, cs := range s.Columns {
+		cp := *cs
+		cp.Histogram = append([]int64(nil), cs.Histogram...)
+		out.Columns[name] = &cp
+	}
+	return out
+}
+
+// Set replaces the statistics wholesale (thread-safe).
+func (s *TableStats) Set(rowCount, avgRowBytes int64, cols map[string]*ColumnStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.RowCount = rowCount
+	if avgRowBytes > 0 {
+		s.AvgRowBytes = avgRowBytes
+	}
+	s.Columns = cols
+}
+
+// Rows returns the estimated row count (at least 1, so selectivity math
+// never divides by zero).
+func (s *TableStats) Rows() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.RowCount < 1 {
+		return 1
+	}
+	return s.RowCount
+}
+
+// RowBytes returns the estimated average row width in bytes.
+func (s *TableStats) RowBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.AvgRowBytes < 1 {
+		return 64
+	}
+	return s.AvgRowBytes
+}
+
+// Column returns stats for the named column, or nil.
+func (s *TableStats) Column(name string) *ColumnStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Columns[name]
+}
+
+// defaultEqSelectivity is used when no column statistics exist.
+const defaultEqSelectivity = 0.01
+
+// defaultRangeSelectivity is used when no histogram applies.
+const defaultRangeSelectivity = 0.3
+
+// SelectivityEq estimates the fraction of rows with column = some value.
+func (s *TableStats) SelectivityEq(col string) float64 {
+	cs := s.Column(col)
+	if cs == nil || cs.NDV <= 0 {
+		return defaultEqSelectivity
+	}
+	return 1.0 / float64(cs.NDV)
+}
+
+// SelectivityRange estimates the fraction of rows with lo <= col <= hi.
+// Either bound may be Null meaning unbounded on that side.
+func (s *TableStats) SelectivityRange(col string, lo, hi sqltypes.Value) float64 {
+	cs := s.Column(col)
+	if cs == nil || cs.Min.IsNull() || cs.Max.IsNull() || !cs.Min.IsNumeric() {
+		return defaultRangeSelectivity
+	}
+	minV, maxV := cs.Min.Float(), cs.Max.Float()
+	if maxV <= minV {
+		return 1.0
+	}
+	loF, hiF := minV, maxV
+	if !lo.IsNull() && lo.IsNumeric() {
+		loF = lo.Float()
+	}
+	if !hi.IsNull() && hi.IsNumeric() {
+		hiF = hi.Float()
+	}
+	if hiF < loF {
+		return 0
+	}
+	if len(cs.Histogram) > 0 {
+		return histogramFraction(cs.Histogram, minV, maxV, loF, hiF)
+	}
+	frac := (min64(hiF, maxV) - max64(loF, minV)) / (maxV - minV)
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+func histogramFraction(h []int64, minV, maxV, lo, hi float64) float64 {
+	width := (maxV - minV) / float64(len(h))
+	if width <= 0 {
+		return 1.0
+	}
+	var total, in float64
+	for i, c := range h {
+		total += float64(c)
+		bLo := minV + float64(i)*width
+		bHi := bLo + width
+		overlap := min64(hi, bHi) - max64(lo, bLo)
+		if overlap <= 0 {
+			continue
+		}
+		in += float64(c) * overlap / width
+	}
+	if total == 0 {
+		return defaultRangeSelectivity
+	}
+	frac := in / total
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BuildStats computes statistics by scanning rows (used by ANALYZE-style
+// refresh on the back end). The scan callback must invoke yield once per row.
+func BuildStats(t *Table, scan func(yield func(sqltypes.Row))) *TableStats {
+	type colAgg struct {
+		distinct map[string]struct{}
+		nulls    int64
+		min, max sqltypes.Value
+		numeric  []float64
+	}
+	aggs := make([]*colAgg, len(t.Columns))
+	for i := range aggs {
+		aggs[i] = &colAgg{distinct: map[string]struct{}{}, min: sqltypes.Null, max: sqltypes.Null}
+	}
+	var rows int64
+	var bytes int64
+	scan(func(r sqltypes.Row) {
+		rows++
+		for i, v := range r {
+			if i >= len(aggs) {
+				break
+			}
+			a := aggs[i]
+			if v.IsNull() {
+				a.nulls++
+				continue
+			}
+			a.distinct[sqltypes.Key(v)] = struct{}{}
+			if a.min.IsNull() || v.Compare(a.min) < 0 {
+				a.min = v
+			}
+			if a.max.IsNull() || v.Compare(a.max) > 0 {
+				a.max = v
+			}
+			if v.IsNumeric() {
+				a.numeric = append(a.numeric, v.Float())
+			}
+			bytes += estimateValueBytes(v)
+		}
+	})
+	stats := NewTableStats()
+	stats.RowCount = rows
+	if rows > 0 {
+		stats.AvgRowBytes = bytes / rows
+		if stats.AvgRowBytes < 8 {
+			stats.AvgRowBytes = 8
+		}
+	}
+	for i, a := range aggs {
+		cs := &ColumnStats{
+			NDV:       int64(len(a.distinct)),
+			NullCount: a.nulls,
+			Min:       a.min,
+			Max:       a.max,
+		}
+		if len(a.numeric) > 0 && !a.min.IsNull() && a.min.IsNumeric() && a.max.IsNumeric() {
+			cs.Histogram = buildHistogram(a.numeric, a.min.Float(), a.max.Float())
+		}
+		stats.Columns[t.Columns[i].Name] = cs
+	}
+	return stats
+}
+
+func buildHistogram(vals []float64, minV, maxV float64) []int64 {
+	h := make([]int64, histogramBuckets)
+	span := maxV - minV
+	if span <= 0 {
+		h[0] = int64(len(vals))
+		return h
+	}
+	for _, v := range vals {
+		b := int((v - minV) / span * float64(histogramBuckets))
+		if b >= histogramBuckets {
+			b = histogramBuckets - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	return h
+}
+
+func estimateValueBytes(v sqltypes.Value) int64 {
+	switch v.Kind() {
+	case sqltypes.KindString:
+		return int64(len(v.Str())) + 2
+	case sqltypes.KindBool:
+		return 1
+	default:
+		return 8
+	}
+}

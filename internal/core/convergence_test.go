@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/sqltypes"
+)
+
+// TestReplicationConvergence property-tests the replication fabric: after a
+// random stream of inserts, updates and deletes through the cache and
+// enough quiet time for the agent to drain the log, every materialized view
+// must equal the corresponding selection/projection of the master table.
+func TestReplicationConvergence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := core.NewSystem()
+		sys.MustExec("CREATE TABLE kv (id BIGINT NOT NULL PRIMARY KEY, grp BIGINT NOT NULL, val DOUBLE NOT NULL)")
+		sys.Analyze()
+		if err := sys.AddRegion(&catalog.Region{
+			ID: 1, Name: "R", UpdateInterval: 5 * time.Second, UpdateDelay: time.Second,
+			HeartbeatInterval: time.Second,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Two views in one region: a full projection and a selection.
+		if err := sys.CreateView(&catalog.View{
+			Name: "kv_all", BaseTable: "kv", Columns: []string{"id", "val"}, RegionID: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.CreateView(&catalog.View{
+			Name: "kv_high", BaseTable: "kv", Columns: []string{"id", "grp", "val"},
+			Preds:    []catalog.SimplePred{{Column: "grp", Op: catalog.OpGE, Value: sqltypes.NewInt(5)}},
+			RegionID: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		live := map[int64]bool{}
+		for op := 0; op < 200; op++ {
+			if err := sys.Run(time.Duration(rng.Intn(800)) * time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			id := int64(rng.Intn(30))
+			switch rng.Intn(3) {
+			case 0:
+				if !live[id] {
+					sys.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d, %d.5)", id, rng.Intn(10), rng.Intn(100)))
+					live[id] = true
+				}
+			case 1:
+				if live[id] {
+					sys.Exec(fmt.Sprintf("UPDATE kv SET grp = %d, val = %d.25 WHERE id = %d", rng.Intn(10), rng.Intn(100), id))
+				}
+			case 2:
+				if live[id] {
+					sys.Exec(fmt.Sprintf("DELETE FROM kv WHERE id = %d", id))
+					delete(live, id)
+				}
+			}
+		}
+		// Quiesce: no more writes; let the agent catch up past the delay.
+		if err := sys.Run(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		base := sys.Backend.Table("kv")
+		all := sys.Cache.ViewData("kv_all")
+		high := sys.Cache.ViewData("kv_high")
+		// kv_all = project(base); kv_high = project(select grp>=5).
+		wantAll := map[string]bool{}
+		wantHigh := map[string]bool{}
+		nBase := 0
+		base.Scan(func(r sqltypes.Row) bool {
+			nBase++
+			wantAll[sqltypes.Key(r[0], r[2])] = true
+			if !r[1].IsNull() && r[1].Int() >= 5 {
+				wantHigh[sqltypes.Key(r[0], r[1], r[2])] = true
+			}
+			return true
+		})
+		if all.Len() != nBase || high.Len() != len(wantHigh) {
+			return false
+		}
+		ok := true
+		all.Scan(func(r sqltypes.Row) bool {
+			if !wantAll[sqltypes.RowKey(r)] {
+				ok = false
+			}
+			return ok
+		})
+		high.Scan(func(r sqltypes.Row) bool {
+			if !wantHigh[sqltypes.RowKey(r)] {
+				ok = false
+			}
+			return ok
+		})
+		if all.CheckIndexConsistency() != "" || high.CheckIndexConsistency() != "" {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

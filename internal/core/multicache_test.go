@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/core"
+)
+
+// TestMultipleCachesShareOneBackEnd exercises the paper's scale-out
+// deployment: two mid-tier caches over one master, each with its own
+// regions, views and refresh schedule, both enforcing C&C independently.
+func TestMultipleCachesShareOneBackEnd(t *testing.T) {
+	sys := core.NewSystem()
+	sys.MustExec("CREATE TABLE p (id BIGINT NOT NULL PRIMARY KEY, v BIGINT NOT NULL)")
+	sys.MustExec("INSERT INTO p VALUES (1, 10), (2, 20)")
+	sys.Analyze()
+
+	// Cache A (the built-in one): fast refresh.
+	if err := sys.AddRegion(&catalog.Region{
+		ID: 1, Name: "fast", UpdateInterval: 5 * time.Second, UpdateDelay: time.Second,
+		HeartbeatInterval: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateView(&catalog.View{
+		Name: "p_fast", BaseTable: "p", Columns: []string{"id", "v"}, RegionID: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cache B: slow refresh, distinct region id.
+	cacheB := sys.AddCache()
+	if err := sys.AddCacheRegion(cacheB, &catalog.Region{
+		ID: 2, Name: "slow", UpdateInterval: 60 * time.Second, UpdateDelay: time.Second,
+		HeartbeatInterval: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cacheB.CreateView(&catalog.View{
+		Name: "p_slow", BaseTable: "p", Columns: []string{"id", "v"}, RegionID: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let both regions propagate at least once (the slow one fires at 60s).
+	if err := sys.Run(70 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Commit an update; advance far enough for the fast cache only.
+	if _, err := sys.Exec("UPDATE p SET v = 99 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	q := "SELECT v FROM p WHERE id = 1 CURRENCY 3600 ON (p)"
+	resA, err := sys.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := cacheB.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.LocalViews) != 1 || len(resB.LocalViews) != 1 {
+		t.Fatalf("both caches should answer locally: A=%v B=%v", resA.LocalViews, resB.LocalViews)
+	}
+	if got := resA.Rows[0][0].Int(); got != 99 {
+		t.Fatalf("fast cache = %d, want 99", got)
+	}
+	if got := resB.Rows[0][0].Int(); got != 10 {
+		t.Fatalf("slow cache = %d, want stale 10", got)
+	}
+	// A tight bound at the slow cache falls back to the master.
+	resB, err = cacheB.Query("SELECT v FROM p WHERE id = 1 CURRENCY 5 ON (p)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resB.LocalViews) != 0 || resB.Rows[0][0].Int() != 99 {
+		t.Fatalf("tight bound at slow cache: local=%v v=%v", resB.LocalViews, resB.Rows[0][0])
+	}
+	// Eventually the slow cache converges too.
+	if err := sys.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	resB, _ = cacheB.Query(q)
+	if resB.Rows[0][0].Int() != 99 {
+		t.Fatal("slow cache never converged")
+	}
+}
+
+// TestDistinctRegionIDsEnforcedAcrossCaches documents that region ids are
+// global (they key the back end's heartbeat table).
+func TestDistinctRegionIDsEnforcedAcrossCaches(t *testing.T) {
+	sys := core.NewSystem()
+	sys.MustExec("CREATE TABLE p (id BIGINT NOT NULL PRIMARY KEY)")
+	if err := sys.AddRegion(&catalog.Region{ID: 1, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	cacheB := sys.AddCache()
+	if err := sys.AddCacheRegion(cacheB, &catalog.Region{ID: 1, Name: "b"}); err == nil {
+		t.Fatal("duplicate region id across caches accepted")
+	}
+}

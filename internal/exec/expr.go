@@ -1,0 +1,411 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+)
+
+// EvalContext carries per-execution state for expression evaluation.
+type EvalContext struct {
+	// Now is the query start time, returned by GETDATE(). Fixing it per
+	// execution keeps currency-guard evaluation consistent within a plan.
+	Now time.Time
+}
+
+// Compiled is an expression compiled against a schema: it evaluates on one
+// input row.
+type Compiled func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error)
+
+// Compile resolves column references in the AST expression against the
+// schema and returns an evaluator. Aggregate function calls are rejected —
+// they must be planned into an Aggregate operator first.
+func Compile(e sqlparser.Expr, schema *Schema) (Compiled, error) {
+	switch e := e.(type) {
+	case *sqlparser.Literal:
+		v := e.Val
+		return func(*EvalContext, sqltypes.Row) (sqltypes.Value, error) { return v, nil }, nil
+
+	case *sqlparser.ColumnRef:
+		idx := schema.Lookup(e.Table, e.Column)
+		if idx == -2 {
+			return nil, ErrAmbiguous(e.Column)
+		}
+		if idx < 0 {
+			return nil, ErrNoColumn(e.Table, e.Column)
+		}
+		return func(_ *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			return row[idx], nil
+		}, nil
+
+	case *sqlparser.ParamRef:
+		return nil, fmt.Errorf("exec: unbound parameter $%s", e.Name)
+
+	case *sqlparser.BinaryExpr:
+		left, err := Compile(e.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(e.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		return compileBinary(e.Op, left, right)
+
+	case *sqlparser.NotExpr:
+		inner, err := Compile(e.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			v, err := inner(ctx, row)
+			if err != nil || v.IsNull() {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewBool(!truthy(v)), nil
+		}, nil
+
+	case *sqlparser.NegExpr:
+		inner, err := Compile(e.Inner, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			v, err := inner(ctx, row)
+			if err != nil || v.IsNull() {
+				return sqltypes.Null, err
+			}
+			switch v.Kind() {
+			case sqltypes.KindInt:
+				return sqltypes.NewInt(-v.Int()), nil
+			case sqltypes.KindFloat:
+				return sqltypes.NewFloat(-v.Float()), nil
+			default:
+				return sqltypes.Null, fmt.Errorf("exec: cannot negate %s", v.Kind())
+			}
+		}, nil
+
+	case *sqlparser.BetweenExpr:
+		x, err := Compile(e.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Compile(e.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Compile(e.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			xv, err := x(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			lov, err := lo(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			hiv, err := hi(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if xv.IsNull() || lov.IsNull() || hiv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			in := xv.Compare(lov) >= 0 && xv.Compare(hiv) <= 0
+			return sqltypes.NewBool(in != not), nil
+		}, nil
+
+	case *sqlparser.InExpr:
+		if e.Subquery != nil {
+			return nil, fmt.Errorf("exec: IN subquery must be planned as a join")
+		}
+		x, err := Compile(e.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]Compiled, len(e.List))
+		for i, it := range e.List {
+			items[i], err = Compile(it, schema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		not := e.Not
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			xv, err := x(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if xv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			sawNull := false
+			for _, item := range items {
+				iv, err := item(ctx, row)
+				if err != nil {
+					return sqltypes.Null, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if xv.Compare(iv) == 0 {
+					return sqltypes.NewBool(!not), nil
+				}
+			}
+			if sawNull {
+				return sqltypes.Null, nil // SQL three-valued IN
+			}
+			return sqltypes.NewBool(not), nil
+		}, nil
+
+	case *sqlparser.ExistsExpr:
+		return nil, fmt.Errorf("exec: EXISTS must be planned as a semi-join")
+
+	case *sqlparser.IsNullExpr:
+		x, err := Compile(e.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		not := e.Not
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			v, err := x(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return sqltypes.NewBool(v.IsNull() != not), nil
+		}, nil
+
+	case *sqlparser.FuncExpr:
+		if e.IsAggregate() {
+			return nil, fmt.Errorf("exec: aggregate %s outside an Aggregate operator", e.Name)
+		}
+		switch e.Name {
+		case "GETDATE", "NOW", "CURRENT_TIMESTAMP":
+			if len(e.Args) != 0 {
+				return nil, fmt.Errorf("exec: %s takes no arguments", e.Name)
+			}
+			return func(ctx *EvalContext, _ sqltypes.Row) (sqltypes.Value, error) {
+				return sqltypes.NewTime(ctx.Now), nil
+			}, nil
+		case "ABS":
+			if len(e.Args) != 1 {
+				return nil, fmt.Errorf("exec: ABS takes one argument")
+			}
+			arg, err := Compile(e.Args[0], schema)
+			if err != nil {
+				return nil, err
+			}
+			return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+				v, err := arg(ctx, row)
+				if err != nil || v.IsNull() {
+					return sqltypes.Null, err
+				}
+				switch v.Kind() {
+				case sqltypes.KindInt:
+					if v.Int() < 0 {
+						return sqltypes.NewInt(-v.Int()), nil
+					}
+					return v, nil
+				case sqltypes.KindFloat:
+					if v.Float() < 0 {
+						return sqltypes.NewFloat(-v.Float()), nil
+					}
+					return v, nil
+				default:
+					return sqltypes.Null, fmt.Errorf("exec: ABS of %s", v.Kind())
+				}
+			}, nil
+		default:
+			return nil, fmt.Errorf("exec: unknown function %s", e.Name)
+		}
+
+	default:
+		return nil, fmt.Errorf("exec: cannot compile %T", e)
+	}
+}
+
+func compileBinary(op sqlparser.BinOp, left, right Compiled) (Compiled, error) {
+	switch op {
+	case sqlparser.OpAnd:
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			lv, err := left(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !lv.IsNull() && !truthy(lv) {
+				return sqltypes.NewBool(false), nil
+			}
+			rv, err := right(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !rv.IsNull() && !truthy(rv) {
+				return sqltypes.NewBool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(true), nil
+		}, nil
+	case sqlparser.OpOr:
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			lv, err := left(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !lv.IsNull() && truthy(lv) {
+				return sqltypes.NewBool(true), nil
+			}
+			rv, err := right(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !rv.IsNull() && truthy(rv) {
+				return sqltypes.NewBool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			return sqltypes.NewBool(false), nil
+		}, nil
+	case sqlparser.OpEQ, sqlparser.OpNE, sqlparser.OpLT, sqlparser.OpLE, sqlparser.OpGT, sqlparser.OpGE:
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			lv, err := left(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			rv, err := right(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return sqltypes.Null, nil
+			}
+			if err := comparable(lv, rv); err != nil {
+				return sqltypes.Null, err
+			}
+			c := lv.Compare(rv)
+			var out bool
+			switch op {
+			case sqlparser.OpEQ:
+				out = c == 0
+			case sqlparser.OpNE:
+				out = c != 0
+			case sqlparser.OpLT:
+				out = c < 0
+			case sqlparser.OpLE:
+				out = c <= 0
+			case sqlparser.OpGT:
+				out = c > 0
+			case sqlparser.OpGE:
+				out = c >= 0
+			}
+			return sqltypes.NewBool(out), nil
+		}, nil
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+		return func(ctx *EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			lv, err := left(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			rv, err := right(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return arith(op, lv, rv)
+		}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported binary operator %v", op)
+	}
+}
+
+// arith applies an arithmetic operator with SQL NULL propagation. Timestamp
+// minus a numeric value treats the number as seconds (matching the paper's
+// "getdate() - B" currency-guard predicate).
+func arith(op sqlparser.BinOp, lv, rv sqltypes.Value) (sqltypes.Value, error) {
+	if lv.IsNull() || rv.IsNull() {
+		return sqltypes.Null, nil
+	}
+	if lv.Kind() == sqltypes.KindTime && rv.IsNumeric() {
+		secs := rv.Float()
+		d := time.Duration(secs * float64(time.Second))
+		switch op {
+		case sqlparser.OpAdd:
+			return sqltypes.NewTime(lv.Time().Add(d)), nil
+		case sqlparser.OpSub:
+			return sqltypes.NewTime(lv.Time().Add(-d)), nil
+		}
+		return sqltypes.Null, fmt.Errorf("exec: bad timestamp arithmetic %v", op)
+	}
+	if !lv.IsNumeric() || !rv.IsNumeric() {
+		return sqltypes.Null, fmt.Errorf("exec: arithmetic on %s and %s", lv.Kind(), rv.Kind())
+	}
+	if lv.Kind() == sqltypes.KindInt && rv.Kind() == sqltypes.KindInt && op != sqlparser.OpDiv {
+		a, b := lv.Int(), rv.Int()
+		switch op {
+		case sqlparser.OpAdd:
+			return sqltypes.NewInt(a + b), nil
+		case sqlparser.OpSub:
+			return sqltypes.NewInt(a - b), nil
+		case sqlparser.OpMul:
+			return sqltypes.NewInt(a * b), nil
+		}
+	}
+	a, b := lv.Float(), rv.Float()
+	switch op {
+	case sqlparser.OpAdd:
+		return sqltypes.NewFloat(a + b), nil
+	case sqlparser.OpSub:
+		return sqltypes.NewFloat(a - b), nil
+	case sqlparser.OpMul:
+		return sqltypes.NewFloat(a * b), nil
+	case sqlparser.OpDiv:
+		if b == 0 {
+			return sqltypes.Null, fmt.Errorf("exec: division by zero")
+		}
+		return sqltypes.NewFloat(a / b), nil
+	}
+	return sqltypes.Null, fmt.Errorf("exec: bad arithmetic operator %v", op)
+}
+
+// comparable rejects cross-kind comparisons that SQL would type-error on.
+func comparable(a, b sqltypes.Value) error {
+	if a.Kind() == b.Kind() {
+		return nil
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		return nil
+	}
+	return fmt.Errorf("exec: cannot compare %s with %s", a.Kind(), b.Kind())
+}
+
+// truthy interprets a value as a boolean predicate result.
+func truthy(v sqltypes.Value) bool {
+	switch v.Kind() {
+	case sqltypes.KindBool:
+		return v.Bool()
+	case sqltypes.KindInt:
+		return v.Int() != 0
+	case sqltypes.KindFloat:
+		return v.Float() != 0
+	default:
+		return false
+	}
+}
+
+// PredicateTrue reports whether a compiled predicate evaluates to TRUE on
+// the row (NULL and FALSE both reject, per SQL WHERE semantics).
+func PredicateTrue(p Compiled, ctx *EvalContext, row sqltypes.Row) (bool, error) {
+	v, err := p(ctx, row)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && truthy(v), nil
+}

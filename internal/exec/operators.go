@@ -1,0 +1,816 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+)
+
+// Operator is a physical operator in the open/next/close iterator model.
+type Operator interface {
+	// Schema describes the operator's output columns.
+	Schema() *Schema
+	// Open prepares the operator for iteration.
+	Open(ctx *EvalContext) error
+	// Next returns the next row, or ok=false at end of stream.
+	Next() (row sqltypes.Row, ok bool, err error)
+	// Close releases resources. It must be safe to call after errors.
+	Close() error
+}
+
+// ---- Values ----
+
+// Values produces a fixed list of rows (used for SELECT without FROM and in
+// tests).
+type Values struct {
+	Rows   []sqltypes.Row
+	schema *Schema
+	pos    int
+}
+
+// NewValues builds a Values operator.
+func NewValues(schema *Schema, rows []sqltypes.Row) *Values {
+	return &Values{Rows: rows, schema: schema}
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *Schema { return v.schema }
+
+// Open implements Operator.
+func (v *Values) Open(*EvalContext) error { v.pos = 0; return nil }
+
+// Next implements Operator.
+func (v *Values) Next() (sqltypes.Row, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	r := v.Rows[v.pos]
+	v.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (v *Values) Close() error { return nil }
+
+// ---- Scan ----
+
+// Scan reads a stored table (base table or materialized view) through one
+// of its indexes, optionally within a key range and with a pushed-down
+// residual predicate.
+type Scan struct {
+	Table  *storage.Table
+	Index  string // index to drive the scan; "" = clustered order
+	Lo, Hi storage.Bound
+	Filter Compiled // residual predicate, may be nil
+
+	schema *Schema
+	ctx    *EvalContext
+	rows   []sqltypes.Row
+	pos    int
+
+	// RowsScanned counts rows read from storage (before the residual
+	// filter); used by tests and cost-model validation.
+	RowsScanned int
+}
+
+// NewScan builds a scan. The schema's column order must match the stored
+// row layout.
+func NewScan(table *storage.Table, schema *Schema) *Scan {
+	return &Scan{Table: table, schema: schema}
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() *Schema { return s.schema }
+
+// Open implements Operator. It captures a stable snapshot of matching row
+// references under the table's read latch.
+func (s *Scan) Open(ctx *EvalContext) error {
+	s.ctx = ctx
+	s.pos = 0
+	s.rows = s.rows[:0]
+	s.RowsScanned = 0
+	collect := func(r sqltypes.Row) bool {
+		s.rows = append(s.rows, r)
+		return true
+	}
+	if s.Index == "" {
+		s.Table.Scan(collect)
+		return nil
+	}
+	return s.Table.ScanIndex(s.Index, s.Lo, s.Hi, collect)
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (sqltypes.Row, bool, error) {
+	for s.pos < len(s.rows) {
+		r := s.rows[s.pos]
+		s.pos++
+		s.RowsScanned++
+		if s.Filter != nil {
+			ok, err := PredicateTrue(s.Filter, s.ctx, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return r, true, nil
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { s.rows = nil; return nil }
+
+// ---- Filter ----
+
+// Filter passes through rows satisfying a predicate.
+type Filter struct {
+	Child Operator
+	Pred  Compiled
+	ctx   *EvalContext
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *Schema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *EvalContext) error { f.ctx = ctx; return f.Child.Open(ctx) }
+
+// Next implements Operator.
+func (f *Filter) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := PredicateTrue(f.Pred, f.ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// ---- Project ----
+
+// Project computes output expressions over child rows.
+type Project struct {
+	Child Operator
+	Exprs []Compiled
+	Out   *Schema
+	ctx   *EvalContext
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *Schema { return p.Out }
+
+// Open implements Operator.
+func (p *Project) Open(ctx *EvalContext) error { p.ctx = ctx; return p.Child.Open(ctx) }
+
+// Next implements Operator.
+func (p *Project) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(sqltypes.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i], err = e(p.ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// ---- Joins ----
+
+// JoinKind selects inner, semi (EXISTS) or anti (NOT EXISTS) join behavior.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinSemi
+	JoinAnti
+)
+
+// HashJoin is an equi-join: it builds a hash table on the right (build)
+// input and probes it with left (probe) rows. For semi/anti joins the output
+// schema is the left schema.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []Compiled
+	Residual            Compiled // extra non-equi condition, may be nil
+	Kind                JoinKind
+
+	schema *Schema
+	ctx    *EvalContext
+	table  map[string][]sqltypes.Row
+	// probe state
+	cur     sqltypes.Row
+	matches []sqltypes.Row
+	mi      int
+}
+
+// NewHashJoin builds a hash join; key lists must be equal length.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []Compiled, residual Compiled, kind JoinKind) *HashJoin {
+	hj := &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys, Residual: residual, Kind: kind}
+	if kind == JoinInner {
+		hj.schema = Concat(left.Schema(), right.Schema())
+	} else {
+		hj.schema = left.Schema()
+	}
+	return hj
+}
+
+// Schema implements Operator.
+func (h *HashJoin) Schema() *Schema { return h.schema }
+
+// Open implements Operator: it drains the build side into the hash table.
+func (h *HashJoin) Open(ctx *EvalContext) error {
+	h.ctx = ctx
+	h.table = map[string][]sqltypes.Row{}
+	h.cur, h.matches, h.mi = nil, nil, 0
+	if err := h.Right.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := h.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, null, err := evalKey(h.RightKeys, ctx, row)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h.table[key] = append(h.table[key], row)
+	}
+	if err := h.Right.Close(); err != nil {
+		return err
+	}
+	return h.Left.Open(ctx)
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (sqltypes.Row, bool, error) {
+	for {
+		// Emit pending inner-join matches.
+		for h.mi < len(h.matches) {
+			m := h.matches[h.mi]
+			h.mi++
+			out := append(append(make(sqltypes.Row, 0, len(h.cur)+len(m)), h.cur...), m...)
+			if h.Residual != nil {
+				ok, err := PredicateTrue(h.Residual, h.ctx, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			return out, true, nil
+		}
+		row, ok, err := h.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key, null, err := evalKey(h.LeftKeys, h.ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		var matches []sqltypes.Row
+		if !null {
+			matches = h.table[key]
+		}
+		switch h.Kind {
+		case JoinInner:
+			h.cur, h.matches, h.mi = row, matches, 0
+		case JoinSemi:
+			found, err := h.anyMatch(row, matches)
+			if err != nil {
+				return nil, false, err
+			}
+			if found {
+				return row, true, nil
+			}
+		case JoinAnti:
+			found, err := h.anyMatch(row, matches)
+			if err != nil {
+				return nil, false, err
+			}
+			if !found {
+				return row, true, nil
+			}
+		}
+	}
+}
+
+func (h *HashJoin) anyMatch(left sqltypes.Row, matches []sqltypes.Row) (bool, error) {
+	for _, m := range matches {
+		if h.Residual == nil {
+			return true, nil
+		}
+		joined := append(append(make(sqltypes.Row, 0, len(left)+len(m)), left...), m...)
+		ok, err := PredicateTrue(h.Residual, h.ctx, joined)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() error {
+	h.table = nil
+	return h.Left.Close()
+}
+
+func evalKey(keys []Compiled, ctx *EvalContext, row sqltypes.Row) (string, bool, error) {
+	vals := make([]sqltypes.Value, len(keys))
+	for i, k := range keys {
+		v, err := k(ctx, row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		vals[i] = v
+	}
+	return sqltypes.Key(vals...), false, nil
+}
+
+// IndexLoopJoin is an index nested-loop join: for each outer row it seeks
+// the inner table's index on equality keys computed from the outer row.
+type IndexLoopJoin struct {
+	Outer    Operator
+	Inner    *storage.Table
+	Index    string
+	InnerSch *Schema    // schema of inner rows (stored layout)
+	OuterKey []Compiled // one per leading index column
+	Residual Compiled   // evaluated over concat(outer, inner)
+	Kind     JoinKind
+
+	schema  *Schema
+	ctx     *EvalContext
+	cur     sqltypes.Row
+	matches []sqltypes.Row
+	mi      int
+	// InnerLookups counts index seeks, for cost validation.
+	InnerLookups int
+}
+
+// NewIndexLoopJoin builds an index nested-loop join.
+func NewIndexLoopJoin(outer Operator, inner *storage.Table, index string, innerSch *Schema, outerKey []Compiled, residual Compiled, kind JoinKind) *IndexLoopJoin {
+	j := &IndexLoopJoin{Outer: outer, Inner: inner, Index: index, InnerSch: innerSch, OuterKey: outerKey, Residual: residual, Kind: kind}
+	if kind == JoinInner {
+		j.schema = Concat(outer.Schema(), innerSch)
+	} else {
+		j.schema = outer.Schema()
+	}
+	return j
+}
+
+// Schema implements Operator.
+func (j *IndexLoopJoin) Schema() *Schema { return j.schema }
+
+// Open implements Operator.
+func (j *IndexLoopJoin) Open(ctx *EvalContext) error {
+	j.ctx = ctx
+	j.cur, j.matches, j.mi = nil, nil, 0
+	j.InnerLookups = 0
+	return j.Outer.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *IndexLoopJoin) Next() (sqltypes.Row, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			m := j.matches[j.mi]
+			j.mi++
+			out := append(append(make(sqltypes.Row, 0, len(j.cur)+len(m)), j.cur...), m...)
+			if j.Residual != nil {
+				ok, err := PredicateTrue(j.Residual, j.ctx, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			return out, true, nil
+		}
+		row, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		matches, err := j.lookup(row)
+		if err != nil {
+			return nil, false, err
+		}
+		switch j.Kind {
+		case JoinInner:
+			j.cur, j.matches, j.mi = row, matches, 0
+		case JoinSemi, JoinAnti:
+			found := false
+			for _, m := range matches {
+				if j.Residual == nil {
+					found = true
+					break
+				}
+				joined := append(append(make(sqltypes.Row, 0, len(row)+len(m)), row...), m...)
+				ok, err := PredicateTrue(j.Residual, j.ctx, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					found = true
+					break
+				}
+			}
+			if found == (j.Kind == JoinSemi) {
+				return row, true, nil
+			}
+		}
+	}
+}
+
+func (j *IndexLoopJoin) lookup(outer sqltypes.Row) ([]sqltypes.Row, error) {
+	j.InnerLookups++
+	keyVals := make(sqltypes.Row, len(j.OuterKey))
+	for i, k := range j.OuterKey {
+		v, err := k(j.ctx, outer)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		keyVals[i] = v
+	}
+	var out []sqltypes.Row
+	b := storage.Bound{Vals: keyVals, Inclusive: true}
+	err := j.Inner.ScanIndex(j.Index, b, b, func(r sqltypes.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}
+
+// Close implements Operator.
+func (j *IndexLoopJoin) Close() error { return j.Outer.Close() }
+
+// ---- Sort / Limit / Distinct ----
+
+// Sort materializes and orders child output.
+type Sort struct {
+	Child Operator
+	Keys  []Compiled
+	Desc  []bool
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *Schema { return s.Child.Schema() }
+
+// Open implements Operator: it drains and sorts the child.
+func (s *Sort) Open(ctx *EvalContext) error {
+	s.rows = nil
+	s.pos = 0
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	type keyed struct {
+		row  sqltypes.Row
+		keys sqltypes.Row
+	}
+	var all []keyed
+	for {
+		row, ok, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ks := make(sqltypes.Row, len(s.Keys))
+		for i, k := range s.Keys {
+			v, err := k(ctx, row)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		all = append(all, keyed{row: row, keys: ks})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for k := range s.Keys {
+			c := all[i].keys[k].Compare(all[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if s.Desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([]sqltypes.Row, len(all))
+	for i, kr := range all {
+		s.rows[i] = kr.row
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (sqltypes.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error { s.rows = nil; return s.Child.Close() }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Child Operator
+	N     int64
+	seen  int64
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *Schema { return l.Child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open(ctx *EvalContext) error { l.seen = 0; return l.Child.Open(ctx) }
+
+// Next implements Operator.
+func (l *Limit) Next() (sqltypes.Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Distinct removes duplicate rows.
+type Distinct struct {
+	Child Operator
+	seen  map[string]bool
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *Schema { return d.Child.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open(ctx *EvalContext) error {
+	d.seen = map[string]bool{}
+	return d.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, ok, err := d.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := sqltypes.RowKey(row)
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error { d.seen = nil; return d.Child.Close() }
+
+// ---- Aggregate ----
+
+// AggSpec describes one aggregate computation.
+type AggSpec struct {
+	Func string   // COUNT, SUM, AVG, MIN, MAX
+	Arg  Compiled // nil for COUNT(*)
+	Star bool
+}
+
+// Aggregate is a hash group-by: output rows are group-key values followed by
+// aggregate results. With no group keys it produces exactly one row.
+type Aggregate struct {
+	Child   Operator
+	GroupBy []Compiled
+	Aggs    []AggSpec
+	Out     *Schema
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() *Schema { return a.Out }
+
+type aggState struct {
+	groupVals sqltypes.Row
+	count     []int64
+	sum       []float64
+	sumIsInt  []bool
+	sumInt    []int64
+	min, max  []sqltypes.Value
+	seen      []bool
+}
+
+// Open implements Operator: it drains the child and computes all groups.
+func (a *Aggregate) Open(ctx *EvalContext) error {
+	a.rows = nil
+	a.pos = 0
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	groups := map[string]*aggState{}
+	var order []string
+	for {
+		row, ok, err := a.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		gvals := make(sqltypes.Row, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			gvals[i], err = g(ctx, row)
+			if err != nil {
+				return err
+			}
+		}
+		key := sqltypes.RowKey(gvals)
+		st, okG := groups[key]
+		if !okG {
+			st = &aggState{
+				groupVals: gvals,
+				count:     make([]int64, len(a.Aggs)),
+				sum:       make([]float64, len(a.Aggs)),
+				sumIsInt:  make([]bool, len(a.Aggs)),
+				sumInt:    make([]int64, len(a.Aggs)),
+				min:       make([]sqltypes.Value, len(a.Aggs)),
+				max:       make([]sqltypes.Value, len(a.Aggs)),
+				seen:      make([]bool, len(a.Aggs)),
+			}
+			for i := range st.sumIsInt {
+				st.sumIsInt[i] = true
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		for i, spec := range a.Aggs {
+			if spec.Star {
+				st.count[i]++
+				continue
+			}
+			v, err := spec.Arg(ctx, row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue // SQL aggregates skip NULLs
+			}
+			st.count[i]++
+			switch spec.Func {
+			case "SUM", "AVG":
+				if !v.IsNumeric() {
+					return fmt.Errorf("exec: %s of %s", spec.Func, v.Kind())
+				}
+				if v.Kind() == sqltypes.KindInt && st.sumIsInt[i] {
+					st.sumInt[i] += v.Int()
+				} else {
+					if st.sumIsInt[i] {
+						st.sum[i] = float64(st.sumInt[i])
+						st.sumIsInt[i] = false
+					}
+					st.sum[i] += v.Float()
+				}
+			case "MIN":
+				if !st.seen[i] || v.Compare(st.min[i]) < 0 {
+					st.min[i] = v
+				}
+			case "MAX":
+				if !st.seen[i] || v.Compare(st.max[i]) > 0 {
+					st.max[i] = v
+				}
+			}
+			st.seen[i] = true
+		}
+	}
+	// Empty input with no GROUP BY still yields one row of "empty"
+	// aggregates (COUNT=0, others NULL).
+	if len(groups) == 0 && len(a.GroupBy) == 0 {
+		st := &aggState{
+			groupVals: nil,
+			count:     make([]int64, len(a.Aggs)),
+			min:       make([]sqltypes.Value, len(a.Aggs)),
+			max:       make([]sqltypes.Value, len(a.Aggs)),
+			seen:      make([]bool, len(a.Aggs)),
+			sumIsInt:  make([]bool, len(a.Aggs)),
+			sumInt:    make([]int64, len(a.Aggs)),
+			sum:       make([]float64, len(a.Aggs)),
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+	for _, key := range order {
+		st := groups[key]
+		out := append(sqltypes.Row{}, st.groupVals...)
+		for i, spec := range a.Aggs {
+			out = append(out, finishAgg(spec, st, i))
+		}
+		a.rows = append(a.rows, out)
+	}
+	return nil
+}
+
+func finishAgg(spec AggSpec, st *aggState, i int) sqltypes.Value {
+	switch spec.Func {
+	case "COUNT":
+		return sqltypes.NewInt(st.count[i])
+	case "SUM":
+		if st.count[i] == 0 {
+			return sqltypes.Null
+		}
+		if st.sumIsInt[i] {
+			return sqltypes.NewInt(st.sumInt[i])
+		}
+		return sqltypes.NewFloat(st.sum[i])
+	case "AVG":
+		if st.count[i] == 0 {
+			return sqltypes.Null
+		}
+		total := st.sum[i]
+		if st.sumIsInt[i] {
+			total = float64(st.sumInt[i])
+		}
+		return sqltypes.NewFloat(total / float64(st.count[i]))
+	case "MIN":
+		if !st.seen[i] {
+			return sqltypes.Null
+		}
+		return st.min[i]
+	case "MAX":
+		if !st.seen[i] {
+			return sqltypes.Null
+		}
+		return st.max[i]
+	default:
+		return sqltypes.Null
+	}
+}
+
+// Next implements Operator.
+func (a *Aggregate) Next() (sqltypes.Row, bool, error) {
+	if a.pos >= len(a.rows) {
+		return nil, false, nil
+	}
+	r := a.rows[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (a *Aggregate) Close() error { a.rows = nil; return a.Child.Close() }

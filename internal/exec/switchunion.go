@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// Selector decides which SwitchUnion input to execute. It is evaluated once
+// when the operator is opened and must return an index in [0, n).
+type Selector func(ctx *EvalContext) (int, error)
+
+// SwitchUnion is the paper's dynamic-plan operator (Section 3): it has N
+// input expressions plus a selector; on open the selector picks exactly one
+// input, the others are never touched. The cache uses it with a *currency
+// guard* selector that checks at run time whether a local materialized view
+// is fresh enough for the query's currency bound, falling back to a remote
+// query otherwise.
+type SwitchUnion struct {
+	Children []Operator
+	Selector Selector
+	// Label names the guard for diagnostics (e.g. "guard(cust_prj)").
+	Label string
+	// Region is planner metadata: the currency region whose freshness the
+	// guard checks for the local branch (child 0). Sessions use it to track
+	// timeline consistency.
+	Region int
+
+	chosen int
+	active Operator
+	// GuardTime records how long the selector evaluation took; ChosenIndex
+	// records its decision. Both are observable after Open for the
+	// guard-overhead experiments (Tables 4.4/4.5).
+	GuardTime   time.Duration
+	ChosenIndex int
+}
+
+// Schema implements Operator. All children must share a schema shape; the
+// first child's schema is reported.
+func (s *SwitchUnion) Schema() *Schema { return s.Children[0].Schema() }
+
+// Open implements Operator: it evaluates the selector, then opens only the
+// chosen child.
+func (s *SwitchUnion) Open(ctx *EvalContext) error {
+	start := time.Now()
+	idx, err := s.Selector(ctx)
+	s.GuardTime = time.Since(start)
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= len(s.Children) {
+		return fmt.Errorf("exec: SwitchUnion selector returned %d of %d", idx, len(s.Children))
+	}
+	s.chosen = idx
+	s.ChosenIndex = idx
+	s.active = s.Children[idx]
+	return s.active.Open(ctx)
+}
+
+// Next implements Operator: rows stream through from the chosen child (the
+// per-row SwitchUnion overhead the paper measures in its run phase).
+func (s *SwitchUnion) Next() (sqltypes.Row, bool, error) {
+	return s.active.Next()
+}
+
+// Close implements Operator.
+func (s *SwitchUnion) Close() error {
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	return err
+}
+
+// Remote executes a query against the back-end server through the
+// cache/back-end link and streams the resulting rows. Fetch is bound by the
+// planner to the remote client; SQL records the shipped query text.
+type Remote struct {
+	SQL   string
+	Fetch func(ctx *EvalContext) ([]sqltypes.Row, error)
+	Out   *Schema
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (r *Remote) Schema() *Schema { return r.Out }
+
+// Open implements Operator: it ships the query and buffers the reply,
+// modeling a one-round-trip remote cursor.
+func (r *Remote) Open(ctx *EvalContext) error {
+	rows, err := r.Fetch(ctx)
+	if err != nil {
+		return err
+	}
+	r.rows = rows
+	r.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (r *Remote) Next() (sqltypes.Row, bool, error) {
+	if r.pos >= len(r.rows) {
+		return nil, false, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (r *Remote) Close() error { r.rows = nil; return nil }

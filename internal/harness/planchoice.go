@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/opt"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/tpcd"
+)
+
+// RunTable41 prints the currency-region settings (Table 4.1).
+func RunTable41(w io.Writer, sys *core.System) {
+	section(w, "Table 4.1: Currency region settings")
+	fmt.Fprintf(w, "%-5s %-10s %-8s %s\n", "cid", "interval", "delay", "views")
+	cat := sys.Cache.Catalog()
+	for _, r := range cat.Regions() {
+		var views string
+		for _, v := range cat.Views() {
+			if v.RegionID == r.ID {
+				if views != "" {
+					views += ", "
+				}
+				views += v.Name
+			}
+		}
+		fmt.Fprintf(w, "CR%-3d %-10s %-8s %s\n", r.ID, r.UpdateInterval, r.UpdateDelay, views)
+	}
+}
+
+// PlanChoiceCase is one row of the Table 4.2/4.3 experiment.
+type PlanChoiceCase struct {
+	Name     string
+	SQL      string
+	Expected int // paper plan number; 0 = no expectation
+	Note     string
+}
+
+// PlanChoiceCases reconstructs the query variants of Tables 4.2/4.3 plus
+// the Q6/Q7 cost-based pair. The join predicate parameter uses c_acctbal so
+// result sizes track the paper's selectivities at any physical scale.
+func PlanChoiceCases() []PlanChoiceCase {
+	return []PlanChoiceCase{
+		{
+			Name:     "Q1",
+			SQL:      tpcd.JoinQuery("C.c_custkey = 17", ""),
+			Expected: 1,
+			Note:     "no currency clause, highly selective -> whole query remote",
+		},
+		{
+			Name:     "Q2",
+			SQL:      tpcd.JoinQuery("", ""),
+			Expected: 2,
+			Note:     "no currency clause, join result 10x inputs -> local join of remote fetches",
+		},
+		{
+			Name:     "Q3",
+			SQL:      tpcd.JoinQuery("C.c_custkey = 17", "CURRENCY 10 ON (C, O)"),
+			Expected: 1,
+			Note:     "bounds satisfiable but single consistency class spans regions -> remote",
+		},
+		{
+			Name:     "Q4",
+			SQL:      tpcd.JoinQuery("C.c_acctbal >= 0", "CURRENCY 3 ON (C), 30 ON (O)"),
+			Expected: 4,
+			Note:     "Customer bound below its region delay -> mixed plan",
+		},
+		{
+			Name:     "Q5",
+			SQL:      tpcd.JoinQuery("C.c_acctbal >= 0", "CURRENCY 30 ON (C), 30 ON (O)"),
+			Expected: 5,
+			Note:     "both bounds relaxed -> both views local (guarded)",
+		},
+		{
+			Name:     "Q6",
+			SQL:      tpcd.RangeQuery(0, 3.85, "CURRENCY 10 ON (Customer)"),
+			Expected: 1,
+			Note:     "selective range: back-end secondary index beats local view scan",
+		},
+		{
+			Name:     "Q7",
+			SQL:      tpcd.RangeQuery(0, 1000, "CURRENCY 10 ON (Customer)"),
+			Expected: 5,
+			Note:     "wide range: shipping cost dominates, local view wins",
+		},
+	}
+}
+
+// PlanChoiceResult captures the optimizer's decision for one case.
+type PlanChoiceResult struct {
+	Case PlanChoiceCase
+	Plan *opt.Plan
+	Got  int
+}
+
+// RunPlanChoice optimizes every Table 4.2/4.3 variant and prints the chosen
+// plans (Figure 4.1).
+func RunPlanChoice(w io.Writer, sys *core.System) ([]PlanChoiceResult, error) {
+	section(w, "Tables 4.2/4.3 + Figure 4.1: plan choice vs. C&C constraints")
+	fmt.Fprintf(w, "%-4s %-8s %-10s %s\n", "q", "plan", "cost", "shape")
+	var out []PlanChoiceResult
+	for _, c := range PlanChoiceCases() {
+		sel, err := sqlparser.ParseSelect(c.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		plan, _, err := sys.Cache.Plan(sel, opt.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Name, err)
+		}
+		got := PlanNumber(plan)
+		marker := ""
+		if c.Expected != 0 && got != c.Expected {
+			marker = fmt.Sprintf("  [paper: plan %d]", c.Expected)
+		}
+		fmt.Fprintf(w, "%-4s plan %-3d %-10.2f %s%s\n", c.Name, got, plan.Cost, plan.Shape, marker)
+		fmt.Fprintf(w, "     %s\n", c.Note)
+		out = append(out, PlanChoiceResult{Case: c, Plan: plan, Got: got})
+	}
+	return out, nil
+}

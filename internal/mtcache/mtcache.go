@@ -1,0 +1,599 @@
+// Package mtcache implements the mid-tier database cache — the paper's
+// MTCache prototype (Section 3):
+//
+//  1. a shadow catalog cloned from the back end, with statistics reflecting
+//     back-end data;
+//  2. materialized views (selections/projections of back-end tables) kept
+//     up to date by transactional replication, grouped into currency
+//     regions;
+//  3. a local heartbeat table per region bounding replica staleness;
+//  4. a query pipeline that parses, normalizes C&C constraints, optimizes
+//     cost-based across local views and remote queries, and executes
+//     dynamic plans with currency guards;
+//  5. transparent forwarding of all inserts/deletes/updates to the back
+//     end;
+//  6. sessions with timeline consistency (BEGIN/END TIMEORDERED) and
+//     violation actions.
+package mtcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"relaxedcc/internal/backend"
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/opt"
+	"relaxedcc/internal/remote"
+	"relaxedcc/internal/repl"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+	"relaxedcc/internal/vclock"
+)
+
+// Cache is one mid-tier database cache attached to a back-end server.
+type Cache struct {
+	clock vclock.Clock
+	back  *backend.Server
+	link  *remote.Client
+	cat   *catalog.Catalog // shadow catalog
+
+	mu     sync.RWMutex
+	views  map[string]*storage.Table
+	agents map[int]*repl.Agent
+	// hb is the cache's local heartbeat table (cid, ts): one row per
+	// region, written by replication and read by currency guards.
+	hb *storage.Table
+
+	// planMu guards the plan cache: optimized dynamic plans keyed by query
+	// text. Dynamic plans are exactly what makes caching safe here — the
+	// currency decision is re-taken by the guard at every execution, so a
+	// cached plan never pins a staleness choice (Section 3.2: "this
+	// approach requires re-optimization only if a view's consistency
+	// properties change"). The cache is invalidated when views or regions
+	// change.
+	planMu    sync.Mutex
+	planCache map[string]*opt.Plan
+}
+
+// New creates a cache over the back-end server, cloning its catalog as the
+// shadow catalog (empty shadow tables, back-end statistics).
+func New(clock vclock.Clock, back *backend.Server) *Cache {
+	hbDef := &catalog.Table{
+		Name: "Heartbeat_local",
+		Columns: []catalog.Column{
+			{Name: "cid", Type: sqltypes.KindInt, NotNull: true},
+			{Name: "ts", Type: sqltypes.KindTime, NotNull: true},
+		},
+		PrimaryKey: []string{"cid"},
+	}
+	if err := catalog.New().AddTable(hbDef); err != nil {
+		panic(err) // static definition cannot fail
+	}
+	return &Cache{
+		clock:     clock,
+		back:      back,
+		link:      remote.NewClient(back),
+		cat:       back.Catalog().Clone(),
+		views:     map[string]*storage.Table{},
+		agents:    map[int]*repl.Agent{},
+		hb:        storage.NewTable(hbDef),
+		planCache: map[string]*opt.Plan{},
+	}
+}
+
+// maxCachedPlans bounds the plan cache (evicted wholesale when exceeded —
+// plan texts in a workload are few).
+const maxCachedPlans = 512
+
+// cachedPlan returns a previously optimized plan for the exact query text,
+// for default planning options.
+func (c *Cache) cachedPlan(sql string) *opt.Plan {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	return c.planCache[sql]
+}
+
+func (c *Cache) storePlan(sql string, p *opt.Plan) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	if len(c.planCache) >= maxCachedPlans {
+		c.planCache = map[string]*opt.Plan{}
+	}
+	c.planCache[sql] = p
+}
+
+// InvalidatePlans drops all cached plans; called when the set of views or
+// regions changes (a view's consistency properties changed — the paper's
+// re-optimization trigger).
+func (c *Cache) InvalidatePlans() {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+	c.planCache = map[string]*opt.Plan{}
+}
+
+// Catalog returns the cache's shadow catalog.
+func (c *Cache) Catalog() *catalog.Catalog { return c.cat }
+
+// Link returns the remote link (for stats and failure injection).
+func (c *Cache) Link() *remote.Client { return c.link }
+
+// Clock returns the cache's time source.
+func (c *Cache) Clock() vclock.Clock { return c.clock }
+
+// SyncShadowSchema mirrors any back-end tables and indexes created since the
+// cache was attached into the shadow catalog (the paper's shadow database of
+// empty tables with back-end statistics).
+func (c *Cache) SyncShadowSchema() {
+	for _, t := range c.back.Catalog().Tables() {
+		shadow := c.cat.Table(t.Name)
+		if shadow == nil {
+			if err := c.cat.AddTable(t.Clone()); err == nil {
+				continue
+			}
+			continue
+		}
+		for _, idx := range t.Indexes {
+			found := false
+			for _, have := range shadow.Indexes {
+				if have.Name == idx.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ic := *idx
+				ic.Columns = append([]string(nil), idx.Columns...)
+				_ = c.cat.AddIndex(&ic)
+			}
+		}
+	}
+}
+
+// RefreshShadowStats re-copies statistics from the back-end catalog into the
+// shadow catalog (run after loading or ANALYZE on the back end).
+func (c *Cache) RefreshShadowStats() {
+	c.SyncShadowSchema()
+	for _, t := range c.back.Catalog().Tables() {
+		shadow := c.cat.Table(t.Name)
+		if shadow == nil {
+			continue
+		}
+		src := t.Stats
+		cols := map[string]*catalog.ColumnStats{}
+		for name, cs := range snapshotCols(src) {
+			cols[name] = cs
+		}
+		shadow.Stats.Set(src.Rows(), src.RowBytes(), cols)
+		// Views over this table share its statistics.
+		for _, v := range c.cat.ViewsOf(t.Name) {
+			c.mu.RLock()
+			vt := c.views[v.Name]
+			c.mu.RUnlock()
+			if vt != nil {
+				vt.Def().Stats.Set(src.Rows(), src.RowBytes(), cols)
+			}
+		}
+	}
+}
+
+func snapshotCols(s *catalog.TableStats) map[string]*catalog.ColumnStats {
+	out := map[string]*catalog.ColumnStats{}
+	for _, name := range colNames(s) {
+		cs := s.Column(name)
+		cp := *cs
+		cp.Histogram = append([]int64(nil), cs.Histogram...)
+		out[name] = &cp
+	}
+	return out
+}
+
+func colNames(s *catalog.TableStats) []string {
+	var out []string
+	for name := range s.Columns {
+		out = append(out, name)
+	}
+	return out
+}
+
+// AddRegion registers a currency region on both servers and creates its
+// distribution agent.
+func (c *Cache) AddRegion(r *catalog.Region) (*repl.Agent, error) {
+	if err := c.back.RegisterRegion(r); err != nil {
+		return nil, err
+	}
+	// Mirror into the shadow catalog.
+	rc := *r
+	if err := c.cat.AddRegion(&rc); err != nil {
+		return nil, err
+	}
+	agent := repl.NewAgent(&rc, c.back.Log(), backend.HeartbeatTable, c)
+	c.mu.Lock()
+	c.agents[r.ID] = agent
+	c.mu.Unlock()
+	return agent, nil
+}
+
+// Agent returns the region's distribution agent.
+func (c *Cache) Agent(regionID int) *repl.Agent {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.agents[regionID]
+}
+
+// SetLastSync implements repl.HeartbeatSink: the region's row in the local
+// heartbeat table receives a replicated timestamp.
+func (c *Cache) SetLastSync(regionID int, ts time.Time) {
+	key := sqltypes.Row{sqltypes.NewInt(int64(regionID))}
+	row := sqltypes.Row{key[0], sqltypes.NewTime(ts)}
+	if old, ok := c.hb.Get(key); ok {
+		if ts.After(old[1].Time()) {
+			if _, err := c.hb.Update(row); err != nil {
+				panic(err) // fixed schema; cannot fail
+			}
+		}
+		return
+	}
+	if err := c.hb.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// LastSync implements opt.RegionClock: the timestamp in the region's row of
+// the local heartbeat table.
+func (c *Cache) LastSync(regionID int) (time.Time, bool) {
+	row, ok := c.hb.Get(sqltypes.Row{sqltypes.NewInt(int64(regionID))})
+	if !ok {
+		return time.Time{}, false
+	}
+	return row[1].Time(), true
+}
+
+// HeartbeatTable exposes the local heartbeat table (read by guards).
+func (c *Cache) HeartbeatTable() *storage.Table { return c.hb }
+
+// CreateView defines a materialized view on the cache: it creates local
+// storage with the given extra secondary indexes, registers the matching
+// replication subscription with the region's agent, and populates the view
+// from the current back-end state (the automatic subscription of the
+// paper's step 3).
+func (c *Cache) CreateView(view *catalog.View, extraIndexes ...*catalog.Index) error {
+	c.SyncShadowSchema()
+	base := c.cat.Table(view.BaseTable)
+	if base == nil {
+		return fmt.Errorf("mtcache: view %s: unknown base table %s", view.Name, view.BaseTable)
+	}
+	if err := c.cat.AddView(view); err != nil {
+		return err
+	}
+	agent := c.Agent(view.RegionID)
+	if agent == nil {
+		return fmt.Errorf("mtcache: view %s: region %d has no agent", view.Name, view.RegionID)
+	}
+	// The view's stored layout: projected base columns, base primary key,
+	// clustered index on the PK plus any extra indexes.
+	def := &catalog.Table{Name: view.Name, PrimaryKey: append([]string(nil), base.PrimaryKey...)}
+	for _, col := range view.Columns {
+		def.Columns = append(def.Columns, *base.Column(col))
+	}
+	for _, idx := range extraIndexes {
+		ic := *idx
+		ic.Table = view.Name
+		def.Indexes = append(def.Indexes, &ic)
+	}
+	tmp := catalog.New()
+	if err := tmp.AddTable(def); err != nil { // validates and adds clustered PK index
+		return err
+	}
+	def.Stats.Set(base.Stats.Rows(), base.Stats.RowBytes(), snapshotCols(base.Stats))
+	target := storage.NewTable(def)
+
+	sub, err := repl.NewSubscription(view, base, target)
+	if err != nil {
+		return err
+	}
+	baseData := c.back.Table(view.BaseTable)
+	if baseData == nil {
+		return fmt.Errorf("mtcache: back end has no table %s", view.BaseTable)
+	}
+	agent.Subscribe(sub)
+	if err := agent.InitialSync(sub, baseData); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.views[view.Name] = target
+	c.mu.Unlock()
+	c.InvalidatePlans()
+	return nil
+}
+
+// ViewData returns the local storage of a materialized view, or nil.
+func (c *Cache) ViewData(name string) *storage.Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.views[name]
+}
+
+// planner builds a planner for the given per-query options.
+func (c *Cache) planner(opts opt.Options) *opt.Planner {
+	site := &opt.Site{
+		Cat:        c.cat,
+		LocalTable: func(string) *storage.Table { return nil }, // shadow tables are empty
+		LocalView:  c.ViewData,
+		Remote:     c.link,
+		Regions:    c,
+		Heartbeat:  c.hb,
+		Clock:      c.clock,
+	}
+	return &opt.Planner{Site: site, Opts: opts}
+}
+
+// Plan optimizes a SELECT with the given options (exposed for benchmarks
+// and the experiment harness).
+func (c *Cache) Plan(sel *sqlparser.SelectStmt, opts opt.Options) (*opt.Plan, *opt.Query, error) {
+	return c.planner(opts).PlanSelect(sel)
+}
+
+// QueryResult augments an execution result with plan and guard outcomes.
+type QueryResult struct {
+	*exec.Result
+	// Plan is the executed plan.
+	Plan *opt.Plan
+	// LocalViews lists guards that chose their local branch, by label.
+	LocalViews []string
+	// RemoteQueries counts remote queries actually executed.
+	RemoteQueries int
+	// ServedStale is set when the violation action downgraded to stale
+	// local data after a remote failure.
+	ServedStale bool
+	// AsOf is a conservative bound on the snapshot time of the data used:
+	// the minimum last-synchronized timestamp across the local sources that
+	// answered (query start time when everything came from the master).
+	// Zero only for statements that read nothing.
+	AsOf time.Time
+}
+
+// Query runs one SELECT outside any session (default options and actions).
+func (c *Cache) Query(sql string) (*QueryResult, error) {
+	return c.NewSession().Query(sql)
+}
+
+// Exec forwards a DML statement transparently to the back-end server (the
+// paper's step 5). DDL is rejected: cache contents are defined through
+// CreateView.
+func (c *Cache) Exec(sql string) (int, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch stmt.(type) {
+	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
+		return c.back.ExecStmt(stmt)
+	default:
+		return 0, fmt.Errorf("mtcache: only DML is forwarded; use the cache API for definitions")
+	}
+}
+
+// ViolationAction selects the session's behavior when a query's constraints
+// cannot be met because the remote fall-back failed (Section 1 lists the
+// options a system could take).
+type ViolationAction int
+
+// Violation actions.
+const (
+	// ActionError fails the query (default).
+	ActionError ViolationAction = iota
+	// ActionServeStale answers from local data regardless of currency,
+	// marking the result ServedStale.
+	ActionServeStale
+)
+
+// Session is one client session: it carries timeline-consistency state and
+// the violation action.
+type Session struct {
+	cache  *Cache
+	Action ViolationAction
+
+	mu          sync.Mutex
+	timeOrdered bool
+	floor       time.Time
+}
+
+// NewSession opens a session.
+func (c *Cache) NewSession() *Session { return &Session{cache: c} }
+
+// TimeOrdered reports whether the session is inside a TIMEORDERED bracket.
+func (s *Session) TimeOrdered() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timeOrdered
+}
+
+// Floor returns the current timeline-consistency floor.
+func (s *Session) Floor() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floor
+}
+
+// Execute runs any statement in the session: SELECTs are optimized and run
+// with C&C enforcement; DML forwards to the back end (returning an empty
+// result); BEGIN/END TIMEORDERED toggle timeline consistency.
+func (s *Session) Execute(sql string) (*QueryResult, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt := stmt.(type) {
+	case *sqlparser.BeginTimeOrderedStmt:
+		s.mu.Lock()
+		s.timeOrdered = true
+		s.floor = time.Time{}
+		s.mu.Unlock()
+		return &QueryResult{Result: &exec.Result{}}, nil
+	case *sqlparser.EndTimeOrderedStmt:
+		s.mu.Lock()
+		s.timeOrdered = false
+		s.floor = time.Time{}
+		s.mu.Unlock()
+		return &QueryResult{Result: &exec.Result{}}, nil
+	case *sqlparser.SelectStmt:
+		return s.query(stmt)
+	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
+		n, err := s.cache.back.ExecStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		_ = n
+		return &QueryResult{Result: &exec.Result{}}, nil
+	default:
+		return nil, fmt.Errorf("mtcache: unsupported statement in session")
+	}
+}
+
+// Query parses and runs one SELECT in the session.
+func (s *Session) Query(sql string) (*QueryResult, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.query(sel)
+}
+
+func (s *Session) query(sel *sqlparser.SelectStmt) (*QueryResult, error) {
+	opts := opt.Options{}
+	s.mu.Lock()
+	if s.timeOrdered {
+		opts.MinSync = s.floor
+	}
+	s.mu.Unlock()
+
+	// Plans for default options are cacheable: the currency guard re-takes
+	// the freshness decision at every execution. Timeline sessions carry a
+	// per-query MinSync floor baked into the guard, so they bypass the
+	// cache.
+	var plan *opt.Plan
+	var err error
+	cacheable := opts == (opt.Options{})
+	key := sqlparser.SelectSQL(sel)
+	if cacheable {
+		plan = s.cache.cachedPlan(key)
+	}
+	if plan == nil {
+		plan, _, err = s.cache.Plan(sel, opts)
+		if err != nil {
+			return nil, err
+		}
+		if cacheable {
+			s.cache.storePlan(key, plan)
+		}
+	} else {
+		// Re-instantiate a fresh operator tree from the cached plan.
+		root, buildErr := plan.Build()
+		if buildErr != nil {
+			return nil, buildErr
+		}
+		reused := *plan
+		reused.Root = root
+		reused.Setup = 0
+		plan = &reused
+	}
+	qr, err := s.run(plan)
+	if err != nil {
+		if s.Action == ActionServeStale && strings.Contains(err.Error(), "remote:") {
+			return s.serveStale(sel)
+		}
+		return nil, err
+	}
+	return qr, nil
+}
+
+// run executes a plan and updates the session's timeline floor from the
+// sources actually used.
+func (s *Session) run(plan *opt.Plan) (*QueryResult, error) {
+	now := s.cache.clock.Now()
+	res, err := exec.Run(plan.Root, &exec.EvalContext{Now: now}, plan.Setup)
+	if err != nil {
+		return nil, err
+	}
+	qr := &QueryResult{Result: res, Plan: plan}
+	observed := time.Time{} // newest source: the timeline floor
+	oldest := time.Time{}   // oldest source: the conservative AsOf
+	s.walkUsed(plan.Root, qr, &observed, &oldest, now)
+	qr.AsOf = oldest
+	s.mu.Lock()
+	if s.timeOrdered && observed.After(s.floor) {
+		s.floor = observed
+	}
+	s.mu.Unlock()
+	return qr, nil
+}
+
+// walkUsed visits the operators that actually executed (descending only
+// into chosen SwitchUnion branches) to collect guard outcomes and the
+// observed snapshot times.
+func (s *Session) walkUsed(op exec.Operator, qr *QueryResult, observed, oldest *time.Time, now time.Time) {
+	note := func(ts time.Time) {
+		if ts.After(*observed) {
+			*observed = ts
+		}
+		if oldest.IsZero() || ts.Before(*oldest) {
+			*oldest = ts
+		}
+	}
+	switch op := op.(type) {
+	case *exec.SwitchUnion:
+		if op.ChosenIndex == 0 {
+			qr.LocalViews = append(qr.LocalViews, op.Label)
+			if ts, ok := s.cache.LastSync(op.Region); ok {
+				note(ts)
+			}
+		}
+		s.walkUsed(op.Children[op.ChosenIndex], qr, observed, oldest, now)
+	case *exec.Remote:
+		qr.RemoteQueries++
+		note(now)
+	case *exec.Filter:
+		s.walkUsed(op.Child, qr, observed, oldest, now)
+	case *exec.Project:
+		s.walkUsed(op.Child, qr, observed, oldest, now)
+	case *exec.HashJoin:
+		s.walkUsed(op.Left, qr, observed, oldest, now)
+		s.walkUsed(op.Right, qr, observed, oldest, now)
+	case *exec.IndexLoopJoin:
+		s.walkUsed(op.Outer, qr, observed, oldest, now)
+	case *exec.MergeJoin:
+		s.walkUsed(op.Left, qr, observed, oldest, now)
+		s.walkUsed(op.Right, qr, observed, oldest, now)
+	case *exec.Sort:
+		s.walkUsed(op.Child, qr, observed, oldest, now)
+	case *exec.Limit:
+		s.walkUsed(op.Child, qr, observed, oldest, now)
+	case *exec.Distinct:
+		s.walkUsed(op.Child, qr, observed, oldest, now)
+	case *exec.Aggregate:
+		s.walkUsed(op.Child, qr, observed, oldest, now)
+	}
+}
+
+// serveStale is the ActionServeStale fall-back: answer from local views
+// without currency checking, flagging the result.
+func (s *Session) serveStale(sel *sqlparser.SelectStmt) (*QueryResult, error) {
+	plan, _, err := s.cache.Plan(sel, opt.Options{NoGuards: true, ForceLocal: true, IgnoreConstraints: true})
+	if err != nil {
+		return nil, fmt.Errorf("mtcache: remote unavailable and no local data: %w", err)
+	}
+	if !plan.UsesLocal {
+		return nil, fmt.Errorf("mtcache: remote unavailable and no matching local view")
+	}
+	qr, err := s.run(plan)
+	if err != nil {
+		return nil, err
+	}
+	qr.ServedStale = true
+	qr.AsOf = time.Time{} // staleness unknown: no guard vouched for it
+	return qr, nil
+}

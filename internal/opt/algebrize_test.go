@@ -1,0 +1,316 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/cc"
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+)
+
+// bookstoreCatalog builds the paper's Section 2 example schema.
+func bookstoreCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tables := []*catalog.Table{
+		{
+			Name: "Books",
+			Columns: []catalog.Column{
+				{Name: "isbn", Type: sqltypes.KindInt, NotNull: true},
+				{Name: "title", Type: sqltypes.KindString},
+				{Name: "price", Type: sqltypes.KindFloat},
+			},
+			PrimaryKey: []string{"isbn"},
+		},
+		{
+			Name: "Reviews",
+			Columns: []catalog.Column{
+				{Name: "review_id", Type: sqltypes.KindInt, NotNull: true},
+				{Name: "isbn", Type: sqltypes.KindInt, NotNull: true},
+				{Name: "rating", Type: sqltypes.KindInt},
+			},
+			PrimaryKey: []string{"review_id"},
+		},
+		{
+			Name: "Sales",
+			Columns: []catalog.Column{
+				{Name: "sale_id", Type: sqltypes.KindInt, NotNull: true},
+				{Name: "isbn", Type: sqltypes.KindInt, NotNull: true},
+				{Name: "year", Type: sqltypes.KindInt},
+			},
+			PrimaryKey: []string{"sale_id"},
+		},
+	}
+	for _, tb := range tables {
+		if err := cat.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func algebrize(t *testing.T, cat *catalog.Catalog, sql string) *Query {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Algebrize(sel, cat)
+	if err != nil {
+		t.Fatalf("algebrize %q: %v", sql, err)
+	}
+	return q
+}
+
+func TestAlgebrizeSimpleJoin(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title, R.rating
+		FROM Books B JOIN Reviews R ON B.isbn = R.isbn WHERE B.price > 10`)
+	if len(q.Leaves) != 2 {
+		t.Fatalf("leaves = %d", len(q.Leaves))
+	}
+	if len(q.Joins) != 1 || q.Joins[0].LeftCol != "isbn" {
+		t.Fatalf("joins = %+v", q.Joins)
+	}
+	b := q.Leaves[0]
+	if b.Binding != "B" || len(b.Preds) != 1 {
+		t.Fatalf("B leaf = %+v", b)
+	}
+	// Needed columns include join, output and predicate columns plus PK.
+	cols := strings.Join(b.Cols, ",")
+	if !strings.Contains(cols, "isbn") || !strings.Contains(cols, "title") || !strings.Contains(cols, "price") {
+		t.Fatalf("B cols = %v", b.Cols)
+	}
+}
+
+func TestAlgebrizeDefaultConstraint(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, "SELECT B.title FROM Books B, Reviews R WHERE B.isbn = R.isbn")
+	if q.HasCurrencyClause {
+		t.Fatal("no clause expected")
+	}
+	if len(q.Constraint.Classes) != 1 {
+		t.Fatalf("default constraint = %v", q.Constraint)
+	}
+	cl := q.Constraint.Classes[0]
+	if cl.Bound != 0 || len(cl.Set) != 2 {
+		t.Fatalf("default class = %+v", cl)
+	}
+}
+
+// TestAlgebrizeE1E2 covers Figure 2.1's E1/E2 clause semantics.
+func TestAlgebrizeE1E2(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+		CURRENCY 10 MIN ON (B, R)`)
+	if len(q.Constraint.Classes) != 1 || q.Constraint.Classes[0].Bound != 10*time.Minute {
+		t.Fatalf("E1 constraint = %v", q.Constraint)
+	}
+	q = algebrize(t, cat, `SELECT B.title FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+		CURRENCY 10 MIN ON (B), 30 MIN ON (R)`)
+	if len(q.Constraint.Classes) != 2 {
+		t.Fatalf("E2 constraint = %v", q.Constraint)
+	}
+}
+
+// TestAlgebrizeQ2DerivedTable covers Figure 2.2's Q2: the derived table's
+// constraint merges with the outer clause naming the derived alias,
+// producing the paper's "5 min (S, B, R)".
+func TestAlgebrizeQ2DerivedTable(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT T.title, S.year
+		FROM Sales S JOIN (
+			SELECT B.isbn, B.title FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+			CURRENCY 10 MIN ON (B, R)
+		) T ON S.isbn = T.isbn
+		CURRENCY 5 MIN ON (S, T)`)
+	if len(q.Leaves) != 3 {
+		t.Fatalf("leaves = %d", len(q.Leaves))
+	}
+	if len(q.Constraint.Classes) != 1 {
+		t.Fatalf("constraint = %v", q.Constraint)
+	}
+	cl := q.Constraint.Classes[0]
+	if cl.Bound != 5*time.Minute || len(cl.Set) != 3 {
+		t.Fatalf("normalized class = %+v, want 5 min on {S,B,R}", cl)
+	}
+}
+
+// TestAlgebrizeQ3Exists covers Figure 2.2's Q3: an EXISTS subquery whose
+// currency clause references the outer table B, merging S and B (and
+// transitively R) into one class.
+func TestAlgebrizeQ3Exists(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+		WHERE EXISTS (SELECT 1 FROM Sales S WHERE S.isbn = B.isbn AND S.year = 2003
+			CURRENCY 10 MIN ON (S, B))
+		CURRENCY 10 MIN ON (B, R)`)
+	if len(q.Leaves) != 3 {
+		t.Fatalf("leaves = %d", len(q.Leaves))
+	}
+	var semi *Leaf
+	for _, l := range q.Leaves {
+		if l.Join == exec.JoinSemi {
+			semi = l
+		}
+	}
+	if semi == nil || semi.Binding != "S" {
+		t.Fatal("Sales should be a semi-join leaf")
+	}
+	if len(semi.Preds) != 1 {
+		t.Fatalf("S preds = %v", semi.Preds)
+	}
+	// B, R, S must form a single consistency class.
+	if len(q.Constraint.Classes) != 1 || len(q.Constraint.Classes[0].Set) != 3 {
+		t.Fatalf("constraint = %v", q.Constraint)
+	}
+}
+
+func TestAlgebrizeInSubquery(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title FROM Books B
+		WHERE B.isbn IN (SELECT S.isbn FROM Sales S WHERE S.year = 2003)`)
+	if len(q.Leaves) != 2 || q.Leaves[1].Join != exec.JoinSemi {
+		t.Fatalf("leaves = %+v", q.Leaves)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("IN should add a join edge: %+v", q.Joins)
+	}
+	// NOT IN -> anti join.
+	q = algebrize(t, cat, `SELECT B.title FROM Books B
+		WHERE B.isbn NOT IN (SELECT S.isbn FROM Sales S)`)
+	if q.Leaves[1].Join != exec.JoinAnti {
+		t.Fatal("NOT IN should be an anti join")
+	}
+}
+
+func TestAlgebrizeUnmentionedInstanceGetsTightDefault(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+		CURRENCY 10 MIN ON (B)`)
+	// R is unmentioned: it gets its own bound-0 class.
+	if len(q.Constraint.Classes) != 2 {
+		t.Fatalf("constraint = %v", q.Constraint)
+	}
+	var rBound time.Duration = -1
+	for _, l := range q.Leaves {
+		if l.Binding == "R" {
+			rBound, _ = q.Constraint.BoundFor(l.ID)
+		}
+	}
+	if rBound != 0 {
+		t.Fatalf("R bound = %v, want 0", rBound)
+	}
+}
+
+func TestAlgebrizeByColumns(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+		CURRENCY 10 MIN ON (B), 30 MIN ON (R) BY R.isbn`)
+	found := false
+	for _, cl := range q.Constraint.Classes {
+		if len(cl.By) == 1 && cl.By[0] == "R.isbn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("BY column lost: %v", q.Constraint)
+	}
+}
+
+func TestAlgebrizeAggregates(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT R.isbn, COUNT(*) AS n, AVG(R.rating) AS avg_r
+		FROM Reviews R GROUP BY R.isbn HAVING COUNT(*) > 2 ORDER BY n DESC`)
+	if len(q.Aggs) != 2 {
+		t.Fatalf("aggs = %+v", q.Aggs)
+	}
+	// HAVING's COUNT(*) must reuse the projection's aggregate.
+	havingRef, ok := q.Having.(*sqlparser.BinaryExpr)
+	if !ok {
+		t.Fatal("having")
+	}
+	if ref, ok := havingRef.Left.(*sqlparser.ColumnRef); !ok || ref.Table != aggBinding {
+		t.Fatalf("having not rewritten: %s", q.Having.SQL())
+	}
+	// ORDER BY alias resolves to the aggregate reference.
+	if ref, ok := q.OrderBy[0].Expr.(*sqlparser.ColumnRef); !ok || ref.Table != aggBinding {
+		t.Fatalf("order by = %s", q.OrderBy[0].Expr.SQL())
+	}
+}
+
+func TestAlgebrizeErrors(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	bad := []string{
+		"SELECT * FROM Nope",
+		"SELECT nope FROM Books",
+		"SELECT isbn FROM Books B, Reviews R",            // ambiguous
+		"SELECT B.title FROM Books B CURRENCY 10 ON (Z)", // unknown table in clause
+		"SELECT B.title FROM Books B WHERE EXISTS (SELECT 1 FROM Sales S, Books B2)",                               // multi-table EXISTS
+		"SELECT B.title FROM Books B GROUP BY B.isbn",                                                              // title not grouped
+		"SELECT B.title, B.isbn FROM Books B, Books B2 WHERE B.isbn = B2.isbn AND B.isbn = B.isbn GROUP BY B.isbn", // dup binding? no...
+	}
+	// The last case actually exercises duplicate bindings differently:
+	bad[6] = "SELECT B.title FROM Books B, Reviews B WHERE B.isbn = 1"
+	for _, sql := range bad {
+		sel, err := sqlparser.ParseSelect(sql)
+		if err != nil {
+			continue // parse-level rejection also counts
+		}
+		if _, err := Algebrize(sel, cat); err == nil {
+			t.Errorf("algebrize %q: expected error", sql)
+		}
+	}
+}
+
+func TestTransitivePredInference(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT R.rating FROM Books B JOIN Reviews R ON B.isbn = R.isbn
+		WHERE B.isbn = 42`)
+	inferTransitivePreds(q)
+	var r *Leaf
+	for _, l := range q.Leaves {
+		if l.Binding == "R" {
+			r = l
+		}
+	}
+	found := false
+	for _, p := range r.Preds {
+		if p.SQL() == "(R.isbn = 42)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("transitive pred missing: %v", exprSQLs(r.Preds))
+	}
+	// Idempotent: re-running must not duplicate.
+	n := len(r.Preds)
+	inferTransitivePreds(q)
+	if len(r.Preds) != n {
+		t.Fatal("transitive inference not idempotent")
+	}
+}
+
+func exprSQLs(es []sqlparser.Expr) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.SQL()
+	}
+	return out
+}
+
+func TestConstraintInstancesHelper(t *testing.T) {
+	cat := bookstoreCatalog(t)
+	q := algebrize(t, cat, `SELECT B.title FROM Books B CURRENCY 10 ON (B)`)
+	ids := q.Constraint.Instances()
+	if len(ids) != 1 || q.Leaf(ids[0]) == nil {
+		t.Fatalf("instances = %v", ids)
+	}
+	if q.Leaf(cc.InstanceID(99)) != nil {
+		t.Fatal("Leaf(99)")
+	}
+}

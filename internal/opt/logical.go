@@ -1,0 +1,205 @@
+// Package opt is the cost-based query optimizer shared by the back-end
+// server and the cache DBMS (MTCache). It implements the paper's key
+// machinery (Section 3.2):
+//
+//   - an algebrizer that resolves names, flattens SPJ derived tables,
+//     rewrites EXISTS/IN subqueries into semi/anti joins, and normalizes the
+//     query's currency clauses into a cc.Constraint (the *required
+//     consistency property*);
+//   - view matching in the spirit of [GL01] restricted to the prototype's
+//     view class (selections/projections of one table);
+//   - compile-time consistency checking: delivered consistency properties
+//     are computed bottom-up and plans violating the required property are
+//     discarded as early as possible;
+//   - run-time currency checking: local view access is wrapped in a
+//     SwitchUnion whose currency guard consults the region's local heartbeat;
+//   - a cost model including the guarded-plan formula
+//     c = p*c_local + (1-p)*c_remote + c_guard with p = clamp((B-d)/f, 0, 1).
+//
+// The same planner serves both sites: at the back end every table is local,
+// there is no remote fall-back and constraints are trivially satisfied (the
+// master is always current); at the cache, base tables are empty shadows and
+// data lives in materialized views plus the remote server.
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/cc"
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+	"relaxedcc/internal/vclock"
+)
+
+// RemoteExecutor ships a SQL query to the back-end server. The cache's
+// remote link implements it; it is nil at the back end itself.
+type RemoteExecutor interface {
+	// Query executes sql at the back end and returns all result rows.
+	Query(sql string) ([]sqltypes.Row, error)
+}
+
+// RegionClock reports replica freshness for currency guards: the timestamp
+// in the region's local heartbeat table (Section 3.1).
+type RegionClock interface {
+	// LastSync returns the latest heartbeat timestamp replicated into the
+	// region, and false if the region has never synchronized.
+	LastSync(regionID int) (time.Time, bool)
+}
+
+// Site describes the server a query is being planned for.
+type Site struct {
+	// Cat is the site's catalog: at the cache, the shadow catalog whose
+	// statistics describe the back-end data.
+	Cat *catalog.Catalog
+	// LocalTable returns local row storage for a base table, or nil. At the
+	// back end every table is local; at the cache base tables are empty
+	// shadows (nil).
+	LocalTable func(name string) *storage.Table
+	// LocalView returns local row storage for a materialized view, or nil.
+	LocalView func(name string) *storage.Table
+	// Remote is the link to the back end (nil at the back end).
+	Remote RemoteExecutor
+	// Regions reports replica freshness (nil at the back end).
+	Regions RegionClock
+	// Heartbeat is the cache's local heartbeat table (one row per region:
+	// cid, ts), read by currency guards exactly as the paper's predicate
+	// EXISTS(SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() - B).
+	// Nil at the back end.
+	Heartbeat *storage.Table
+	// Clock is the site's time source.
+	Clock vclock.Clock
+}
+
+// IsBackend reports whether the site is the master (no remote fall-back).
+func (s *Site) IsBackend() bool { return s.Remote == nil }
+
+// Options tunes planning per query.
+type Options struct {
+	// MinSync is the timeline-consistency floor (Section 2.3): local data
+	// may only be used if its region has synchronized at or past this time.
+	// Zero means no floor.
+	MinSync time.Time
+	// NoGuards disables currency guards (ablation): local views are used
+	// unguarded whenever consistency allows. Not used in normal operation.
+	NoGuards bool
+	// ForceLocal disables cost-based remote/local choice (ablation): any
+	// local view that satisfies the constraints is used even if a remote
+	// plan is cheaper.
+	ForceLocal bool
+	// IgnoreConstraints skips compile-time consistency checking entirely
+	// (used by the serve-stale violation action and by ablations).
+	IgnoreConstraints bool
+	// NoViews hides all materialized views from the planner, yielding the
+	// traditional remote-only plan (the paper's unguarded remote baseline).
+	NoViews bool
+}
+
+// Leaf is one base-table instance in the flattened query: the unit of
+// access-path selection and of C&C constraint tracking.
+type Leaf struct {
+	ID      cc.InstanceID
+	Table   *catalog.Table
+	Binding string // alias the instance is known by in the query
+	// Preds are single-table conjuncts on this instance (pushed down).
+	Preds []sqlparser.Expr
+	// Join describes how the leaf enters the join tree: inner for plain
+	// FROM entries, semi/anti for EXISTS/NOT EXISTS subqueries.
+	Join exec.JoinKind
+	// Cols are the table columns the query needs from this instance.
+	Cols []string
+}
+
+// JoinPred is an equi-join conjunct between two leaves.
+type JoinPred struct {
+	LeftLeaf, RightLeaf cc.InstanceID
+	LeftCol, RightCol   string // bare column names on the respective leaves
+	Expr                sqlparser.Expr
+}
+
+// AggItem is one aggregate computation discovered in the projection or
+// HAVING clause.
+type AggItem struct {
+	Func string
+	Arg  sqlparser.Expr // nil for COUNT(*)
+	Star bool
+	// Ref is the rewritten column reference standing for this aggregate in
+	// post-aggregation expressions.
+	Ref *sqlparser.ColumnRef
+}
+
+// Query is the algebrized (logical) form of a SELECT: flat join graph plus
+// finishing steps.
+type Query struct {
+	Stmt   *sqlparser.SelectStmt // bound original statement (for remote SQL)
+	Leaves []*Leaf
+	Joins  []JoinPred
+	// Residual conjuncts reference multiple leaves non-equi (evaluated on
+	// the join output).
+	Residual []sqlparser.Expr
+	// Constraint is the normalized required consistency property.
+	Constraint cc.Constraint
+	// HasCurrencyClause records whether any block had an explicit clause;
+	// without one the Constraint is the tight default.
+	HasCurrencyClause bool
+
+	// Finishing steps.
+	Items    []sqlparser.SelectItem
+	GroupBy  []sqlparser.Expr
+	Aggs     []AggItem
+	Having   sqlparser.Expr
+	OrderBy  []sqlparser.OrderItem
+	Top      int64
+	Distinct bool
+}
+
+// Leaf returns the leaf with the given instance id, or nil.
+func (q *Query) Leaf(id cc.InstanceID) *Leaf {
+	for _, l := range q.Leaves {
+		if l.ID == id {
+			return l
+		}
+	}
+	return nil
+}
+
+func (q *Query) binding(id cc.InstanceID) string {
+	if l := q.Leaf(id); l != nil {
+		return l.Binding
+	}
+	return fmt.Sprintf("?%d", id)
+}
+
+// Plan is a complete physical plan with its metadata.
+type Plan struct {
+	Root exec.Operator
+	// Build re-instantiates a fresh executable tree from the plan — the
+	// "setup" phase the paper profiles in Table 4.5. Root is the first
+	// instantiation.
+	Build func() (exec.Operator, error)
+	// Cost is the estimated cost in abstract milliseconds.
+	Cost float64
+	// Delivered is the plan's delivered consistency property.
+	Delivered cc.Delivered
+	// Shape describes the plan for diagnostics and experiments, e.g.
+	// "Remote(q)" or "HashJoin(Guard(cust_prj), Remote(Orders))".
+	Shape string
+	// UsesLocal reports whether any local view appears in the plan.
+	UsesLocal bool
+	// Guards counts SwitchUnion currency guards in the plan.
+	Guards int
+	// LocalLeaves and RemoteLeaves count base-table accesses by kind (a
+	// guarded view access counts as local).
+	LocalLeaves  int
+	RemoteLeaves int
+	// Setup is how long optimization + operator construction took.
+	Setup time.Duration
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	return fmt.Sprintf("%s cost=%.3f guards=%d", p.Shape, p.Cost, p.Guards)
+}

@@ -1,0 +1,1673 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/cc"
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+)
+
+// Planner builds physical plans for one site.
+type Planner struct {
+	Site *Site
+	Opts Options
+}
+
+// NewPlanner returns a planner with default options.
+func NewPlanner(site *Site) *Planner { return &Planner{Site: site} }
+
+// skipConsistency reports whether compile-time consistency checking is
+// disabled: always at the back end (the master is current and consistent),
+// or explicitly via options.
+func (p *Planner) skipConsistency() bool {
+	return p.Site.IsBackend() || p.Opts.IgnoreConstraints
+}
+
+// keepPerState bounds how many candidates with distinct delivered
+// consistency properties are retained per join-order DP state.
+const keepPerState = 3
+
+// PlanSelect algebrizes and plans a SELECT, returning the chosen plan and
+// the logical query (for inspection by tests and the experiment harness).
+func (p *Planner) PlanSelect(sel *sqlparser.SelectStmt) (*Plan, *Query, error) {
+	start := time.Now()
+	q, err := Algebrize(sel, p.Site.Cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	inferTransitivePreds(q)
+	plan, err := p.planQuery(q)
+	if err != nil {
+		return nil, q, err
+	}
+	plan.Setup = time.Since(start)
+	return plan, q, nil
+}
+
+// cand is a partial or complete physical plan candidate. build must return a
+// fresh operator tree on every call (SwitchUnion branches need independent
+// trees).
+type cand struct {
+	build     func() (exec.Operator, error)
+	schema    *exec.Schema
+	cost      float64
+	rows      float64
+	delivered cc.Delivered
+	shape     string
+	usesLocal bool
+	guards    int
+	// localLeaves / remoteLeaves count how the plan accesses its base-table
+	// instances (a guarded view access counts as local).
+	localLeaves, remoteLeaves int
+	// order lists the qualified columns ("binding.col") the output is
+	// sorted ascending by, or nil if unordered. Enables merge joins.
+	order []string
+}
+
+func (p *Planner) planQuery(q *Query) (*Plan, error) {
+	// Split residual conjuncts: those touching semi/anti leaves must be
+	// evaluated inside the corresponding join; the rest filter at the top.
+	semiResiduals, innerResiduals, err := splitResiduals(q)
+	if err != nil {
+		return nil, err
+	}
+
+	var finals []*cand
+	joinCands, err := p.enumerateJoins(q, semiResiduals)
+	if err != nil {
+		return nil, err
+	}
+	for _, jc := range joinCands {
+		fc, err := p.finish(q, jc, innerResiduals)
+		if err != nil {
+			return nil, err
+		}
+		finals = append(finals, fc)
+	}
+	// The ship-everything remote plan (the paper's plan 1).
+	if !p.Site.IsBackend() {
+		finals = append(finals, p.wholeRemoteCand(q))
+	}
+	// Keep only plans whose delivered consistency satisfies the required
+	// property (compile-time consistency checking). The back end is the
+	// master: everything it produces is current and consistent.
+	var valid []*cand
+	for _, f := range finals {
+		if p.skipConsistency() || f.delivered.Satisfies(q.Constraint) {
+			valid = append(valid, f)
+		}
+	}
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("opt: no plan satisfies consistency constraint %v", q.Constraint)
+	}
+	best := valid[0]
+	for _, f := range valid[1:] {
+		if p.Opts.ForceLocal && f.usesLocal != best.usesLocal {
+			if f.usesLocal {
+				best = f
+			}
+			continue
+		}
+		if f.cost < best.cost {
+			best = f
+		}
+	}
+	root, err := best.build()
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Root:         root,
+		Build:        best.build,
+		Cost:         best.cost,
+		Delivered:    best.delivered,
+		Shape:        best.shape,
+		UsesLocal:    best.usesLocal,
+		Guards:       best.guards,
+		LocalLeaves:  best.localLeaves,
+		RemoteLeaves: best.remoteLeaves,
+	}, nil
+}
+
+// splitResiduals classifies multi-leaf non-equi conjuncts.
+func splitResiduals(q *Query) (map[cc.InstanceID][]sqlparser.Expr, []sqlparser.Expr, error) {
+	semi := map[cc.InstanceID][]sqlparser.Expr{}
+	var inner []sqlparser.Expr
+	for _, r := range q.Residual {
+		var touchesSemi *Leaf
+		for _, l := range q.Leaves {
+			if l.Join != exec.JoinInner && exprTouches(r, l.Binding) {
+				if touchesSemi != nil {
+					return nil, nil, fmt.Errorf("opt: predicate spans two EXISTS subqueries")
+				}
+				touchesSemi = l
+			}
+		}
+		if touchesSemi != nil {
+			semi[touchesSemi.ID] = append(semi[touchesSemi.ID], r)
+		} else {
+			inner = append(inner, r)
+		}
+	}
+	return semi, inner, nil
+}
+
+func exprTouches(e sqlparser.Expr, binding string) bool {
+	found := false
+	var walk func(e sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		switch e := e.(type) {
+		case *sqlparser.ColumnRef:
+			if e.Table == binding {
+				found = true
+			}
+		case *sqlparser.BinaryExpr:
+			walk(e.Left)
+			walk(e.Right)
+		case *sqlparser.NotExpr:
+			walk(e.Inner)
+		case *sqlparser.NegExpr:
+			walk(e.Inner)
+		case *sqlparser.BetweenExpr:
+			walk(e.Expr)
+			walk(e.Lo)
+			walk(e.Hi)
+		case *sqlparser.InExpr:
+			walk(e.Expr)
+			for _, it := range e.List {
+				walk(it)
+			}
+		case *sqlparser.IsNullExpr:
+			walk(e.Expr)
+		case *sqlparser.FuncExpr:
+			for _, a := range e.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return found
+}
+
+// inferTransitivePreds propagates equality-with-literal predicates across
+// equi-join edges (e.g. C.c_custkey = $K and C.c_custkey = O.o_custkey
+// implies O.o_custkey = $K), which makes per-leaf remote fetches selective.
+func inferTransitivePreds(q *Query) {
+	for pass := 0; pass < 2; pass++ {
+		for _, j := range q.Joins {
+			l, r := q.Leaf(j.LeftLeaf), q.Leaf(j.RightLeaf)
+			copyEqLiteral(l, j.LeftCol, r, j.RightCol)
+			copyEqLiteral(r, j.RightCol, l, j.LeftCol)
+		}
+	}
+}
+
+func copyEqLiteral(from *Leaf, fromCol string, to *Leaf, toCol string) {
+	for _, pred := range from.Preds {
+		be, ok := pred.(*sqlparser.BinaryExpr)
+		if !ok || be.Op != sqlparser.OpEQ {
+			continue
+		}
+		col, lit, op := normalizeCompare(be)
+		if op != sqlparser.OpEQ || col != fromCol {
+			continue
+		}
+		newPred := &sqlparser.BinaryExpr{
+			Op:   sqlparser.OpEQ,
+			Left: &sqlparser.ColumnRef{Table: to.Binding, Column: toCol},
+			Right: &sqlparser.Literal{
+				Val: lit,
+			},
+		}
+		dup := false
+		for _, existing := range to.Preds {
+			if existing.SQL() == newPred.SQL() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			to.Preds = append(to.Preds, newPred)
+		}
+	}
+}
+
+// ---- leaf access ----
+
+// leafSchema is the canonical output schema of any access path for a leaf:
+// exactly the needed columns, bound to the leaf's binding.
+func leafSchema(leaf *Leaf) *exec.Schema {
+	cols := make([]exec.Col, len(leaf.Cols))
+	for i, name := range leaf.Cols {
+		cols[i] = exec.Col{Binding: leaf.Binding, Name: name, Kind: leaf.Table.Column(name).Type}
+	}
+	return exec.NewSchema(cols...)
+}
+
+// storedSchema is the schema of rows as stored in a table or view.
+func storedSchema(def *catalog.Table, binding string) *exec.Schema {
+	cols := make([]exec.Col, len(def.Columns))
+	for i, c := range def.Columns {
+		cols[i] = exec.Col{Binding: binding, Name: c.Name, Kind: c.Type}
+	}
+	return exec.NewSchema(cols...)
+}
+
+// accessPath describes how to drive a stored table for a leaf's predicates.
+type accessPath struct {
+	index     string
+	lo, hi    storage.Bound
+	residual  []sqlparser.Expr // predicates not absorbed by the range
+	cost      float64
+	usedIndex bool
+}
+
+// chooseAccessPath picks the best index for the leaf's predicates against
+// the given stored definition (a base table at the back end, or a
+// materialized view at the cache).
+func chooseAccessPath(def *catalog.Table, stats *catalog.TableStats, preds []sqlparser.Expr, outRows float64) accessPath {
+	total := float64(stats.Rows())
+	best := accessPath{residual: preds, cost: total*costScanRow + outRows*costRow}
+	for _, idx := range def.Indexes {
+		lo, hi, used, residual := boundsForIndex(idx, preds)
+		if !used {
+			continue
+		}
+		sel := 1.0
+		for _, p := range preds {
+			if !containsExpr(residual, p) {
+				sel *= selectivity(stats, p)
+			}
+		}
+		touched := total * sel
+		c := costSeek + touched*costScanRow + outRows*costRow
+		if !idx.Clustered {
+			c += touched * costSeek * 0.1
+		}
+		if c < best.cost {
+			best = accessPath{index: idx.Name, lo: lo, hi: hi, residual: residual, cost: c, usedIndex: true}
+		}
+	}
+	return best
+}
+
+func containsExpr(list []sqlparser.Expr, e sqlparser.Expr) bool {
+	for _, x := range list {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// boundsForIndex derives a key range on the index's leading column from the
+// predicates. used=false if no predicate constrains the leading column.
+func boundsForIndex(idx *catalog.Index, preds []sqlparser.Expr) (lo, hi storage.Bound, used bool, residual []sqlparser.Expr) {
+	lead := idx.Columns[0]
+	var loV, hiV sqltypes.Value
+	loIncl, hiIncl := true, true
+	haveLo, haveHi := false, false
+	for _, p := range preds {
+		absorbed := false
+		switch e := p.(type) {
+		case *sqlparser.BinaryExpr:
+			col, lit, op := normalizeCompare(e)
+			if col == lead && !lit.IsNull() {
+				switch op {
+				case sqlparser.OpEQ:
+					loV, hiV, haveLo, haveHi = lit, lit, true, true
+					loIncl, hiIncl = true, true
+					absorbed = true
+				case sqlparser.OpGT:
+					if !haveLo || lit.Compare(loV) >= 0 {
+						loV, loIncl, haveLo = lit, false, true
+					}
+					absorbed = true
+				case sqlparser.OpGE:
+					if !haveLo || lit.Compare(loV) > 0 {
+						loV, loIncl, haveLo = lit, true, true
+					}
+					absorbed = true
+				case sqlparser.OpLT:
+					if !haveHi || lit.Compare(hiV) <= 0 {
+						hiV, hiIncl, haveHi = lit, false, true
+					}
+					absorbed = true
+				case sqlparser.OpLE:
+					if !haveHi || lit.Compare(hiV) < 0 {
+						hiV, hiIncl, haveHi = lit, true, true
+					}
+					absorbed = true
+				}
+			}
+		case *sqlparser.BetweenExpr:
+			if !e.Not && columnOf(e.Expr) == lead {
+				loLit, okLo := literalOf(e.Lo)
+				hiLit, okHi := literalOf(e.Hi)
+				if okLo && okHi {
+					if !haveLo || loLit.Compare(loV) > 0 {
+						loV, loIncl, haveLo = loLit, true, true
+					}
+					if !haveHi || hiLit.Compare(hiV) < 0 {
+						hiV, hiIncl, haveHi = hiLit, true, true
+					}
+					absorbed = true
+				}
+			}
+		}
+		if !absorbed {
+			residual = append(residual, p)
+		}
+	}
+	if !haveLo && !haveHi {
+		return storage.Bound{}, storage.Bound{}, false, preds
+	}
+	if haveLo {
+		lo = storage.Bound{Vals: sqltypes.Row{loV}, Inclusive: loIncl}
+	}
+	if haveHi {
+		hi = storage.Bound{Vals: sqltypes.Row{hiV}, Inclusive: hiIncl}
+	}
+	return lo, hi, true, residual
+}
+
+// buildStoredAccess constructs the operator for scanning a stored object and
+// projecting to the leaf schema.
+func buildStoredAccess(tbl *storage.Table, binding string, path accessPath, leaf *Leaf) (exec.Operator, error) {
+	full := storedSchema(tbl.Def(), binding)
+	scan := exec.NewScan(tbl, full)
+	scan.Index = path.index
+	scan.Lo, scan.Hi = path.lo, path.hi
+	if len(path.residual) > 0 {
+		pred, err := exec.Compile(andAll(path.residual), full)
+		if err != nil {
+			return nil, err
+		}
+		scan.Filter = pred
+	}
+	return projectTo(scan, leafSchema(leaf))
+}
+
+// projectTo narrows an operator's output to the target schema by column
+// lookup.
+func projectTo(child exec.Operator, target *exec.Schema) (exec.Operator, error) {
+	src := child.Schema()
+	// If the schemas already line up, skip the projection.
+	if len(src.Cols) == len(target.Cols) {
+		same := true
+		for i := range src.Cols {
+			if src.Cols[i] != target.Cols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return child, nil
+		}
+	}
+	exprs := make([]exec.Compiled, len(target.Cols))
+	for i, c := range target.Cols {
+		idx := src.Lookup(c.Binding, c.Name)
+		if idx < 0 {
+			return nil, exec.ErrNoColumn(c.Binding, c.Name)
+		}
+		ord := idx
+		exprs[i] = func(_ *exec.EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
+			return row[ord], nil
+		}
+	}
+	return &exec.Project{Child: child, Exprs: exprs, Out: target}, nil
+}
+
+func andAll(preds []sqlparser.Expr) sqlparser.Expr {
+	var out sqlparser.Expr
+	for _, p := range preds {
+		if out == nil {
+			out = p
+		} else {
+			out = &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, Left: out, Right: p}
+		}
+	}
+	return out
+}
+
+// accessOrder derives the output ordering of a stored access path: the
+// driving index's key columns (the clustered PK for sequential scans),
+// qualified by the leaf binding and truncated at the first column the leaf
+// does not fetch.
+func accessOrder(def *catalog.Table, path accessPath, leaf *Leaf) []string {
+	var cols []string
+	if path.index == "" {
+		cols = def.PrimaryKey
+	} else {
+		for _, idx := range def.Indexes {
+			if idx.Name == path.index {
+				cols = idx.Columns
+			}
+		}
+	}
+	var out []string
+	for _, c := range cols {
+		found := false
+		for _, have := range leaf.Cols {
+			if have == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		out = append(out, leaf.Binding+"."+c)
+	}
+	return out
+}
+
+// leafCandidates returns the access-path candidates for one leaf.
+func (p *Planner) leafCandidates(q *Query, leaf *Leaf) ([]*cand, error) {
+	outRows := leafRows(leaf)
+	schema := leafSchema(leaf)
+	var cands []*cand
+
+	if tbl := p.Site.LocalTable(leaf.Table.Name); tbl != nil {
+		// Base table stored locally (the back end).
+		path := chooseAccessPath(tbl.Def(), leaf.Table.Stats, leaf.Preds, outRows)
+		cands = append(cands, &cand{
+			build:       func() (exec.Operator, error) { return buildStoredAccess(tbl, leaf.Binding, path, leaf) },
+			schema:      schema,
+			cost:        path.cost,
+			rows:        outRows,
+			delivered:   cc.DeliverScan(catalog.MasterRegionID, leaf.ID),
+			shape:       fmt.Sprintf("Scan(%s)", leaf.Table.Name),
+			localLeaves: 1,
+			order:       accessOrder(tbl.Def(), path, leaf),
+		})
+		return cands, nil
+	}
+	if p.Site.IsBackend() {
+		return nil, fmt.Errorf("opt: back end has no storage for table %s", leaf.Table.Name)
+	}
+
+	// Remote fetch candidate.
+	remote := p.remoteLeafCand(leaf, schema)
+	cands = append(cands, remote)
+
+	if p.Opts.NoViews {
+		return cands, nil
+	}
+	// Matching materialized views, each wrapped in a currency guard.
+	for _, view := range p.Site.Cat.ViewsOf(leaf.Table.Name) {
+		vc, ok, err := p.viewCand(q, leaf, view, remote, schema)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cands = append(cands, vc)
+		}
+	}
+	return cands, nil
+}
+
+func (p *Planner) remoteLeafCand(leaf *Leaf, schema *exec.Schema) *cand {
+	sql := leafFetchSQL(leaf)
+	remoteExec := p.Site.Remote
+	return &cand{
+		build: func() (exec.Operator, error) {
+			return &exec.Remote{
+				SQL: sql,
+				Out: schema,
+				Fetch: func(*exec.EvalContext) ([]sqltypes.Row, error) {
+					return remoteExec.Query(sql)
+				},
+			}, nil
+		},
+		schema:       schema,
+		cost:         remoteFetchCost(leaf),
+		rows:         leafRows(leaf),
+		delivered:    cc.DeliverScan(catalog.MasterRegionID, leaf.ID),
+		shape:        fmt.Sprintf("Remote(%s)", leaf.Table.Name),
+		remoteLeaves: 1,
+	}
+}
+
+// viewCand builds the guarded local-view candidate for a leaf, if the view
+// matches and compile-time pruning does not rule it out.
+func (p *Planner) viewCand(q *Query, leaf *Leaf, view *catalog.View, remote *cand, schema *exec.Schema) (*cand, bool, error) {
+	if !viewMatches(view, leaf) {
+		return nil, false, nil
+	}
+	vtbl := p.Site.LocalView(view.Name)
+	if vtbl == nil {
+		return nil, false, nil
+	}
+	region := p.Site.Cat.Region(view.RegionID)
+	if region == nil {
+		return nil, false, nil
+	}
+	bound, constrained := q.Constraint.BoundFor(leaf.ID)
+	if !constrained {
+		bound = time.Duration(math.MaxInt64) // unconstrained: always fresh enough
+	}
+	if !p.Opts.NoGuards && bound < region.MinCurrency() {
+		// The region can never deliver data this fresh: discard at compile
+		// time (the paper's "simple optimization").
+		return nil, false, nil
+	}
+	outRows := leafRows(leaf)
+	path := chooseAccessPath(vtbl.Def(), leaf.Table.Stats, leaf.Preds, outRows)
+	localBuild := func() (exec.Operator, error) {
+		return buildStoredAccess(vtbl, leaf.Binding, path, leaf)
+	}
+	if p.Opts.NoGuards {
+		return &cand{
+			build:       localBuild,
+			schema:      schema,
+			cost:        path.cost,
+			rows:        outRows,
+			delivered:   cc.DeliverScan(view.RegionID, leaf.ID),
+			shape:       fmt.Sprintf("View(%s)", view.Name),
+			usesLocal:   true,
+			localLeaves: 1,
+		}, true, nil
+	}
+	guard := p.currencyGuard(view.RegionID, bound)
+	label := fmt.Sprintf("Guard(%s|%s)", view.Name, remote.shape)
+	remoteBuild := remote.build
+	c := &cand{
+		build: func() (exec.Operator, error) {
+			local, err := localBuild()
+			if err != nil {
+				return nil, err
+			}
+			rem, err := remoteBuild()
+			if err != nil {
+				return nil, err
+			}
+			return &exec.SwitchUnion{Children: []exec.Operator{local, rem}, Selector: guard, Label: label, Region: view.RegionID}, nil
+		},
+		schema: schema,
+		rows:   outRows,
+		delivered: cc.SwitchUnion(
+			cc.DeliverScan(view.RegionID, leaf.ID),
+			cc.DeliverScan(catalog.MasterRegionID, leaf.ID),
+		),
+		shape:       label,
+		usesLocal:   true,
+		guards:      1,
+		localLeaves: 1,
+	}
+	prob := cc.LocalProbability(bound, region.UpdateDelay, region.UpdateInterval)
+	if !constrained {
+		prob = 1
+	}
+	c.cost = prob*path.cost + (1-prob)*remote.cost + costGuard
+	return c, true, nil
+}
+
+// viewMatches implements the prototype's view-matching test: the view is a
+// selection/projection of the leaf's table covering all needed columns, and
+// the view's predicate is implied by the leaf's predicates (so the view
+// contains every row the leaf needs).
+func viewMatches(view *catalog.View, leaf *Leaf) bool {
+	if view.BaseTable != leaf.Table.Name {
+		return false
+	}
+	for _, col := range leaf.Cols {
+		if view.ColumnIndex(col) < 0 {
+			return false
+		}
+	}
+	for _, vp := range view.Preds {
+		if !predImplied(vp, leaf.Preds) {
+			return false
+		}
+	}
+	return true
+}
+
+// predImplied reports whether some leaf predicate implies the view
+// predicate (conservatively).
+func predImplied(vp catalog.SimplePred, preds []sqlparser.Expr) bool {
+	for _, p := range preds {
+		be, ok := p.(*sqlparser.BinaryExpr)
+		if !ok {
+			// A BETWEEN implies a one-sided view predicate through the
+			// relevant end alone.
+			if bt, ok := p.(*sqlparser.BetweenExpr); ok && !bt.Not && columnOf(bt.Expr) == vp.Column {
+				lo, okLo := literalOf(bt.Lo)
+				hi, okHi := literalOf(bt.Hi)
+				if okLo && okHi {
+					switch vp.Op {
+					case catalog.OpGT, catalog.OpGE:
+						if rangeImplies(lo, sqlparser.OpGE, vp) {
+							return true
+						}
+					case catalog.OpLT, catalog.OpLE:
+						if rangeImplies(hi, sqlparser.OpLE, vp) {
+							return true
+						}
+					case catalog.OpEQ:
+						if lo.Compare(vp.Value) == 0 && hi.Compare(vp.Value) == 0 {
+							return true
+						}
+					}
+				}
+			}
+			continue
+		}
+		col, lit, op := normalizeCompare(be)
+		if col != vp.Column || lit.IsNull() {
+			continue
+		}
+		switch vp.Op {
+		case catalog.OpEQ:
+			if op == sqlparser.OpEQ && lit.Compare(vp.Value) == 0 {
+				return true
+			}
+		default:
+			if rangeImplies(lit, op, vp) && (op == sqlparser.OpEQ || sameDirection(op, vp.Op)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameDirection(qOp sqlparser.BinOp, vOp catalog.CompareOp) bool {
+	switch vOp {
+	case catalog.OpGT, catalog.OpGE:
+		return qOp == sqlparser.OpGT || qOp == sqlparser.OpGE
+	case catalog.OpLT, catalog.OpLE:
+		return qOp == sqlparser.OpLT || qOp == sqlparser.OpLE
+	default:
+		return false
+	}
+}
+
+// rangeImplies reports whether "col qOp lit" implies the view predicate.
+func rangeImplies(lit sqltypes.Value, qOp sqlparser.BinOp, vp catalog.SimplePred) bool {
+	c := lit.Compare(vp.Value)
+	switch vp.Op {
+	case catalog.OpGT:
+		switch qOp {
+		case sqlparser.OpEQ, sqlparser.OpGE:
+			return c > 0
+		case sqlparser.OpGT:
+			return c >= 0
+		}
+	case catalog.OpGE:
+		switch qOp {
+		case sqlparser.OpEQ, sqlparser.OpGE, sqlparser.OpGT:
+			return c >= 0
+		}
+	case catalog.OpLT:
+		switch qOp {
+		case sqlparser.OpEQ, sqlparser.OpLE:
+			return c < 0
+		case sqlparser.OpLT:
+			return c <= 0
+		}
+	case catalog.OpLE:
+		switch qOp {
+		case sqlparser.OpEQ, sqlparser.OpLE, sqlparser.OpLT:
+			return c <= 0
+		}
+	}
+	return false
+}
+
+// currencyGuard builds the SwitchUnion selector that checks the region's
+// local heartbeat: local branch (0) iff the replica's last-synchronized
+// timestamp is within the bound of the query start time. When the site has
+// a local heartbeat table the guard is evaluated as the paper's predicate —
+// EXISTS(SELECT 1 FROM Heartbeat_R WHERE TimeStamp > getdate() - B) — as a
+// real single-row plan through the executor; a timeline-consistency floor
+// (Section 2.3) adds "AND TimeStamp >= floor".
+func (p *Planner) currencyGuard(regionID int, bound time.Duration) exec.Selector {
+	minSync := p.Opts.MinSync
+	if hb := p.Site.Heartbeat; hb != nil {
+		return heartbeatGuard(hb, regionID, bound, minSync)
+	}
+	// Fallback for sites wired without a heartbeat table (tests).
+	regions := p.Site.Regions
+	return func(ctx *exec.EvalContext) (int, error) {
+		ts, ok := regions.LastSync(regionID)
+		if !ok {
+			return 1, nil
+		}
+		if !minSync.IsZero() && ts.Before(minSync) {
+			return 1, nil
+		}
+		if bound == time.Duration(math.MaxInt64) {
+			return 0, nil
+		}
+		if !ts.Before(ctx.Now.Add(-bound)) {
+			return 0, nil
+		}
+		return 1, nil
+	}
+}
+
+// heartbeatGuard compiles and evaluates the heartbeat EXISTS predicate.
+func heartbeatGuard(hb *storage.Table, regionID int, bound time.Duration, minSync time.Time) exec.Selector {
+	schema := storedSchema(hb.Def(), "hb")
+	tsRef := &sqlparser.ColumnRef{Table: "hb", Column: "ts"}
+	var pred sqlparser.Expr
+	if bound != time.Duration(math.MaxInt64) {
+		// ts > GETDATE() - B (B in seconds).
+		pred = &sqlparser.BinaryExpr{
+			Op:   sqlparser.OpGT,
+			Left: tsRef,
+			Right: &sqlparser.BinaryExpr{
+				Op:    sqlparser.OpSub,
+				Left:  &sqlparser.FuncExpr{Name: "GETDATE"},
+				Right: &sqlparser.Literal{Val: sqltypes.NewFloat(bound.Seconds())},
+			},
+		}
+	}
+	if !minSync.IsZero() {
+		floorPred := &sqlparser.BinaryExpr{
+			Op:    sqlparser.OpGE,
+			Left:  tsRef,
+			Right: &sqlparser.Literal{Val: sqltypes.NewTime(minSync)},
+		}
+		if pred == nil {
+			pred = floorPred
+		} else {
+			pred = &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, Left: pred, Right: floorPred}
+		}
+	}
+	var filter exec.Compiled
+	if pred != nil {
+		c, err := exec.Compile(pred, schema)
+		if err != nil {
+			return func(*exec.EvalContext) (int, error) { return 0, err }
+		}
+		filter = c
+	}
+	key := sqltypes.Row{sqltypes.NewInt(int64(regionID))}
+	pkIndex := ""
+	for _, idx := range hb.Def().Indexes {
+		if idx.Clustered {
+			pkIndex = idx.Name
+		}
+	}
+	return func(ctx *exec.EvalContext) (int, error) {
+		scan := exec.NewScan(hb, schema)
+		scan.Index = pkIndex
+		scan.Lo = storage.Bound{Vals: key, Inclusive: true}
+		scan.Hi = storage.Bound{Vals: key, Inclusive: true}
+		scan.Filter = filter
+		if err := scan.Open(ctx); err != nil {
+			return 1, err
+		}
+		defer scan.Close()
+		_, ok, err := scan.Next()
+		if err != nil {
+			return 1, err
+		}
+		if ok {
+			return 0, nil // fresh enough: local branch
+		}
+		return 1, nil
+	}
+}
+
+// ---- join enumeration ----
+
+func (p *Planner) enumerateJoins(q *Query, semiResiduals map[cc.InstanceID][]sqlparser.Expr) ([]*cand, error) {
+	n := len(q.Leaves)
+	if n > 16 {
+		return nil, fmt.Errorf("opt: too many tables (%d)", n)
+	}
+	leafCands := make([][]*cand, n)
+	for i, leaf := range q.Leaves {
+		lcs, err := p.leafCandidates(q, leaf)
+		if err != nil {
+			return nil, err
+		}
+		// Drop candidates that already violate the constraint.
+		var ok []*cand
+		for _, lc := range lcs {
+			if p.skipConsistency() || !lc.delivered.Violates(q.Constraint) {
+				ok = append(ok, lc)
+			}
+		}
+		if len(ok) == 0 {
+			return nil, fmt.Errorf("opt: no valid access path for %s", leaf.Binding)
+		}
+		leafCands[i] = ok
+	}
+	if n == 1 {
+		if q.Leaves[0].Join != exec.JoinInner {
+			return nil, fmt.Errorf("opt: query has only an EXISTS subquery table")
+		}
+		return leafCands[0], nil
+	}
+
+	states := map[uint32][]*cand{}
+	for i, leaf := range q.Leaves {
+		if leaf.Join != exec.JoinInner {
+			continue
+		}
+		states[1<<uint(i)] = prune(leafCands[i])
+	}
+	full := uint32(1<<uint(n)) - 1
+	// Grow states by adding one leaf at a time.
+	for size := 1; size < n; size++ {
+		for mask, cands := range states {
+			if popcount(mask) != size {
+				continue
+			}
+			connectedExists := false
+			for j := 0; j < n; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					continue
+				}
+				if p.connected(q, mask, j) {
+					connectedExists = true
+					break
+				}
+			}
+			for j := 0; j < n; j++ {
+				bit := uint32(1 << uint(j))
+				if mask&bit != 0 {
+					continue
+				}
+				leaf := q.Leaves[j]
+				conn := p.connected(q, mask, j)
+				if !conn && connectedExists {
+					continue // defer cartesian products
+				}
+				if leaf.Join != exec.JoinInner {
+					if !p.allPartnersIn(q, mask, j) {
+						continue
+					}
+					if !allResidualLeavesIn(q, semiResiduals[leaf.ID], mask, leaf) {
+						continue
+					}
+				}
+				newMask := mask | bit
+				for _, left := range cands {
+					for _, right := range leafCands[j] {
+						joined, err := p.joinCands(q, left, right, leaf, semiResiduals[leaf.ID])
+						if err != nil {
+							return nil, err
+						}
+						for _, jc := range joined {
+							if !p.skipConsistency() && jc.delivered.Violates(q.Constraint) {
+								continue
+							}
+							states[newMask] = append(states[newMask], jc)
+						}
+					}
+				}
+			}
+			states[mask] = cands
+		}
+		for mask := range states {
+			states[mask] = prune(states[mask])
+		}
+	}
+	result := states[full]
+	if len(result) == 0 {
+		return nil, fmt.Errorf("opt: join enumeration produced no plan")
+	}
+	return result, nil
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// connected reports whether leaf j has an equi-join edge into the mask.
+func (p *Planner) connected(q *Query, mask uint32, j int) bool {
+	id := q.Leaves[j].ID
+	for _, jp := range q.Joins {
+		other := cc.InstanceID(0)
+		if jp.LeftLeaf == id {
+			other = jp.RightLeaf
+		} else if jp.RightLeaf == id {
+			other = jp.LeftLeaf
+		} else {
+			continue
+		}
+		for i, l := range q.Leaves {
+			if l.ID == other && mask&(1<<uint(i)) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allPartnersIn reports whether every join edge of leaf j lands inside mask.
+func (p *Planner) allPartnersIn(q *Query, mask uint32, j int) bool {
+	id := q.Leaves[j].ID
+	for _, jp := range q.Joins {
+		var other cc.InstanceID
+		if jp.LeftLeaf == id {
+			other = jp.RightLeaf
+		} else if jp.RightLeaf == id {
+			other = jp.LeftLeaf
+		} else {
+			continue
+		}
+		in := false
+		for i, l := range q.Leaves {
+			if l.ID == other && mask&(1<<uint(i)) != 0 {
+				in = true
+			}
+		}
+		if !in {
+			return false
+		}
+	}
+	return true
+}
+
+func allResidualLeavesIn(q *Query, residuals []sqlparser.Expr, mask uint32, adding *Leaf) bool {
+	for _, r := range residuals {
+		for i, l := range q.Leaves {
+			if l.ID == adding.ID {
+				continue
+			}
+			if exprTouches(r, l.Binding) && mask&(1<<uint(i)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prune keeps the cheapest candidates, at most keepPerState with distinct
+// delivered properties.
+func prune(cands []*cand) []*cand {
+	if len(cands) <= 1 {
+		return cands
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+	var out []*cand
+	seen := map[string]bool{}
+	for _, c := range cands {
+		key := c.delivered.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+		if len(out) >= keepPerState {
+			break
+		}
+	}
+	return out
+}
+
+// joinCands builds candidates joining a prefix with one leaf: a hash join
+// over any leaf access, plus an index nested-loop join when the leaf has a
+// locally stored object with a suitable index (guarded at the cache).
+func (p *Planner) joinCands(q *Query, left, right *cand, leaf *Leaf, semiRes []sqlparser.Expr) ([]*cand, error) {
+	edges := joinEdges(q, left.schema, leaf)
+	var out []*cand
+	hj, err := p.hashJoinCand(q, left, right, leaf, edges, semiRes)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, hj)
+	nlj, ok, err := p.indexLoopCand(q, left, leaf, edges, semiRes)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		out = append(out, nlj)
+	}
+	mj, ok, err := p.mergeJoinCand(q, left, leaf, edges, semiRes)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		out = append(out, mj)
+	}
+	return out, nil
+}
+
+// mergeJoinCand builds a sort-merge join when both sides already arrive
+// ordered on a join column: the prefix's first ordering column matches one
+// edge's prefix side, and some access path for the leaf is ordered on that
+// edge's leaf column. Only unguarded accesses keep an ordering, so merge
+// joins arise at the back end (and under NoGuards ablations).
+func (p *Planner) mergeJoinCand(q *Query, left *cand, leaf *Leaf, edges []joinEdge, semiRes []sqlparser.Expr) (*cand, bool, error) {
+	if len(left.order) == 0 || len(edges) == 0 {
+		return nil, false, nil
+	}
+	var keyEdge *joinEdge
+	for i := range edges {
+		if ref, ok := edges[i].prefixExpr.(*sqlparser.ColumnRef); ok && ref.SQL() == left.order[0] {
+			keyEdge = &edges[i]
+			break
+		}
+	}
+	if keyEdge == nil {
+		return nil, false, nil
+	}
+	// The leaf side must have an ordered access on keyEdge.leafCol.
+	rights, err := p.leafCandidates(q, leaf)
+	if err != nil {
+		return nil, false, err
+	}
+	var right *cand
+	want := leaf.Binding + "." + keyEdge.leafCol
+	for _, rc := range rights {
+		if len(rc.order) > 0 && rc.order[0] == want {
+			if right == nil || rc.cost < right.cost {
+				right = rc
+			}
+		}
+	}
+	if right == nil {
+		return nil, false, nil
+	}
+	outSchema := left.schema
+	if leaf.Join == exec.JoinInner {
+		outSchema = exec.Concat(left.schema, right.schema)
+	}
+	outRows := estimateJoinOut(left.rows, right.rows, leaf, edges)
+	leftBuild, rightBuild := left.build, right.build
+	leftSchema, rightSchema := left.schema, right.schema
+	kind := leaf.Join
+	extraEdges := make([]joinEdge, 0, len(edges)-1)
+	for i := range edges {
+		if &edges[i] != keyEdge {
+			extraEdges = append(extraEdges, edges[i])
+		}
+	}
+	residuals := append([]sqlparser.Expr(nil), semiRes...)
+	for _, e := range extraEdges {
+		residuals = append(residuals, &sqlparser.BinaryExpr{
+			Op:    sqlparser.OpEQ,
+			Left:  e.prefixExpr,
+			Right: &sqlparser.ColumnRef{Table: leaf.Binding, Column: e.leafCol},
+		})
+	}
+	edge := *keyEdge
+	build := func() (exec.Operator, error) {
+		l, err := leftBuild()
+		if err != nil {
+			return nil, err
+		}
+		r, err := rightBuild()
+		if err != nil {
+			return nil, err
+		}
+		lk, err := exec.Compile(edge.prefixExpr, leftSchema)
+		if err != nil {
+			return nil, err
+		}
+		rk, err := exec.Compile(&sqlparser.ColumnRef{Table: leaf.Binding, Column: edge.leafCol}, rightSchema)
+		if err != nil {
+			return nil, err
+		}
+		var res exec.Compiled
+		if pred := andAll(residuals); pred != nil {
+			res, err = exec.Compile(pred, exec.Concat(leftSchema, rightSchema))
+			if err != nil {
+				return nil, err
+			}
+		}
+		return exec.NewMergeJoin(l, r, []exec.Compiled{lk}, []exec.Compiled{rk}, res, kind), nil
+	}
+	// Merge advances both sorted streams once; per-row work is well below a
+	// generic operator hop (no hashing, no seeks).
+	cost := left.cost + right.cost + (left.rows+right.rows)*costRow*0.5 + outRows*costRow
+	return &cand{
+		build:        build,
+		schema:       outSchema,
+		cost:         cost,
+		rows:         outRows,
+		delivered:    cc.Join(left.delivered, right.delivered),
+		shape:        fmt.Sprintf("MergeJoin(%s, %s)", left.shape, right.shape),
+		usesLocal:    left.usesLocal || right.usesLocal,
+		guards:       left.guards + right.guards,
+		localLeaves:  left.localLeaves + right.localLeaves,
+		remoteLeaves: left.remoteLeaves + right.remoteLeaves,
+		order:        left.order,
+	}, true, nil
+}
+
+// joinEdge is one equi-join pair usable between the prefix and the leaf.
+type joinEdge struct {
+	prefixExpr sqlparser.Expr // column on the prefix side
+	leafCol    string
+}
+
+func joinEdges(q *Query, prefix *exec.Schema, leaf *Leaf) []joinEdge {
+	var out []joinEdge
+	for _, jp := range q.Joins {
+		if jp.LeftLeaf == leaf.ID {
+			other := q.Leaf(jp.RightLeaf)
+			if prefix.Lookup(other.Binding, jp.RightCol) >= 0 {
+				out = append(out, joinEdge{
+					prefixExpr: &sqlparser.ColumnRef{Table: other.Binding, Column: jp.RightCol},
+					leafCol:    jp.LeftCol,
+				})
+			}
+		} else if jp.RightLeaf == leaf.ID {
+			other := q.Leaf(jp.LeftLeaf)
+			if prefix.Lookup(other.Binding, jp.LeftCol) >= 0 {
+				out = append(out, joinEdge{
+					prefixExpr: &sqlparser.ColumnRef{Table: other.Binding, Column: jp.LeftCol},
+					leafCol:    jp.RightCol,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (p *Planner) hashJoinCand(q *Query, left, right *cand, leaf *Leaf, edges []joinEdge, semiRes []sqlparser.Expr) (*cand, error) {
+	outSchema := left.schema
+	if leaf.Join == exec.JoinInner {
+		outSchema = exec.Concat(left.schema, right.schema)
+	}
+	outRows := estimateJoinOut(left.rows, right.rows, leaf, edges)
+	leftBuild, rightBuild := left.build, right.build
+	leftSchema, rightSchema := left.schema, right.schema
+	kind := leaf.Join
+	residual := andAll(semiRes)
+	build := func() (exec.Operator, error) {
+		l, err := leftBuild()
+		if err != nil {
+			return nil, err
+		}
+		r, err := rightBuild()
+		if err != nil {
+			return nil, err
+		}
+		var lk, rk []exec.Compiled
+		for _, e := range edges {
+			cl, err := exec.Compile(e.prefixExpr, leftSchema)
+			if err != nil {
+				return nil, err
+			}
+			cr, err := exec.Compile(&sqlparser.ColumnRef{Table: leaf.Binding, Column: e.leafCol}, rightSchema)
+			if err != nil {
+				return nil, err
+			}
+			lk = append(lk, cl)
+			rk = append(rk, cr)
+		}
+		var res exec.Compiled
+		if residual != nil {
+			joinedSchema := exec.Concat(leftSchema, rightSchema)
+			res, err = exec.Compile(residual, joinedSchema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return exec.NewHashJoin(l, r, lk, rk, res, kind), nil
+	}
+	cost := left.cost + right.cost + right.rows*costHashBuild + left.rows*costHashProbe + outRows*costRow
+	return &cand{
+		build:        build,
+		schema:       outSchema,
+		cost:         cost,
+		rows:         outRows,
+		delivered:    cc.Join(left.delivered, right.delivered),
+		shape:        fmt.Sprintf("HashJoin(%s, %s)", left.shape, right.shape),
+		usesLocal:    left.usesLocal || right.usesLocal,
+		guards:       left.guards + right.guards,
+		localLeaves:  left.localLeaves + right.localLeaves,
+		remoteLeaves: left.remoteLeaves + right.remoteLeaves,
+		order:        left.order, // probe rows stream through in order
+	}, nil
+}
+
+func estimateJoinOut(leftRows, rightRows float64, leaf *Leaf, edges []joinEdge) float64 {
+	if leaf.Join != exec.JoinInner {
+		return leftRows * 0.7
+	}
+	if len(edges) == 0 {
+		return leftRows * rightRows
+	}
+	return joinRows(leftRows, rightRows, leaf, edges[0].leafCol)
+}
+
+// indexLoopCand builds an index nested-loop join: the inner is a locally
+// stored object (base table at the back end; a matching view at the cache)
+// with an index whose leading columns are join columns. At the cache the
+// whole join is wrapped in a SwitchUnion: the local branch runs the NLJ
+// against the view; the remote branch hash-joins the prefix with a remote
+// fetch of the leaf.
+func (p *Planner) indexLoopCand(q *Query, left *cand, leaf *Leaf, edges []joinEdge, semiRes []sqlparser.Expr) (*cand, bool, error) {
+	if len(edges) == 0 {
+		return nil, false, nil
+	}
+	residualPreds := append([]sqlparser.Expr(nil), leaf.Preds...)
+	residualPreds = append(residualPreds, semiRes...)
+
+	buildNLJ := func(tbl *storage.Table, idxName string, keyEdges []joinEdge) func() (exec.Operator, error) {
+		leftBuild, leftSchema := left.build, left.schema
+		innerSch := storedSchema(tbl.Def(), leaf.Binding)
+		kind := leaf.Join
+		return func() (exec.Operator, error) {
+			l, err := leftBuild()
+			if err != nil {
+				return nil, err
+			}
+			keys := make([]exec.Compiled, len(keyEdges))
+			for i, e := range keyEdges {
+				keys[i], err = exec.Compile(e.prefixExpr, leftSchema)
+				if err != nil {
+					return nil, err
+				}
+			}
+			var res exec.Compiled
+			allRes := residualPreds
+			// Join-edge columns beyond the index prefix become residual.
+			for _, e := range edges[len(keyEdges):] {
+				allRes = append(allRes, &sqlparser.BinaryExpr{
+					Op:    sqlparser.OpEQ,
+					Left:  e.prefixExpr,
+					Right: &sqlparser.ColumnRef{Table: leaf.Binding, Column: e.leafCol},
+				})
+			}
+			if pred := andAll(allRes); pred != nil {
+				res, err = exec.Compile(pred, exec.Concat(leftSchema, innerSch))
+				if err != nil {
+					return nil, err
+				}
+			}
+			nlj := exec.NewIndexLoopJoin(l, tbl, idxName, innerSch, keys, res, kind)
+			if kind != exec.JoinInner {
+				return nlj, nil
+			}
+			return projectTo(nlj, exec.Concat(leftSchema, leafSchema(leaf)))
+		}
+	}
+
+	pickIndex := func(def *catalog.Table) (string, []joinEdge) {
+		var bestIdx string
+		var bestEdges []joinEdge
+		for _, idx := range def.Indexes {
+			var matched []joinEdge
+			for _, idxCol := range idx.Columns {
+				found := false
+				for _, e := range edges {
+					if e.leafCol == idxCol {
+						matched = append(matched, e)
+						found = true
+						break
+					}
+				}
+				if !found {
+					break
+				}
+			}
+			if len(matched) > len(bestEdges) {
+				bestEdges = matched
+				bestIdx = idx.Name
+			}
+		}
+		return bestIdx, bestEdges
+	}
+
+	outSchema := left.schema
+	if leaf.Join == exec.JoinInner {
+		outSchema = exec.Concat(left.schema, leafSchema(leaf))
+	}
+	outRows := estimateJoinOut(left.rows, leafRows(leaf), leaf, edges)
+	matchPerOuter := outRows / math.Max(left.rows, 1)
+
+	if tbl := p.Site.LocalTable(leaf.Table.Name); tbl != nil {
+		idxName, keyEdges := pickIndex(tbl.Def())
+		if idxName == "" {
+			return nil, false, nil
+		}
+		cost := left.cost + left.rows*(costSeek+matchPerOuter*costScanRow) + outRows*costRow
+		return &cand{
+			build:        buildNLJ(tbl, idxName, keyEdges),
+			schema:       outSchema,
+			cost:         cost,
+			rows:         outRows,
+			delivered:    cc.Join(left.delivered, cc.DeliverScan(catalog.MasterRegionID, leaf.ID)),
+			shape:        fmt.Sprintf("NLJ(%s, %s)", left.shape, leaf.Table.Name),
+			usesLocal:    left.usesLocal,
+			guards:       left.guards,
+			localLeaves:  left.localLeaves + 1,
+			remoteLeaves: left.remoteLeaves,
+			order:        left.order,
+		}, true, nil
+	}
+	if p.Site.IsBackend() {
+		return nil, false, nil
+	}
+
+	if p.Opts.NoViews {
+		return nil, false, nil
+	}
+	// Cache: NLJ into a matching local view, guarded.
+	for _, view := range p.Site.Cat.ViewsOf(leaf.Table.Name) {
+		if !viewMatches(view, leaf) {
+			continue
+		}
+		vtbl := p.Site.LocalView(view.Name)
+		if vtbl == nil {
+			continue
+		}
+		region := p.Site.Cat.Region(view.RegionID)
+		if region == nil {
+			continue
+		}
+		bound, constrained := q.Constraint.BoundFor(leaf.ID)
+		if !constrained {
+			bound = time.Duration(math.MaxInt64)
+		}
+		if !p.Opts.NoGuards && bound < region.MinCurrency() {
+			continue
+		}
+		idxName, keyEdges := pickIndex(vtbl.Def())
+		if idxName == "" {
+			continue
+		}
+		localBuild := buildNLJ(vtbl, idxName, keyEdges)
+		localCost := left.cost + left.rows*(costSeek+matchPerOuter*costScanRow) + outRows*costRow
+		localDelivered := cc.Join(left.delivered, cc.DeliverScan(view.RegionID, leaf.ID))
+		if p.Opts.NoGuards {
+			return &cand{
+				build:        localBuild,
+				schema:       outSchema,
+				cost:         localCost,
+				rows:         outRows,
+				delivered:    localDelivered,
+				shape:        fmt.Sprintf("NLJ(%s, %s)", left.shape, view.Name),
+				usesLocal:    true,
+				guards:       left.guards,
+				localLeaves:  left.localLeaves + 1,
+				remoteLeaves: left.remoteLeaves,
+			}, true, nil
+		}
+		// Remote fall-back branch: hash join with a remote fetch.
+		remoteLeaf := p.remoteLeafCand(leaf, leafSchema(leaf))
+		hj, err := p.hashJoinCand(q, left, remoteLeaf, leaf, edges, semiRes)
+		if err != nil {
+			return nil, false, err
+		}
+		guard := p.currencyGuard(view.RegionID, bound)
+		label := fmt.Sprintf("GuardJoin(NLJ(%s, %s)|%s)", left.shape, view.Name, hj.shape)
+		hjBuild := hj.build
+		prob := cc.LocalProbability(bound, region.UpdateDelay, region.UpdateInterval)
+		if !constrained {
+			prob = 1
+		}
+		return &cand{
+			build: func() (exec.Operator, error) {
+				localOp, err := localBuild()
+				if err != nil {
+					return nil, err
+				}
+				remOp, err := hjBuild()
+				if err != nil {
+					return nil, err
+				}
+				return &exec.SwitchUnion{Children: []exec.Operator{localOp, remOp}, Selector: guard, Label: label, Region: view.RegionID}, nil
+			},
+			schema:       outSchema,
+			cost:         prob*localCost + (1-prob)*hj.cost + costGuard,
+			rows:         outRows,
+			delivered:    cc.SwitchUnion(localDelivered, hj.delivered),
+			shape:        label,
+			usesLocal:    true,
+			guards:       left.guards + 1,
+			localLeaves:  left.localLeaves + 1,
+			remoteLeaves: left.remoteLeaves,
+		}, true, nil
+	}
+	return nil, false, nil
+}
+
+// ---- finishing ----
+
+// finish layers residual filters, aggregation, distinct, ordering, limit and
+// the final projection on a join candidate.
+func (p *Planner) finish(q *Query, jc *cand, innerResiduals []sqlparser.Expr) (*cand, error) {
+	outSchema, err := outputSchema(q)
+	if err != nil {
+		return nil, err
+	}
+	joinBuild, joinSchema := jc.build, jc.schema
+	rows := jc.rows
+	cost := jc.cost
+	if len(innerResiduals) > 0 {
+		rows *= 0.5
+	}
+	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		cost += rows * costRow * 2
+		if len(q.GroupBy) > 0 {
+			rows *= 0.1
+		} else {
+			rows = 1
+		}
+	}
+	if len(q.OrderBy) > 0 && rows > 1 {
+		cost += rows * costSort * math.Log2(rows+1)
+	}
+	if q.Top > 0 && rows > float64(q.Top) {
+		rows = float64(q.Top)
+	}
+	cost += rows * costRow
+
+	build := func() (exec.Operator, error) {
+		op, err := joinBuild()
+		if err != nil {
+			return nil, err
+		}
+		schema := joinSchema
+		if pred := andAll(innerResiduals); pred != nil {
+			c, err := exec.Compile(pred, schema)
+			if err != nil {
+				return nil, err
+			}
+			op = &exec.Filter{Child: op, Pred: c}
+		}
+		if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+			op, schema, err = buildAggregate(q, op, schema)
+			if err != nil {
+				return nil, err
+			}
+			if q.Having != nil {
+				c, err := exec.Compile(q.Having, schema)
+				if err != nil {
+					return nil, err
+				}
+				op = &exec.Filter{Child: op, Pred: c}
+			}
+		}
+		if len(q.OrderBy) > 0 {
+			keys := make([]exec.Compiled, len(q.OrderBy))
+			descs := make([]bool, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				keys[i], err = exec.Compile(o.Expr, schema)
+				if err != nil {
+					return nil, err
+				}
+				descs[i] = o.Desc
+			}
+			op = &exec.Sort{Child: op, Keys: keys, Desc: descs}
+		}
+		if q.Top > 0 {
+			op = &exec.Limit{Child: op, N: q.Top}
+		}
+		exprs := make([]exec.Compiled, len(q.Items))
+		for i, item := range q.Items {
+			exprs[i], err = exec.Compile(item.Expr, schema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		op = &exec.Project{Child: op, Exprs: exprs, Out: outSchema}
+		if q.Distinct {
+			op = &exec.Distinct{Child: op}
+		}
+		return op, nil
+	}
+	return &cand{
+		build:        build,
+		schema:       outSchema,
+		cost:         cost,
+		rows:         rows,
+		delivered:    jc.delivered,
+		shape:        jc.shape,
+		usesLocal:    jc.usesLocal,
+		guards:       jc.guards,
+		localLeaves:  jc.localLeaves,
+		remoteLeaves: jc.remoteLeaves,
+	}, nil
+}
+
+// buildAggregate constructs the Aggregate operator and its output schema:
+// group columns (keeping their bindings) followed by #agg.aggN columns.
+func buildAggregate(q *Query, child exec.Operator, schema *exec.Schema) (exec.Operator, *exec.Schema, error) {
+	var groupExprs []exec.Compiled
+	var outCols []exec.Col
+	for _, g := range q.GroupBy {
+		ref, ok := g.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil, nil, fmt.Errorf("opt: GROUP BY supports plain columns, got %s", g.SQL())
+		}
+		c, err := exec.Compile(g, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupExprs = append(groupExprs, c)
+		idx := schema.Lookup(ref.Table, ref.Column)
+		outCols = append(outCols, schema.Cols[idx])
+	}
+	var specs []exec.AggSpec
+	for _, ag := range q.Aggs {
+		spec := exec.AggSpec{Func: ag.Func, Star: ag.Star}
+		if ag.Arg != nil {
+			c, err := exec.Compile(ag.Arg, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Arg = c
+		}
+		specs = append(specs, spec)
+		kind := sqltypes.KindFloat
+		if ag.Func == "COUNT" {
+			kind = sqltypes.KindInt
+		}
+		outCols = append(outCols, exec.Col{Binding: aggBinding, Name: ag.Ref.Column, Kind: kind})
+	}
+	out := exec.NewSchema(outCols...)
+	return &exec.Aggregate{Child: child, GroupBy: groupExprs, Aggs: specs, Out: out}, out, nil
+}
+
+// outputSchema derives the final result schema from the projection items.
+func outputSchema(q *Query) (*exec.Schema, error) {
+	cols := make([]exec.Col, len(q.Items))
+	for i, item := range q.Items {
+		name := item.Alias
+		kind := sqltypes.KindFloat
+		if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+			if name == "" {
+				name = ref.Column
+			}
+			if ref.Table != aggBinding {
+				if l := leafByBinding(q, ref.Table); l != nil {
+					if c := l.Table.Column(ref.Column); c != nil {
+						kind = c.Type
+					}
+				}
+			}
+		} else if lit, ok := item.Expr.(*sqlparser.Literal); ok {
+			kind = lit.Val.Kind()
+		}
+		if name == "" {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		cols[i] = exec.Col{Name: name, Kind: kind}
+	}
+	return exec.NewSchema(cols...), nil
+}
+
+func leafByBinding(q *Query, binding string) *Leaf {
+	for _, l := range q.Leaves {
+		if l.Binding == binding {
+			return l
+		}
+	}
+	return nil
+}
+
+// wholeRemoteCand ships the entire query to the back end (plan 1).
+func (p *Planner) wholeRemoteCand(q *Query) *cand {
+	outSchema, err := outputSchema(q)
+	if err != nil {
+		outSchema = exec.NewSchema()
+	}
+	sql := sqlparser.SelectSQL(stripCurrency(q.Stmt))
+	remoteExec := p.Site.Remote
+	rows, _ := estimateQueryOutput(q)
+	var ids []cc.InstanceID
+	for _, l := range q.Leaves {
+		ids = append(ids, l.ID)
+	}
+	return &cand{
+		build: func() (exec.Operator, error) {
+			return &exec.Remote{
+				SQL: sql,
+				Out: outSchema,
+				Fetch: func(*exec.EvalContext) ([]sqltypes.Row, error) {
+					return remoteExec.Query(sql)
+				},
+			}, nil
+		},
+		schema:       outSchema,
+		cost:         wholeRemoteCost(q),
+		rows:         rows,
+		delivered:    cc.DeliverScan(catalog.MasterRegionID, ids...),
+		shape:        "Remote",
+		remoteLeaves: len(q.Leaves),
+	}
+}
+
+// stripCurrency removes currency clauses before shipping a query to the
+// back end (whose data trivially satisfies them).
+func stripCurrency(sel *sqlparser.SelectStmt) *sqlparser.SelectStmt {
+	out := *sel
+	out.Currency = nil
+	return &out
+}
+
+// leafFetchSQL builds the remote query fetching one leaf's needed columns.
+func leafFetchSQL(leaf *Leaf) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, col := range leaf.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(leaf.Binding + "." + col)
+	}
+	b.WriteString(" FROM " + leaf.Table.Name)
+	if leaf.Binding != leaf.Table.Name {
+		b.WriteString(" " + leaf.Binding)
+	}
+	if pred := andAll(leaf.Preds); pred != nil {
+		b.WriteString(" WHERE " + pred.SQL())
+	}
+	return b.String()
+}

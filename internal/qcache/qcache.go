@@ -1,0 +1,225 @@
+// Package qcache implements the paper's third motivating scenario
+// (Section 1, "Caching of query results"): an application-level cache of
+// materialized SELECT results that tracks the staleness of each cached
+// result and transparently recomputes results that do not satisfy a query's
+// currency requirement.
+//
+// The cache key is the query text with its currency clause stripped, so the
+// same result entry serves requests with different bounds: a cached result
+// computed for one caller is reused by any later caller whose bound admits
+// its age. Entries record the conservative snapshot time (AsOf) reported by
+// the DBMS, so results computed from replicas are aged correctly.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/vclock"
+)
+
+// Outcome classifies how a lookup was served.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	// Hit: a cached result satisfied the currency bound.
+	Hit Outcome = iota
+	// Miss: no cached result existed; computed and cached.
+	Miss
+	// Refresh: a cached result existed but was too stale for the bound;
+	// recomputed and cached.
+	Refresh
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Refresh:
+		return "refresh"
+	default:
+		return "Outcome(?)"
+	}
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Refreshes int64
+	Evictions               int64
+}
+
+// ResultCache caches query results in front of a cache DBMS session.
+type ResultCache struct {
+	clock    vclock.Clock
+	session  *mtcache.Session
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+type entry struct {
+	key    string
+	schema *exec.Schema
+	rows   []sqltypes.Row
+	asOf   time.Time
+}
+
+// New creates a result cache holding up to capacity results, executing
+// misses through the given session.
+func New(clock vclock.Clock, session *mtcache.Session, capacity int) *ResultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ResultCache{
+		clock:    clock,
+		session:  session,
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// Query serves a SELECT, from cache when a stored result is fresh enough
+// for the query's currency bound. A query without a currency clause demands
+// completely current data (the paper's default), so it always recomputes.
+func (c *ResultCache) Query(sql string) (*exec.Result, Outcome, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, Miss, err
+	}
+	bound, hasBound := minBound(sel.Currency)
+	key := cacheKey(sel)
+
+	now := c.clock.Now()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		if hasBound && !e.asOf.Before(now.Add(-bound)) {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			res := &exec.Result{Schema: e.schema, Rows: e.rows}
+			c.mu.Unlock()
+			return res, Hit, nil
+		}
+		// Present but too stale for this caller.
+		c.mu.Unlock()
+		res, err := c.recompute(sql, key)
+		if err != nil {
+			return nil, Refresh, err
+		}
+		c.mu.Lock()
+		c.stats.Refreshes++
+		c.mu.Unlock()
+		return res, Refresh, nil
+	}
+	c.mu.Unlock()
+	res, err := c.recompute(sql, key)
+	if err != nil {
+		return nil, Miss, err
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return res, Miss, nil
+}
+
+// recompute executes through the session (which itself may answer from
+// replicas within the query's bound) and stores the result with its
+// conservative snapshot time.
+func (c *ResultCache) recompute(sql, key string) (*exec.Result, error) {
+	qr, err := c.session.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	asOf := qr.AsOf
+	if asOf.IsZero() {
+		asOf = c.clock.Now()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		e.schema, e.rows, e.asOf = qr.Schema, qr.Rows, asOf
+		c.lru.MoveToFront(el)
+	} else {
+		el := c.lru.PushFront(&entry{key: key, schema: qr.Schema, rows: qr.Rows, asOf: asOf})
+		c.entries[key] = el
+		for c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry).key)
+			c.stats.Evictions++
+		}
+	}
+	return qr.Result, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *ResultCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Clear drops all cached results.
+func (c *ResultCache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.lru.Init()
+}
+
+// AsOf reports the snapshot time of the cached result for sql, if present.
+func (c *ResultCache) AsOf(sql string) (time.Time, bool) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return time.Time{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[cacheKey(sel)]; ok {
+		return el.Value.(*entry).asOf, true
+	}
+	return time.Time{}, false
+}
+
+// cacheKey canonicalizes the statement minus its currency clause.
+func cacheKey(sel *sqlparser.SelectStmt) string {
+	cp := *sel
+	cp.Currency = nil
+	return sqlparser.SelectSQL(&cp)
+}
+
+// minBound extracts the tightest bound from a currency clause; ok=false for
+// queries without a clause (which demand current data).
+func minBound(cc *sqlparser.CurrencyClause) (time.Duration, bool) {
+	if cc == nil || len(cc.Triples) == 0 {
+		return 0, false
+	}
+	min := cc.Triples[0].Bound
+	for _, tr := range cc.Triples[1:] {
+		if tr.Bound < min {
+			min = tr.Bound
+		}
+	}
+	return min, true
+}

@@ -1,0 +1,186 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/core"
+)
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys := core.NewSystem()
+	sys.MustExec("CREATE TABLE t (id BIGINT NOT NULL PRIMARY KEY, v BIGINT NOT NULL)")
+	for i := 1; i <= 20; i++ {
+		sys.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i*10))
+	}
+	sys.Analyze()
+	if err := sys.AddRegion(&catalog.Region{
+		ID: 1, Name: "R", UpdateInterval: 10 * time.Second, UpdateDelay: time.Second,
+		HeartbeatInterval: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CreateView(&catalog.View{
+		Name: "t_prj", BaseTable: "t", Columns: []string{"id", "v"}, RegionID: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMissThenHit(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 10)
+	q := "SELECT v FROM t WHERE id = 3 CURRENCY 60 ON (t)"
+	res, outcome, err := rc.Query(q)
+	if err != nil || outcome != Miss {
+		t.Fatalf("first = %v, %v", outcome, err)
+	}
+	if res.Rows[0][0].Int() != 30 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res, outcome, err = rc.Query(q)
+	if err != nil || outcome != Hit {
+		t.Fatalf("second = %v, %v", outcome, err)
+	}
+	if res.Rows[0][0].Int() != 30 {
+		t.Fatal("cached rows")
+	}
+	st := rc.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBoundsShareOneEntry(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 10)
+	if _, outcome, _ := rc.Query("SELECT v FROM t WHERE id = 3 CURRENCY 60 ON (t)"); outcome != Miss {
+		t.Fatal("first should miss")
+	}
+	// A different bound over the same underlying query hits the same entry.
+	if _, outcome, _ := rc.Query("SELECT v FROM t WHERE id = 3 CURRENCY 120 ON (t)"); outcome != Hit {
+		t.Fatal("relaxed caller should hit")
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("entries = %d", rc.Len())
+	}
+}
+
+func TestStaleEntryRefreshes(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 10)
+	q := "SELECT v FROM t WHERE id = 3 CURRENCY 20 ON (t)"
+	if _, outcome, _ := rc.Query(q); outcome != Miss {
+		t.Fatal("miss expected")
+	}
+	asOf1, ok := rc.AsOf(q)
+	if !ok {
+		t.Fatal("AsOf missing")
+	}
+	// Age the entry beyond the bound; update the base meanwhile.
+	if _, err := sys.Exec("UPDATE t SET v = 999 WHERE id = 3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, outcome, err := rc.Query(q)
+	if err != nil || outcome != Refresh {
+		t.Fatalf("aged lookup = %v, %v", outcome, err)
+	}
+	if res.Rows[0][0].Int() != 999 {
+		t.Fatalf("refreshed rows = %v", res.Rows)
+	}
+	asOf2, _ := rc.AsOf(q)
+	if !asOf2.After(asOf1) {
+		t.Fatal("AsOf did not advance")
+	}
+}
+
+func TestNoClauseAlwaysRecomputes(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 10)
+	q := "SELECT v FROM t WHERE id = 3"
+	if _, outcome, _ := rc.Query(q); outcome != Miss {
+		t.Fatal("miss expected")
+	}
+	// Immediately again: still a recompute (Refresh), never a hit.
+	if _, outcome, _ := rc.Query(q); outcome != Refresh {
+		t.Fatal("no-clause queries must not be served from cache")
+	}
+}
+
+func TestAsOfReflectsReplicaAge(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 10)
+	q := "SELECT v FROM t WHERE id = 3 CURRENCY 60 ON (t)"
+	if _, _, err := rc.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	asOf, _ := rc.AsOf(q)
+	// The answer came from the local view, so AsOf must be the region's
+	// sync point — strictly before "now".
+	if !asOf.Before(sys.Clock.Now()) {
+		t.Fatalf("asOf = %v, now = %v", asOf, sys.Clock.Now())
+	}
+	sync, _ := sys.Cache.LastSync(1)
+	if !asOf.Equal(sync) {
+		t.Fatalf("asOf = %v, region sync = %v", asOf, sync)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 3)
+	for i := 1; i <= 5; i++ {
+		q := fmt.Sprintf("SELECT v FROM t WHERE id = %d CURRENCY 60 ON (t)", i)
+		if _, _, err := rc.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rc.Len() != 3 {
+		t.Fatalf("entries = %d", rc.Len())
+	}
+	if rc.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d", rc.Stats().Evictions)
+	}
+	// Oldest (id=1) evicted; newest (id=5) cached.
+	if _, outcome, _ := rc.Query("SELECT v FROM t WHERE id = 5 CURRENCY 60 ON (t)"); outcome != Hit {
+		t.Fatal("id=5 should be cached")
+	}
+	if _, outcome, _ := rc.Query("SELECT v FROM t WHERE id = 1 CURRENCY 60 ON (t)"); outcome != Miss {
+		t.Fatal("id=1 should have been evicted")
+	}
+}
+
+func TestClearAndErrors(t *testing.T) {
+	sys := newSystem(t)
+	rc := New(sys.Clock, sys.Cache.NewSession(), 10)
+	rc.Query("SELECT v FROM t WHERE id = 1 CURRENCY 60 ON (t)")
+	rc.Clear()
+	if rc.Len() != 0 {
+		t.Fatal("Clear")
+	}
+	if _, _, err := rc.Query("not sql"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, ok := rc.AsOf("also not sql"); ok {
+		t.Fatal("AsOf on garbage")
+	}
+	if _, _, err := rc.Query("SELECT nope FROM t CURRENCY 60 ON (t)"); err == nil {
+		t.Fatal("bad column accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Hit.String() != "hit" || Miss.String() != "miss" || Refresh.String() != "refresh" {
+		t.Fatal("Outcome strings")
+	}
+}

@@ -1,0 +1,107 @@
+// Package remote is the cache-to-back-end link: the boundary a remote query
+// crosses in the paper's two-server setup. It executes shipped SQL on the
+// back-end server in process, while accounting for queries sent, rows and
+// bytes shipped — the quantities the optimizer's cost model trades off —
+// and supporting failure injection for testing violation actions.
+package remote
+
+import (
+	"fmt"
+	"sync"
+
+	"relaxedcc/internal/backend"
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/sqltypes"
+)
+
+// Stats counts traffic across the link.
+type Stats struct {
+	Queries int64
+	Rows    int64
+	Bytes   int64
+}
+
+// Client is the cache's connection to the back end.
+type Client struct {
+	backend *backend.Server
+
+	mu    sync.Mutex
+	stats Stats
+	down  bool
+}
+
+// NewClient connects a cache to its back-end server.
+func NewClient(b *backend.Server) *Client { return &Client{backend: b} }
+
+// Query ships sql to the back end and returns all result rows. It
+// implements opt.RemoteExecutor.
+func (c *Client) Query(sql string) ([]sqltypes.Row, error) {
+	res, err := c.QueryResult(sql)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// QueryResult is Query with the full result (schema and timings).
+func (c *Client) QueryResult(sql string) (*exec.Result, error) {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("remote: link to back-end server is down")
+	}
+	c.stats.Queries++
+	c.mu.Unlock()
+
+	res, err := c.backend.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for _, r := range res.Rows {
+		bytes += rowBytes(r)
+	}
+	c.mu.Lock()
+	c.stats.Rows += int64(len(res.Rows))
+	c.stats.Bytes += bytes
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Stats returns a snapshot of link traffic counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (c *Client) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// SetDown injects (or clears) a link failure: subsequent queries fail until
+// cleared.
+func (c *Client) SetDown(down bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = down
+}
+
+// rowBytes estimates the wire size of one row.
+func rowBytes(r sqltypes.Row) int64 {
+	var n int64
+	for _, v := range r {
+		switch v.Kind() {
+		case sqltypes.KindString:
+			n += int64(len(v.Str())) + 2
+		case sqltypes.KindNull, sqltypes.KindBool:
+			n++
+		default:
+			n += 8
+		}
+	}
+	return n
+}

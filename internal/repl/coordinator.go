@@ -1,0 +1,137 @@
+package repl
+
+import (
+	"sort"
+	"time"
+
+	"relaxedcc/internal/vclock"
+)
+
+// Beater triggers a region's heartbeat on the back end (backend.Server.Beat
+// satisfies it via a closure).
+type Beater func(regionID int) error
+
+// Coordinator drives the periodic activities of the replication fabric —
+// back-end heartbeats and agent propagation wake-ups — deterministically
+// against a virtual clock. AdvanceTo executes every due event in timestamp
+// order, advancing the clock to each event time, so tests and benchmarks
+// replay the exact cycle of the paper's Figure 3.2 with no goroutine races.
+type Coordinator struct {
+	clock  *vclock.Virtual
+	events []*event
+}
+
+type event struct {
+	at       time.Time
+	interval time.Duration
+	// intervalFn, when set, is consulted at every reschedule so interval
+	// changes (e.g. replication reconfiguration) take effect live.
+	intervalFn func() time.Duration
+	run        func(now time.Time) error
+	name       string
+	seq        int
+}
+
+// NewCoordinator creates a coordinator over the virtual clock.
+func NewCoordinator(clock *vclock.Virtual) *Coordinator {
+	return &Coordinator{clock: clock}
+}
+
+var eventSeq int
+
+// AddHeartbeat schedules a region's heart to beat every interval.
+func (c *Coordinator) AddHeartbeat(regionID int, interval time.Duration, beat Beater) {
+	eventSeq++
+	c.events = append(c.events, &event{
+		at:       c.clock.Now().Add(interval),
+		interval: interval,
+		run:      func(time.Time) error { return beat(regionID) },
+		name:     "heartbeat",
+		seq:      eventSeq,
+	})
+}
+
+// AddAgent schedules a distribution agent's wake-ups at its region's update
+// interval. The interval is re-read from the region at every wake-up, so
+// reconfiguring the region (the paper's 30s -> 5min scenario) takes effect
+// at the next propagation.
+func (c *Coordinator) AddAgent(a *Agent) {
+	eventSeq++
+	c.events = append(c.events, &event{
+		at:         c.clock.Now().Add(a.Region.UpdateInterval),
+		interval:   a.Region.UpdateInterval,
+		intervalFn: func() time.Duration { return a.Region.UpdateInterval },
+		run:        a.Step,
+		name:       "agent",
+		seq:        eventSeq,
+	})
+}
+
+// AddPeriodic schedules an arbitrary periodic task (e.g. an update workload
+// generator).
+func (c *Coordinator) AddPeriodic(interval time.Duration, run func(now time.Time) error) {
+	eventSeq++
+	c.events = append(c.events, &event{
+		at:       c.clock.Now().Add(interval),
+		interval: interval,
+		run:      run,
+		name:     "periodic",
+		seq:      eventSeq,
+	})
+}
+
+// AdvanceTo runs all events due at or before target in time order (FIFO
+// among ties), advancing the virtual clock through each event time and
+// finally to target.
+func (c *Coordinator) AdvanceTo(target time.Time) error {
+	for {
+		ev := c.nextDue(target)
+		if ev == nil {
+			break
+		}
+		c.clock.AdvanceTo(ev.at)
+		if err := ev.run(ev.at); err != nil {
+			return err
+		}
+		if ev.intervalFn != nil {
+			ev.interval = ev.intervalFn()
+		}
+		ev.at = ev.at.Add(ev.interval)
+	}
+	if target.After(c.clock.Now()) {
+		c.clock.AdvanceTo(target)
+	}
+	return nil
+}
+
+// Advance runs events for the next d of virtual time.
+func (c *Coordinator) Advance(d time.Duration) error {
+	return c.AdvanceTo(c.clock.Now().Add(d))
+}
+
+func (c *Coordinator) nextDue(target time.Time) *event {
+	var due []*event
+	for _, ev := range c.events {
+		if !ev.at.After(target) {
+			due = append(due, ev)
+		}
+	}
+	if len(due) == 0 {
+		return nil
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].at.Equal(due[j].at) {
+			return due[i].at.Before(due[j].at)
+		}
+		// Heartbeats fire before agents at the same instant, so a
+		// propagation at time t ships the beat from time t (minus delay).
+		if due[i].name != due[j].name {
+			return due[i].name == "heartbeat"
+		}
+		return due[i].seq < due[j].seq
+	})
+	return due[0]
+}
+
+// Clock returns the coordinator's virtual clock.
+func (c *Coordinator) Clock() *vclock.Virtual { return c.clock }

@@ -1,0 +1,84 @@
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/txn"
+	"relaxedcc/internal/vclock"
+)
+
+// TestAgentRunLiveClock drives Agent.Run with a virtual clock advanced from
+// the test goroutine — the deployment mode where agents are long-running
+// goroutines rather than coordinator events.
+func TestAgentRunLiveClock(t *testing.T) {
+	f := newFixture(t, nil)
+	f.agent.Region.UpdateDelay = 0
+	clock := vclock.NewVirtual()
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go f.agent.Run(clock, stop, errs)
+	defer close(stop)
+
+	f.commit(t, t0.Add(time.Second), txn.Change{Table: "T", Op: txn.OpInsert, New: baseRow(1, 1, "a")})
+	// Let the goroutine register its After, then advance past one interval.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.viewTbl.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("agent never applied the commit")
+		}
+		for clock.PendingWaiters() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		clock.Advance(f.agent.Region.UpdateInterval)
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	row, ok := f.viewTbl.Get(sqltypes.Row{sqltypes.NewInt(1)})
+	if !ok || row[1].Str() != "a" {
+		t.Fatalf("replicated row = %v, %v", row, ok)
+	}
+}
+
+// TestAgentRunReportsErrors: a poisoned subscription (duplicate rows) makes
+// Step fail; Run must surface the error and exit.
+func TestAgentRunReportsErrors(t *testing.T) {
+	f := newFixture(t, nil)
+	f.agent.Region.UpdateDelay = 0
+	// Poison: pre-insert the row the log will replay.
+	if err := f.viewTbl.Insert(sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewString("poison")}); err != nil {
+		t.Fatal(err)
+	}
+	f.log.Append(t0.Add(time.Second), []txn.Change{{Table: "T", Op: txn.OpInsert, New: baseRow(1, 1, "a")}})
+	clock := vclock.NewVirtual()
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		f.agent.Run(clock, stop, errs)
+		close(done)
+	}()
+	defer close(stop)
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.PendingWaiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("agent never armed its timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(f.agent.Region.UpdateInterval)
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("error never surfaced")
+	}
+	<-done
+}

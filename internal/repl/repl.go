@@ -1,0 +1,301 @@
+// Package repl implements transactional replication from the back end to
+// the cache: the stand-in for SQL Server's replication in the paper's
+// prototype (Section 3.1).
+//
+// A distribution Agent serves one currency region. It wakes at the region's
+// update interval and applies committed transactions from the back-end log
+// to its subscribed materialized views — one transaction at a time, in
+// commit order — which is what guarantees that all views in the region are
+// mutually consistent and always reflect a committed state. The propagation
+// delay d is modeled by the agent only applying transactions that committed
+// at least d before its wake-up time: immediately after propagation the
+// region's data is exactly d stale, growing to d+f until the next wake-up
+// (the paper's Figure 3.2 cycle).
+//
+// The region's row of the back-end heartbeat table replicates through the
+// same log, so the timestamp in the cache's local heartbeat table bounds the
+// region's staleness.
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+	"relaxedcc/internal/txn"
+	"relaxedcc/internal/vclock"
+)
+
+// Subscription maps one back-end base table into one cached materialized
+// view (a selection/projection, per the prototype's view class).
+type Subscription struct {
+	View   *catalog.View
+	Base   *catalog.Table
+	Target *storage.Table
+
+	projOrds []int // base-column ordinal for each view column
+	pkOrds   []int // base-column ordinals of the primary key
+	preds    []catalog.SimplePred
+	// startSeq is the commit sequence the initial snapshot reflects; the
+	// agent only replays transactions after it into this subscription.
+	startSeq int64
+}
+
+// NewSubscription prepares a subscription; Target must use the view's
+// column layout.
+func NewSubscription(view *catalog.View, base *catalog.Table, target *storage.Table) (*Subscription, error) {
+	sub := &Subscription{View: view, Base: base, Target: target, preds: view.Preds}
+	for _, col := range view.Columns {
+		o := base.ColumnIndex(col)
+		if o < 0 {
+			return nil, fmt.Errorf("repl: view %s column %s not on base %s", view.Name, col, base.Name)
+		}
+		sub.projOrds = append(sub.projOrds, o)
+	}
+	for _, pk := range base.PrimaryKey {
+		o := base.ColumnIndex(pk)
+		if o < 0 {
+			return nil, fmt.Errorf("repl: base %s primary key %s missing", base.Name, pk)
+		}
+		sub.pkOrds = append(sub.pkOrds, o)
+	}
+	return sub, nil
+}
+
+// covers reports whether a base row falls inside the view's selection.
+func (s *Subscription) covers(baseRow sqltypes.Row) bool {
+	for _, p := range s.preds {
+		o := s.Base.ColumnIndex(p.Column)
+		v := baseRow[o]
+		if v.IsNull() {
+			return false
+		}
+		c := v.Compare(p.Value)
+		ok := false
+		switch p.Op {
+		case catalog.OpEQ:
+			ok = c == 0
+		case catalog.OpLT:
+			ok = c < 0
+		case catalog.OpLE:
+			ok = c <= 0
+		case catalog.OpGT:
+			ok = c > 0
+		case catalog.OpGE:
+			ok = c >= 0
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// project maps a base row to the view's layout.
+func (s *Subscription) project(baseRow sqltypes.Row) sqltypes.Row {
+	out := make(sqltypes.Row, len(s.projOrds))
+	for i, o := range s.projOrds {
+		out[i] = baseRow[o]
+	}
+	return out
+}
+
+func (s *Subscription) pkOf(baseRow sqltypes.Row) sqltypes.Row {
+	out := make(sqltypes.Row, len(s.pkOrds))
+	for i, o := range s.pkOrds {
+		out[i] = baseRow[o]
+	}
+	return out
+}
+
+// viewPK extracts the primary-key values from a *view-layout* row.
+func (s *Subscription) viewPK(viewRow sqltypes.Row) sqltypes.Row {
+	out := make(sqltypes.Row, 0, len(s.Base.PrimaryKey))
+	for _, pk := range s.Base.PrimaryKey {
+		out = append(out, viewRow[s.View.ColumnIndex(pk)])
+	}
+	return out
+}
+
+// apply replays one base-table change into the view.
+func (s *Subscription) apply(ch txn.Change) error {
+	switch ch.Op {
+	case txn.OpInsert:
+		if !s.covers(ch.New) {
+			return nil
+		}
+		return s.Target.Insert(s.project(ch.New))
+	case txn.OpDelete:
+		if !s.covers(ch.Old) {
+			return nil
+		}
+		_, _ = s.Target.Delete(s.pkOf(ch.Old))
+		return nil
+	case txn.OpUpdate:
+		inOld, inNew := s.covers(ch.Old), s.covers(ch.New)
+		switch {
+		case inOld && inNew:
+			oldPK, newPK := s.pkOf(ch.Old), s.pkOf(ch.New)
+			if oldPK.Equal(newPK) {
+				_, err := s.Target.Update(s.project(ch.New))
+				return err
+			}
+			s.Target.Delete(oldPK)
+			return s.Target.Insert(s.project(ch.New))
+		case inOld:
+			s.Target.Delete(s.pkOf(ch.Old))
+			return nil
+		case inNew:
+			return s.Target.Insert(s.project(ch.New))
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// HeartbeatSink receives the region's replicated heartbeat timestamp.
+type HeartbeatSink interface {
+	// SetLastSync records that the region's local heartbeat table now holds
+	// the given timestamp.
+	SetLastSync(regionID int, ts time.Time)
+}
+
+// Agent is the distribution agent for one currency region.
+type Agent struct {
+	Region *catalog.Region
+
+	log        *txn.Log
+	hbTable    string
+	hbSink     HeartbeatSink
+	mu         sync.Mutex
+	subs       []*Subscription
+	lastSeq    int64
+	applied    int64 // transactions applied, for stats
+	lastSynced time.Time
+}
+
+// NewAgent creates an agent reading the given commit log. hbTable names the
+// back-end heartbeat table whose rows for this region are routed to sink.
+func NewAgent(region *catalog.Region, log *txn.Log, hbTable string, sink HeartbeatSink) *Agent {
+	return &Agent{Region: region, log: log, hbTable: hbTable, hbSink: sink}
+}
+
+// Subscribe adds a view to the region. The caller must populate the target
+// by calling InitialSync (or guarantee emptiness of the base table).
+func (a *Agent) Subscribe(sub *Subscription) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.subs = append(a.subs, sub)
+}
+
+// InitialSync populates a subscription's target from a snapshot of the base
+// table and aligns the agent's log position to that snapshot. In the real
+// system the snapshot and the log position are taken atomically; here the
+// caller must guarantee no concurrent commits (callers run it during
+// quiesced setup).
+func (a *Agent) InitialSync(sub *Subscription, baseData *storage.Table) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sub.Target.Clear()
+	var err error
+	baseData.Scan(func(r sqltypes.Row) bool {
+		if sub.covers(r) {
+			if e := sub.Target.Insert(sub.project(r)); e != nil {
+				err = e
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	sub.startSeq = a.log.LastSeq()
+	return nil
+}
+
+// Step performs one propagation wake-up at time now: it applies, in commit
+// order, every transaction that committed at or before now - delay.
+func (a *Agent) Step(now time.Time) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cutoff := now.Add(-a.Region.UpdateDelay)
+	records := a.log.SinceUntil(a.lastSeq, cutoff)
+	for _, rec := range records {
+		for _, ch := range rec.Changes {
+			if ch.Table == a.hbTable {
+				a.applyHeartbeat(ch)
+				continue
+			}
+			for _, sub := range a.subs {
+				if sub.Base.Name != ch.Table || rec.TS.Seq <= sub.startSeq {
+					continue
+				}
+				if err := sub.apply(ch); err != nil {
+					return fmt.Errorf("repl: region %d applying seq %d: %w", a.Region.ID, rec.TS.Seq, err)
+				}
+			}
+		}
+		a.lastSeq = rec.TS.Seq
+		a.applied++
+	}
+	return nil
+}
+
+func (a *Agent) applyHeartbeat(ch txn.Change) {
+	row := ch.New
+	if row == nil {
+		return
+	}
+	cid := int(row[0].Int())
+	if cid != a.Region.ID {
+		return // another region's heartbeat row
+	}
+	ts := row[1].Time()
+	a.lastSynced = ts
+	if a.hbSink != nil {
+		a.hbSink.SetLastSync(cid, ts)
+	}
+}
+
+// LastSeq returns the last applied commit sequence number.
+func (a *Agent) LastSeq() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastSeq
+}
+
+// TransactionsApplied returns how many commits the agent has replayed.
+func (a *Agent) TransactionsApplied() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// Run drives the agent against a live clock: it sleeps the region's update
+// interval (re-read every cycle so reconfiguration takes effect), performs
+// one propagation Step, and repeats until stop is closed. Errors are
+// delivered to errs if non-nil. Use the Coordinator instead for
+// deterministic virtual-time simulations.
+func (a *Agent) Run(clock vclock.Clock, stop <-chan struct{}, errs chan<- error) {
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-clock.After(a.Region.UpdateInterval):
+			if err := a.Step(now); err != nil {
+				if errs != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+				return
+			}
+		}
+	}
+}

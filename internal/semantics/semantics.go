@@ -1,0 +1,244 @@
+// Package semantics is an executable rendering of the paper's formal model
+// (Appendix 8): master objects and copies, transaction timestamps
+// (xtime), stale points, currency, the distance between objects, and
+// Θ-consistency / snapshot consistency of object sets.
+//
+// It exists to *check* the running system against the paper's definitions:
+// tests replay a master history, compute each cached object's formal
+// currency and the cache's consistency bound, and assert that replication
+// and guards deliver what the definitions promise. The model is
+// deliberately independent of the engine packages — it reimplements the
+// semantics from the paper's text, so agreement between the two is
+// evidence, not tautology.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ObjectID identifies a master object (the model's granularity is abstract;
+// tests typically use one object per row).
+type ObjectID string
+
+// Version is one committed value of an object.
+type Version struct {
+	// XTime is the transaction timestamp of the update that produced this
+	// version (Appendix 8.1: integer ids assigned in commit order).
+	XTime int64
+	// At is the commit wall-clock time of that transaction.
+	At time.Time
+	// Value is the object's value in this version (opaque).
+	Value string
+	// Deleted marks a deletion version.
+	Deleted bool
+}
+
+// History is the master history H_n: for each object, its committed
+// versions in xtime order, plus the global commit sequence.
+type History struct {
+	versions map[ObjectID][]Version
+	commits  []int64 // xtime of every committed transaction, ascending
+	times    map[int64]time.Time
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{versions: map[ObjectID][]Version{}, times: map[int64]time.Time{}}
+}
+
+// Commit appends transaction xtime at wall time at, modifying the given
+// objects to the given values. XTimes must be strictly increasing.
+func (h *History) Commit(xtime int64, at time.Time, writes map[ObjectID]string) error {
+	if n := len(h.commits); n > 0 && h.commits[n-1] >= xtime {
+		return fmt.Errorf("semantics: xtime %d not increasing", xtime)
+	}
+	h.commits = append(h.commits, xtime)
+	h.times[xtime] = at
+	for id, val := range writes {
+		h.versions[id] = append(h.versions[id], Version{XTime: xtime, At: at, Value: val})
+	}
+	return nil
+}
+
+// Delete appends a deletion of the object.
+func (h *History) Delete(xtime int64, at time.Time, id ObjectID) error {
+	if n := len(h.commits); n > 0 && h.commits[n-1] >= xtime {
+		return fmt.Errorf("semantics: xtime %d not increasing", xtime)
+	}
+	h.commits = append(h.commits, xtime)
+	h.times[xtime] = at
+	h.versions[id] = append(h.versions[id], Version{XTime: xtime, At: at, Deleted: true})
+	return nil
+}
+
+// LastXTime returns the timestamp of the latest committed transaction
+// (0 if none) — the model's T_n.
+func (h *History) LastXTime() int64 {
+	if len(h.commits) == 0 {
+		return 0
+	}
+	return h.commits[len(h.commits)-1]
+}
+
+// XTimeMaster returns xtime(O, H_n) for the master object: the timestamp of
+// the latest transaction in the history (restricted to xtimes <= asOf) that
+// modified O; ok=false if O was never modified by then.
+func (h *History) XTimeMaster(id ObjectID, asOf int64) (int64, bool) {
+	vs := h.versions[id]
+	var out int64
+	found := false
+	for _, v := range vs {
+		if v.XTime <= asOf {
+			out = v.XTime
+			found = true
+		}
+	}
+	return out, found
+}
+
+// Return gives return(O, s) for the master state at snapshot asOf: the
+// object's value, and ok=false if absent (never inserted, or deleted).
+func (h *History) Return(id ObjectID, asOf int64) (string, bool) {
+	vs := h.versions[id]
+	val, ok := "", false
+	for _, v := range vs {
+		if v.XTime > asOf {
+			break
+		}
+		if v.Deleted {
+			val, ok = "", false
+		} else {
+			val, ok = v.Value, true
+		}
+	}
+	return val, ok
+}
+
+// Copy is a cached copy C of a master object: the value it holds and the
+// xtime it was synchronized at (copied from the master object by the
+// copy-transaction, Appendix 8.1).
+type Copy struct {
+	ID ObjectID
+	// SyncXTime is xtime(C, H_n): the master version the copy reflects.
+	SyncXTime int64
+	Value     string
+	// Present is false when the copy (correctly) reflects a deleted or
+	// never-inserted object.
+	Present bool
+}
+
+// StalePoint computes stale(C, H_n): the xtime of the first transaction
+// that modified master(C) after the copy's sync point; if the copy is not
+// stale it returns the last committed xtime (per the appendix convention).
+func (h *History) StalePoint(c Copy, asOf int64) int64 {
+	for _, v := range h.versions[c.ID] {
+		if v.XTime > c.SyncXTime && v.XTime <= asOf {
+			return v.XTime
+		}
+	}
+	return asOf
+}
+
+// Currency computes currency(C, H_n) = time(T_n) - time(stale(C, H_n)) —
+// how long the copy has been stale, in wall time, as of the transaction
+// with timestamp asOf. A copy that is not stale has currency 0.
+func (h *History) Currency(c Copy, asOf int64) time.Duration {
+	sp := h.StalePoint(c, asOf)
+	if sp >= asOf {
+		return 0
+	}
+	return h.timeOf(asOf).Sub(h.timeOf(sp))
+}
+
+func (h *History) timeOf(xtime int64) time.Time {
+	if t, ok := h.times[xtime]; ok {
+		return t
+	}
+	// asOf may fall between commits; use the latest commit at or before it.
+	i := sort.Search(len(h.commits), func(i int) bool { return h.commits[i] > xtime })
+	if i == 0 {
+		return time.Time{}
+	}
+	return h.times[h.commits[i-1]]
+}
+
+// SnapshotConsistentAt reports whether copy C is snapshot consistent with
+// respect to snapshot asOf (Appendix 8.5): its value equals the master's
+// value at asOf and its sync point equals the master object's xtime at
+// asOf.
+func (h *History) SnapshotConsistentAt(c Copy, asOf int64) bool {
+	wantVal, present := h.Return(c.ID, asOf)
+	if present != c.Present {
+		return false
+	}
+	if present && wantVal != c.Value {
+		return false
+	}
+	wantX, modified := h.XTimeMaster(c.ID, asOf)
+	if !modified {
+		return c.SyncXTime <= asOf // untouched object: any earlier sync point agrees
+	}
+	return c.SyncXTime >= wantX
+}
+
+// SnapshotConsistent reports whether the set of copies is snapshot
+// consistent with respect to SOME snapshot H_m with m <= asOf, returning
+// the witness snapshot.
+func (h *History) SnapshotConsistent(copies []Copy, asOf int64) (int64, bool) {
+	// Candidate snapshots: each copy's sync point (plus asOf itself).
+	cands := map[int64]bool{asOf: true}
+	for _, c := range copies {
+		cands[c.SyncXTime] = true
+	}
+	var sorted []int64
+	for m := range cands {
+		if m <= asOf {
+			sorted = append(sorted, m)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	for _, m := range sorted {
+		all := true
+		for _, c := range copies {
+			if !h.SnapshotConsistentAt(c, m) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Distance computes distance(A, B, H_n) per Appendix 8.5: with xtime(A) <=
+// xtime(B) = T_m, the distance is currency(A, H_m) — how far A is from
+// being snapshot consistent with B's snapshot.
+func (h *History) Distance(a, b Copy, asOf int64) time.Duration {
+	if a.SyncXTime > b.SyncXTime {
+		a, b = b, a
+	}
+	m := b.SyncXTime
+	if m > asOf {
+		m = asOf
+	}
+	return h.Currency(a, m)
+}
+
+// ConsistencyBound computes the Θ-consistency bound of a set of copies:
+// the maximum pairwise distance (Appendix 8.5). A bound of 0 means the set
+// is snapshot consistent with respect to the newest member's snapshot.
+func (h *History) ConsistencyBound(copies []Copy, asOf int64) time.Duration {
+	var max time.Duration
+	for i := range copies {
+		for j := i + 1; j < len(copies); j++ {
+			if d := h.Distance(copies[i], copies[j], asOf); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

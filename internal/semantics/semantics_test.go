@@ -1,0 +1,178 @@
+package semantics
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2004, 6, 13, 0, 0, 0, 0, time.UTC)
+
+// threeUpdateHistory: x=a@1(0s), x=b@3(10s), y=c@5(20s), x deleted@7(30s).
+func threeUpdateHistory(t *testing.T) *History {
+	t.Helper()
+	h := NewHistory()
+	steps := []struct {
+		x      int64
+		at     time.Duration
+		id     ObjectID
+		val    string
+		delete bool
+	}{
+		{1, 0, "x", "a", false},
+		{3, 10 * time.Second, "x", "b", false},
+		{5, 20 * time.Second, "y", "c", false},
+		{7, 30 * time.Second, "x", "", true},
+	}
+	for _, s := range steps {
+		var err error
+		if s.delete {
+			err = h.Delete(s.x, t0.Add(s.at), s.id)
+		} else {
+			err = h.Commit(s.x, t0.Add(s.at), map[ObjectID]string{s.id: s.val})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestHistoryBasics(t *testing.T) {
+	h := threeUpdateHistory(t)
+	if h.LastXTime() != 7 {
+		t.Fatalf("last xtime = %d", h.LastXTime())
+	}
+	if err := h.Commit(2, t0, nil); err == nil {
+		t.Fatal("non-increasing xtime accepted")
+	}
+	if err := h.Delete(6, t0, "z"); err == nil {
+		t.Fatal("non-increasing delete xtime accepted")
+	}
+}
+
+func TestReturnAndXTime(t *testing.T) {
+	h := threeUpdateHistory(t)
+	cases := []struct {
+		id      ObjectID
+		asOf    int64
+		want    string
+		present bool
+	}{
+		{"x", 1, "a", true},
+		{"x", 2, "a", true},
+		{"x", 3, "b", true},
+		{"x", 6, "b", true},
+		{"x", 7, "", false}, // deleted
+		{"y", 4, "", false}, // not yet inserted
+		{"y", 5, "c", true},
+	}
+	for _, c := range cases {
+		got, present := h.Return(c.id, c.asOf)
+		if got != c.want || present != c.present {
+			t.Errorf("Return(%s, %d) = %q,%v want %q,%v", c.id, c.asOf, got, present, c.want, c.present)
+		}
+	}
+	if x, ok := h.XTimeMaster("x", 6); !ok || x != 3 {
+		t.Fatalf("xtime(x,6) = %d,%v", x, ok)
+	}
+	if _, ok := h.XTimeMaster("y", 4); ok {
+		t.Fatal("xtime before first write")
+	}
+}
+
+func TestStalePointAndCurrency(t *testing.T) {
+	h := threeUpdateHistory(t)
+	// Copy of x synced at xtime 1 (value a).
+	c := Copy{ID: "x", SyncXTime: 1, Value: "a", Present: true}
+	// At asOf 2 (before the second update) the copy is not stale.
+	if sp := h.StalePoint(c, 2); sp != 2 {
+		t.Fatalf("stale point before staleness = %d", sp)
+	}
+	if cur := h.Currency(c, 2); cur != 0 {
+		t.Fatalf("currency of fresh copy = %v", cur)
+	}
+	// At asOf 7 the copy became stale at xtime 3 (t=10s); the history's
+	// latest commit is at t=30s: currency = 20s.
+	if sp := h.StalePoint(c, 7); sp != 3 {
+		t.Fatalf("stale point = %d", sp)
+	}
+	if cur := h.Currency(c, 7); cur != 20*time.Second {
+		t.Fatalf("currency = %v", cur)
+	}
+}
+
+func TestSnapshotConsistentAt(t *testing.T) {
+	h := threeUpdateHistory(t)
+	fresh := Copy{ID: "x", SyncXTime: 3, Value: "b", Present: true}
+	if !h.SnapshotConsistentAt(fresh, 3) || !h.SnapshotConsistentAt(fresh, 6) {
+		t.Fatal("fresh copy should be consistent at its snapshot")
+	}
+	if h.SnapshotConsistentAt(fresh, 1) {
+		t.Fatal("copy cannot be consistent with an older snapshot holding a different value")
+	}
+	if h.SnapshotConsistentAt(fresh, 7) {
+		t.Fatal("deleted master: stale copy not consistent at 7")
+	}
+	gone := Copy{ID: "x", SyncXTime: 7, Present: false}
+	if !h.SnapshotConsistentAt(gone, 7) {
+		t.Fatal("deletion-aware copy consistent at 7")
+	}
+	// An object never touched: any sync point at or before works.
+	untouched := Copy{ID: "z", SyncXTime: 2, Present: false}
+	if !h.SnapshotConsistentAt(untouched, 5) {
+		t.Fatal("untouched object")
+	}
+}
+
+func TestSnapshotConsistentSet(t *testing.T) {
+	h := threeUpdateHistory(t)
+	// Both copies from snapshot 5.
+	set := []Copy{
+		{ID: "x", SyncXTime: 3, Value: "b", Present: true},
+		{ID: "y", SyncXTime: 5, Value: "c", Present: true},
+	}
+	m, ok := h.SnapshotConsistent(set, 6)
+	if !ok || m < 5 {
+		t.Fatalf("witness = %d, %v (any snapshot >= 5 is valid: no commit in between)", m, ok)
+	}
+	// Mixed snapshots that do not line up: x from snapshot 1, y from 5 —
+	// at snapshot 5 x's value should be b, at snapshot 1 y should be
+	// absent: no witness.
+	bad := []Copy{
+		{ID: "x", SyncXTime: 1, Value: "a", Present: true},
+		{ID: "y", SyncXTime: 5, Value: "c", Present: true},
+	}
+	if _, ok := h.SnapshotConsistent(bad, 6); ok {
+		t.Fatal("inconsistent set accepted")
+	}
+}
+
+func TestDistanceAndConsistencyBound(t *testing.T) {
+	h := threeUpdateHistory(t)
+	a := Copy{ID: "x", SyncXTime: 1, Value: "a", Present: true} // stale since xtime 3 (t=10s)
+	b := Copy{ID: "y", SyncXTime: 5, Value: "c", Present: true} // current at 5 (t=20s)
+	// distance(a, b) = currency(a, H_5) = time(5) - time(3) = 10s.
+	if d := h.Distance(a, b, 7); d != 10*time.Second {
+		t.Fatalf("distance = %v", d)
+	}
+	// Symmetric argument order.
+	if d := h.Distance(b, a, 7); d != 10*time.Second {
+		t.Fatalf("distance flipped = %v", d)
+	}
+	// A Θ-consistent set with bound 0 is snapshot consistent w.r.t. the
+	// newest member's snapshot (the appendix's observation).
+	consistent := []Copy{
+		{ID: "x", SyncXTime: 3, Value: "b", Present: true},
+		{ID: "y", SyncXTime: 5, Value: "c", Present: true},
+	}
+	if bound := h.ConsistencyBound(consistent, 6); bound != 0 {
+		t.Fatalf("bound = %v", bound)
+	}
+	if _, ok := h.SnapshotConsistent(consistent, 6); !ok {
+		t.Fatal("bound-0 set must be snapshot consistent")
+	}
+	inconsistent := []Copy{a, b}
+	if bound := h.ConsistencyBound(inconsistent, 7); bound != 10*time.Second {
+		t.Fatalf("bound = %v", bound)
+	}
+}

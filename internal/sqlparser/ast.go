@@ -1,0 +1,524 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression.
+type Expr interface {
+	expr()
+	// SQL renders the expression back to SQL text (used to build remote
+	// queries and for diagnostics).
+	SQL() string
+}
+
+// SelectStmt is a Select-From-Where block, possibly with a currency clause
+// (which, per the paper, occurs last in the block).
+type SelectStmt struct {
+	Distinct bool
+	Top      int64 // 0 = no TOP
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Currency *CurrencyClause
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection item. Star items select every column,
+// optionally qualified (T.*).
+type SelectItem struct {
+	Star      bool
+	StarTable string
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is an entry in the FROM clause.
+type TableRef interface {
+	tableRef()
+	// SQL renders the table reference back to SQL.
+	SQL() string
+}
+
+// TableName references a base table or view, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableRef() {}
+
+// Binding returns the name the table is known by in the block: its alias if
+// present, else the table name.
+func (t *TableName) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// SQL implements TableRef.
+func (t *TableName) SQL() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// SubqueryRef is a derived table in the FROM clause.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryRef) tableRef() {}
+
+// SQL implements TableRef.
+func (s *SubqueryRef) SQL() string { return "(" + SelectSQL(s.Select) + ") " + s.Alias }
+
+// JoinRef is an explicit JOIN with an ON condition.
+type JoinRef struct {
+	Left  TableRef
+	Right TableRef
+	On    Expr
+}
+
+func (*JoinRef) tableRef() {}
+
+// SQL implements TableRef.
+func (j *JoinRef) SQL() string {
+	return j.Left.SQL() + " JOIN " + j.Right.SQL() + " ON " + j.On.SQL()
+}
+
+// CurrencyClause is the paper's proposed SQL extension: a list of triples,
+// each giving a staleness bound for a consistency class of tables, with
+// optional grouping columns ("BY R.isbn").
+type CurrencyClause struct {
+	Triples []CurrencyTriple
+}
+
+// CurrencyTriple is one (bound, consistency class, grouping columns) triple.
+type CurrencyTriple struct {
+	Bound  time.Duration
+	Tables []string // table names or block-level aliases
+	By     []ColumnRef
+}
+
+// SQL renders the clause.
+func (c *CurrencyClause) SQL() string {
+	var parts []string
+	for _, t := range c.Triples {
+		s := fmt.Sprintf("%s ON (%s)", formatBound(t.Bound), strings.Join(t.Tables, ", "))
+		if len(t.By) > 0 {
+			var cols []string
+			for _, b := range t.By {
+				cols = append(cols, b.SQL())
+			}
+			s += " BY " + strings.Join(cols, ", ")
+		}
+		parts = append(parts, s)
+	}
+	return "CURRENCY " + strings.Join(parts, ", ")
+}
+
+func formatBound(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0 SEC"
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%d HOUR", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%d MIN", d/time.Minute)
+	case d%time.Second == 0:
+		return fmt.Sprintf("%d SEC", d/time.Second)
+	default:
+		return fmt.Sprintf("%d MS", d/time.Millisecond)
+	}
+}
+
+// InsertStmt is INSERT INTO t (cols) VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// Assignment is one SET column = expr pair.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE t SET ... WHERE ...
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM t WHERE ...
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       sqltypes.Kind
+	NotNull    bool
+	PrimaryKey bool // column-level PRIMARY KEY shorthand
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Table      string
+	Columns    []ColumnDef
+	PrimaryKey []string // table-level PRIMARY KEY(...)
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] [CLUSTERED] INDEX name ON t (cols).
+type CreateIndexStmt struct {
+	Name      string
+	Table     string
+	Columns   []string
+	Unique    bool
+	Clustered bool
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// BeginTimeOrderedStmt opens a timeline-consistency bracket (Section 2.3).
+type BeginTimeOrderedStmt struct{}
+
+func (*BeginTimeOrderedStmt) stmt() {}
+
+// EndTimeOrderedStmt closes a timeline-consistency bracket.
+type EndTimeOrderedStmt struct{}
+
+func (*EndTimeOrderedStmt) stmt() {}
+
+// ---- Expressions ----
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+// SQL implements Expr.
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val sqltypes.Value
+}
+
+func (*Literal) expr() {}
+
+// SQL implements Expr.
+func (l *Literal) SQL() string { return l.Val.String() }
+
+// ParamRef is a $name query-schema parameter, replaced via Bind.
+type ParamRef struct {
+	Name string
+}
+
+func (*ParamRef) expr() {}
+
+// SQL implements Expr.
+func (p *ParamRef) SQL() string { return "$" + p.Name }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAnd BinOp = iota
+	OpOr
+	OpEQ
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String renders the operator as SQL.
+func (op BinOp) String() string {
+	switch op {
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("BinOp(%d)", int(op))
+	}
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          BinOp
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// SQL implements Expr.
+func (b *BinaryExpr) SQL() string {
+	return "(" + b.Left.SQL() + " " + b.Op.String() + " " + b.Right.SQL() + ")"
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	Inner Expr
+}
+
+func (*NotExpr) expr() {}
+
+// SQL implements Expr.
+func (n *NotExpr) SQL() string { return "(NOT " + n.Inner.SQL() + ")" }
+
+// NegExpr is arithmetic negation.
+type NegExpr struct {
+	Inner Expr
+}
+
+func (*NegExpr) expr() {}
+
+// SQL implements Expr.
+func (n *NegExpr) SQL() string { return "(-" + n.Inner.SQL() + ")" }
+
+// BetweenExpr is x BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Expr   Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// SQL implements Expr.
+func (b *BetweenExpr) SQL() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return "(" + b.Expr.SQL() + " " + not + "BETWEEN " + b.Lo.SQL() + " AND " + b.Hi.SQL() + ")"
+}
+
+// InExpr is x IN (list) or x IN (subquery).
+type InExpr struct {
+	Expr     Expr
+	List     []Expr
+	Subquery *SelectStmt
+	Not      bool
+}
+
+func (*InExpr) expr() {}
+
+// SQL implements Expr.
+func (e *InExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	if e.Subquery != nil {
+		return "(" + e.Expr.SQL() + " " + not + "IN (" + SelectSQL(e.Subquery) + "))"
+	}
+	var parts []string
+	for _, item := range e.List {
+		parts = append(parts, item.SQL())
+	}
+	return "(" + e.Expr.SQL() + " " + not + "IN (" + strings.Join(parts, ", ") + "))"
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Subquery *SelectStmt
+	Not      bool
+}
+
+func (*ExistsExpr) expr() {}
+
+// SQL implements Expr.
+func (e *ExistsExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return "(" + not + "EXISTS (" + SelectSQL(e.Subquery) + "))"
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// SQL implements Expr.
+func (e *IsNullExpr) SQL() string {
+	if e.Not {
+		return "(" + e.Expr.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.Expr.SQL() + " IS NULL)"
+}
+
+// FuncExpr is a function call: aggregates (COUNT, SUM, AVG, MIN, MAX) or
+// scalar functions (GETDATE).
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (*FuncExpr) expr() {}
+
+// SQL implements Expr.
+func (f *FuncExpr) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	var parts []string
+	for _, a := range f.Args {
+		parts = append(parts, a.SQL())
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// IsAggregate reports whether the function is one of the aggregate
+// functions.
+func (f *FuncExpr) IsAggregate() bool {
+	switch f.Name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// SelectSQL renders a SELECT statement back to SQL text. The output re-parses
+// to an equivalent statement; it is used to construct remote queries.
+func SelectSQL(s *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Top > 0 {
+		fmt.Fprintf(&b, "TOP %d ", s.Top)
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.StarTable != "":
+			b.WriteString(item.StarTable + ".*")
+		case item.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(item.Expr.SQL())
+			if item.Alias != "" {
+				b.WriteString(" AS " + item.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, tr := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(tr.SQL())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Currency != nil {
+		b.WriteString(" " + s.Currency.SQL())
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package sqlparser implements the SQL dialect used by both servers: a
+// classic SELECT-FROM-WHERE core (joins, subqueries, grouping, ordering),
+// DML, a little DDL — and the paper's extensions: the CURRENCY clause
+// (Section 2) and BEGIN/END TIMEORDERED session brackets (Section 2.3).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokParam // $name query-schema parameter
+	tokPunct // operators and punctuation, Text holds the lexeme
+)
+
+// token is one lexeme with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokParam:
+		return "$" + t.text
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// isKeyword reports whether the identifier token matches the (case-
+// insensitive) keyword.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (t token) isPunct(p string) bool { return t.kind == tokPunct && t.text == p }
+
+// lex splits input into tokens. SQL comments (-- to end of line) are
+// skipped. It returns an error for unterminated strings or stray bytes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '$':
+			start := i
+			i++
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sql: bare $ at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokParam, text: input[start+1 : i], pos: start})
+		default:
+			// Multi-char operators first.
+			rest := input[i:]
+			matched := ""
+			for _, op := range []string{"<=", ">=", "<>", "!=", "="} {
+				if strings.HasPrefix(rest, op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				if strings.ContainsRune("(),.*+-/<>;", rune(c)) {
+					matched = string(c)
+				} else {
+					return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+				}
+			}
+			adv := len(matched)
+			if matched == "!=" {
+				matched = "<>" // canonicalize
+			}
+			toks = append(toks, token{kind: tokPunct, text: matched, pos: i})
+			i += adv
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || c >= '0' && c <= '9'
+}

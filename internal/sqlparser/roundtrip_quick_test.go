@@ -1,0 +1,137 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// genExpr builds a random expression tree of bounded depth.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &Literal{Val: sqltypes.NewInt(int64(rng.Intn(1000)))}
+		case 1:
+			return &Literal{Val: sqltypes.NewFloat(float64(rng.Intn(100)) + 0.5)}
+		case 2:
+			return &Literal{Val: sqltypes.NewString("s")}
+		default:
+			return &ColumnRef{Table: "t", Column: colNames[rng.Intn(len(colNames))]}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpDiv}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], Left: genExpr(rng, depth-1), Right: genExpr(rng, depth-1)}
+	case 1:
+		ops := []BinOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], Left: genExpr(rng, depth-1), Right: genExpr(rng, depth-1)}
+	case 2:
+		ops := []BinOp{OpAnd, OpOr}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))], Left: genExpr(rng, depth-1), Right: genExpr(rng, depth-1)}
+	case 3:
+		return &NotExpr{Inner: genExpr(rng, depth-1)}
+	case 4:
+		return &BetweenExpr{Expr: genExpr(rng, depth-1), Lo: genExpr(rng, depth-1), Hi: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	case 5:
+		in := &InExpr{Expr: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+		for i := 0; i <= rng.Intn(3); i++ {
+			in.List = append(in.List, genExpr(rng, depth-1))
+		}
+		return in
+	case 6:
+		return &IsNullExpr{Expr: genExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	default:
+		return &NegExpr{Inner: genExpr(rng, depth-1)}
+	}
+}
+
+var colNames = []string{"a", "b", "c"}
+
+// genSelect builds a random SELECT over table t.
+func genSelect(rng *rand.Rand) *SelectStmt {
+	sel := &SelectStmt{
+		From: []TableRef{&TableName{Name: "t"}},
+	}
+	for i := 0; i <= rng.Intn(3); i++ {
+		sel.Items = append(sel.Items, SelectItem{Expr: genExpr(rng, 2)})
+	}
+	if rng.Intn(2) == 0 {
+		sel.Where = genExpr(rng, 3)
+	}
+	if rng.Intn(3) == 0 {
+		sel.Top = int64(1 + rng.Intn(10))
+	}
+	if rng.Intn(3) == 0 {
+		sel.Distinct = true
+	}
+	if rng.Intn(3) == 0 {
+		sel.OrderBy = []OrderItem{{Expr: &ColumnRef{Table: "t", Column: "a"}, Desc: rng.Intn(2) == 0}}
+	}
+	if rng.Intn(3) == 0 {
+		triple := CurrencyTriple{
+			Bound:  time.Duration(rng.Intn(600)) * time.Second,
+			Tables: []string{"t"},
+		}
+		if rng.Intn(2) == 0 {
+			triple.By = []ColumnRef{{Table: "t", Column: "a"}}
+		}
+		sel.Currency = &CurrencyClause{Triples: []CurrencyTriple{triple}}
+	}
+	return sel
+}
+
+// TestQuickGeneratedASTRoundTrips: render a random AST to SQL and parse it
+// back; the parsed form's rendering must be a fixed point of
+// parse-and-render (the first round may canonicalize, e.g. folding
+// -literal, but the second must be stable).
+func TestQuickGeneratedASTRoundTrips(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sel := genSelect(rng)
+		sql1 := SelectSQL(sel)
+		parsed, err := ParseSelect(sql1)
+		if err != nil {
+			t.Logf("seed %d: %q does not parse: %v", seed, sql1, err)
+			return false
+		}
+		sql2 := SelectSQL(parsed)
+		parsed2, err := ParseSelect(sql2)
+		if err != nil {
+			t.Logf("seed %d: canonical %q does not parse: %v", seed, sql2, err)
+			return false
+		}
+		sql3 := SelectSQL(parsed2)
+		if sql2 != sql3 {
+			t.Logf("seed %d: not a fixed point:\n  %s\n  %s", seed, sql2, sql3)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLexerNeverPanics feeds random byte strings to the full parse
+// pipeline; errors are fine, panics are not.
+func TestQuickLexerNeverPanics(t *testing.T) {
+	check := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(input)
+		_, _ = Parse("SELECT " + input)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

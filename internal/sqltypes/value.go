@@ -1,0 +1,334 @@
+// Package sqltypes defines the typed values (datums) flowing through the
+// engine: NULL, 64-bit integers, floats, strings, booleans and timestamps.
+//
+// Values are small immutable structs. Comparison follows SQL ordering with
+// NULL sorting first (as in index keys); numeric kinds compare across
+// INT/FLOAT. Key encodes composite keys into order-preserving byte strings so
+// they can double as hash-map keys in joins and aggregation.
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindTime:
+		return "TIMESTAMP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL datum. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // KindInt; KindBool (0/1); KindTime (ns since Unix epoch, UTC)
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, i: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// NewTime returns a timestamp value (stored with nanosecond precision, UTC).
+func NewTime(t time.Time) Value { return Value{kind: KindTime, i: t.UTC().UnixNano()} }
+
+// Kind returns the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer contents. It panics on non-integer kinds.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("sqltypes: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the value as float64, converting from integer if needed.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("sqltypes: Float() on " + v.kind.String())
+	}
+}
+
+// Str returns the string contents. It panics on non-string kinds.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("sqltypes: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean contents. It panics on non-boolean kinds.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("sqltypes: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Time returns the timestamp contents. It panics on non-timestamp kinds.
+func (v Value) Time() time.Time {
+	if v.kind != KindTime {
+		panic("sqltypes: Time() on " + v.kind.String())
+	}
+	return time.Unix(0, v.i).UTC()
+}
+
+// IsNumeric reports whether the value is INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for display. Strings are quoted; NULL prints as
+// NULL.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindTime:
+		return v.Time().Format("'2006-01-02 15:04:05.000000000'")
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Display renders the value for result output: like String but without
+// quoting strings.
+func (v Value) Display() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	if v.kind == KindTime {
+		return v.Time().Format("2006-01-02 15:04:05")
+	}
+	return v.String()
+}
+
+// Compare orders two values: -1 if v < w, 0 if equal, +1 if v > w.
+//
+// NULL sorts before every non-NULL value (index-key order). INT and FLOAT
+// compare numerically across kinds. Comparing other mixed kinds orders by
+// Kind, which keeps sorting total; predicate evaluation rejects such
+// comparisons before reaching here.
+func (v Value) Compare(w Value) int {
+	if v.kind == KindNull || w.kind == KindNull {
+		switch {
+		case v.kind == w.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && w.IsNumeric() {
+		if v.kind == KindInt && w.kind == KindInt {
+			return cmpInt(v.i, w.i)
+		}
+		return cmpFloat(v.Float(), w.Float())
+	}
+	if v.kind != w.kind {
+		return cmpInt(int64(v.kind), int64(w.kind))
+	}
+	switch v.kind {
+	case KindBool, KindTime:
+		return cmpInt(v.i, w.i)
+	case KindString:
+		return strings.Compare(v.s, w.s)
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether the two values compare equal. NULL equals NULL here
+// (useful for grouping); SQL three-valued equality lives in the expression
+// evaluator.
+func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a copy of the row with its own backing array.
+func (r Row) Clone() Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports element-wise equality of two rows.
+func (r Row) Equal(s Row) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row as a parenthesized value list.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key encodes a composite key into an order-preserving byte string:
+// comparing two encoded keys with bytes.Compare (or using them as map keys
+// for equality) agrees with element-wise Value.Compare. INT and FLOAT values
+// encode identically when numerically equal.
+func Key(vals ...Value) string {
+	var b []byte
+	for _, v := range vals {
+		b = appendKey(b, v)
+	}
+	return string(b)
+}
+
+// RowKey is Key applied to a whole row.
+func RowKey(r Row) string { return Key(r...) }
+
+func appendKey(b []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 0x00)
+	case KindBool:
+		return append(b, 0x01, byte(v.i))
+	case KindInt, KindFloat:
+		// Shared numeric tag so 1 and 1.0 encode identically.
+		b = append(b, 0x02)
+		return appendFloatKey(b, v.Float())
+	case KindString:
+		b = append(b, 0x03)
+		// Escape 0x00 so the terminator is unambiguous.
+		for i := 0; i < len(v.s); i++ {
+			c := v.s[i]
+			if c == 0x00 {
+				b = append(b, 0x00, 0xFF)
+			} else {
+				b = append(b, c)
+			}
+		}
+		return append(b, 0x00, 0x00)
+	case KindTime:
+		b = append(b, 0x04)
+		return appendUint64(b, uint64(v.i)^(1<<63))
+	default:
+		panic("sqltypes: Key on unknown kind")
+	}
+}
+
+func appendFloatKey(b []byte, f float64) []byte {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		u = ^u // negative: flip all bits
+	} else {
+		u ^= 1 << 63 // positive: flip sign bit
+	}
+	return appendUint64(b, u)
+}
+
+func appendUint64(b []byte, u uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	return append(b, buf[:]...)
+}

@@ -1,0 +1,252 @@
+package sqltypes
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOLEAN", KindInt: "BIGINT",
+		KindFloat: "DOUBLE", KindString: "VARCHAR", KindTime: "TIMESTAMP",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if NewInt(42).Int() != 42 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Float on int")
+	}
+	if NewString("hi").Str() != "hi" {
+		t.Error("Str accessor")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool accessor")
+	}
+	ts := time.Date(2004, 6, 13, 10, 0, 0, 0, time.UTC)
+	if !NewTime(ts).Time().Equal(ts) {
+		t.Error("Time accessor")
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Str on int", func() { NewInt(1).Str() })
+	mustPanic("Bool on int", func() { NewInt(1).Bool() })
+	mustPanic("Time on int", func() { NewInt(1).Time() })
+	mustPanic("Float on string", func() { NewString("x").Float() })
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.0), NewInt(1), 0},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	vals := sampleValues()
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Fatalf("Compare not antisymmetric: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("o'hare"), "'o''hare'"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+	if NewString("x").Display() != "x" {
+		t.Error("Display should not quote strings")
+	}
+}
+
+func TestRowCloneEqual(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = NewInt(2)
+	if r.Equal(c) {
+		t.Fatal("clone shares storage")
+	}
+	if r.Equal(Row{NewInt(1)}) {
+		t.Fatal("rows of different length compared equal")
+	}
+	var nilRow Row
+	if nilRow.Clone() != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+	if r.String() != "(1, 'a')" {
+		t.Fatalf("Row.String = %s", r.String())
+	}
+}
+
+// TestKeyOrderPreserving is the core property: bytes.Compare on encoded keys
+// must agree with Value.Compare, for single values and composites.
+func TestKeyOrderPreserving(t *testing.T) {
+	vals := sampleValues()
+	for _, a := range vals {
+		for _, b := range vals {
+			ka, kb := Key(a), Key(b)
+			want := a.Compare(b)
+			got := bytes.Compare([]byte(ka), []byte(kb))
+			if sign(got) != sign(want) {
+				t.Errorf("key order mismatch: %v vs %v: Compare=%d bytes=%d", a, b, want, got)
+			}
+		}
+	}
+}
+
+func TestKeyCompositeOrder(t *testing.T) {
+	a := Key(NewString("ab"), NewInt(5))
+	b := Key(NewString("ab"), NewInt(6))
+	c := Key(NewString("abc"), NewInt(0))
+	if !(a < b) {
+		t.Error("composite int order")
+	}
+	if !(a < c) {
+		t.Error("prefix string must sort before longer string")
+	}
+	// A string containing 0x00 must not be confused with a terminator.
+	d := Key(NewString("a\x00b"), NewInt(1))
+	e := Key(NewString("a"), NewInt(200))
+	if d <= e {
+		t.Error("embedded NUL ordering")
+	}
+}
+
+func TestKeyIntFloatEqual(t *testing.T) {
+	if Key(NewInt(7)) != Key(NewFloat(7.0)) {
+		t.Error("Key(7) != Key(7.0): numeric keys must unify")
+	}
+}
+
+func TestKeyQuickInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := Key(NewInt(a)), Key(NewInt(b))
+		return sign(bytes.Compare([]byte(ka), []byte(kb))) == sign(cmpInt(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyQuickFloats(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := Key(NewFloat(a)), Key(NewFloat(b))
+		return sign(bytes.Compare([]byte(ka), []byte(kb))) == sign(cmpFloat(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyQuickStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		ka, kb := Key(NewString(a)), Key(NewString(b))
+		want := bytes.Compare([]byte(a), []byte(b))
+		return sign(bytes.Compare([]byte(ka), []byte(kb))) == sign(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowKey(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	if RowKey(r) != Key(NewInt(1), NewString("x")) {
+		t.Error("RowKey disagrees with Key")
+	}
+}
+
+func sampleValues() []Value {
+	rng := rand.New(rand.NewSource(42))
+	vals := []Value{
+		Null, NewBool(false), NewBool(true),
+		NewInt(math.MinInt64), NewInt(-1), NewInt(0), NewInt(1), NewInt(math.MaxInt64),
+		NewFloat(math.Inf(-1)), NewFloat(-1.5), NewFloat(0), NewFloat(1.5), NewFloat(math.Inf(1)),
+		NewString(""), NewString("a"), NewString("a\x00"), NewString("zz"),
+		NewTime(time.Unix(0, 0)), NewTime(time.Unix(1e6, 999)),
+	}
+	for i := 0; i < 20; i++ {
+		vals = append(vals, NewInt(rng.Int63()-rng.Int63()), NewFloat(rng.NormFloat64()*1e6))
+	}
+	return vals
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,189 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func uniform(bounds ...time.Duration) Workload {
+	w := Workload{QueriesPerSecond: 10}
+	for _, b := range bounds {
+		w.Bounds = append(w.Bounds, BoundShare{Bound: b, Weight: 1})
+	}
+	return w
+}
+
+func TestExpectedLocalFraction(t *testing.T) {
+	d := 5 * time.Second
+	f := 100 * time.Second
+	// Single bound: matches the formula directly.
+	w := uniform(55 * time.Second)
+	got, err := ExpectedLocalFraction(w, d, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p = %v", got)
+	}
+	// Mixture: average of the two slices.
+	w = uniform(55*time.Second, 105*time.Second) // 0.5 and 1.0
+	got, _ = ExpectedLocalFraction(w, d, f)
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("mixture p = %v", got)
+	}
+}
+
+func TestCostRateComponents(t *testing.T) {
+	w := uniform(105 * time.Second) // always local at f=100,d=5
+	c := Costs{RefreshCost: 50, RemotePenalty: 3}
+	rate, err := CostRate(w, c, 5*time.Second, 100*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure refresh cost: 50/100 per second.
+	if math.Abs(rate-0.5) > 1e-9 {
+		t.Fatalf("rate = %v", rate)
+	}
+	// Tight bound: never local -> refresh + full remote penalty.
+	w = uniform(1 * time.Second)
+	rate, _ = CostRate(w, c, 5*time.Second, 100*time.Second)
+	if math.Abs(rate-(0.5+10*3)) > 1e-9 {
+		t.Fatalf("rate = %v", rate)
+	}
+	if _, err := CostRate(w, c, time.Second, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestTunePrefersFastRefreshForTightBounds(t *testing.T) {
+	d := 1 * time.Second
+	// Everyone demands 10s currency; remote queries are expensive.
+	w := uniform(10 * time.Second)
+	w.QueriesPerSecond = 100
+	res, err := Tune(w, Costs{RefreshCost: 1, RemotePenalty: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With f <= B-d = 9s everyone stays local; refreshing faster than
+	// needed only adds cost, so the optimum is at (or just below) 9s.
+	if res.Interval > 9*time.Second || res.Interval < 4*time.Second {
+		t.Fatalf("interval = %v", res.Interval)
+	}
+	if res.LocalFraction < 0.999 {
+		t.Fatalf("local fraction = %v", res.LocalFraction)
+	}
+}
+
+func TestTunePrefersSlowRefreshForLooseWorkload(t *testing.T) {
+	d := 1 * time.Second
+	// Queries tolerate an hour of staleness; refresh is expensive.
+	w := uniform(time.Hour)
+	w.QueriesPerSecond = 1
+	res, err := Tune(w, Costs{RefreshCost: 1000, RemotePenalty: 0.1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval < 30*time.Minute {
+		t.Fatalf("interval = %v (should exploit the loose bounds)", res.Interval)
+	}
+}
+
+func TestTuneMixedWorkloadLandsBetween(t *testing.T) {
+	d := 1 * time.Second
+	w := Workload{
+		QueriesPerSecond: 50,
+		Bounds: []BoundShare{
+			{Bound: 5 * time.Second, Weight: 0.5},
+			{Bound: 10 * time.Minute, Weight: 0.5},
+		},
+	}
+	res, err := Tune(w, Costs{RefreshCost: 10, RemotePenalty: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serving the tight half requires f <= 4s; the tuner should find it
+	// worthwhile given the heavy remote penalty.
+	if res.Interval > 4*time.Second {
+		t.Fatalf("interval = %v", res.Interval)
+	}
+	if res.LocalFraction < 0.99 {
+		t.Fatalf("local = %v", res.LocalFraction)
+	}
+}
+
+func TestTuneIgnoresUnservableBounds(t *testing.T) {
+	d := 10 * time.Second
+	// Bounds below the delay can never be served locally; the tuner must
+	// not waste refreshes chasing them.
+	w := Workload{
+		QueriesPerSecond: 10,
+		Bounds: []BoundShare{
+			{Bound: 2 * time.Second, Weight: 0.9}, // unservable (d=10s)
+			{Bound: time.Hour, Weight: 0.1},
+		},
+	}
+	res, err := Tune(w, Costs{RefreshCost: 100, RemotePenalty: 1}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval < time.Minute {
+		t.Fatalf("interval = %v: refreshing fast cannot help this workload", res.Interval)
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	if _, err := Tune(Workload{}, Costs{}, time.Second); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := Tune(uniform(time.Second), Costs{RefreshCost: -1}, time.Second); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	w := Workload{Bounds: []BoundShare{{Bound: time.Second, Weight: -1}}}
+	if _, err := Tune(w, Costs{}, time.Second); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	w = Workload{Bounds: []BoundShare{{Bound: time.Second, Weight: 0}}}
+	if _, err := Tune(w, Costs{}, time.Second); err == nil {
+		t.Fatal("zero-weight workload accepted")
+	}
+}
+
+// TestQuickTuneIsNoWorseThanFixedIntervals property-tests optimality: the
+// tuned interval's cost rate must not exceed the cost rate of a grid of
+// fixed intervals (within numeric tolerance).
+func TestQuickTuneIsNoWorseThanFixedIntervals(t *testing.T) {
+	check := func(seedB1, seedB2 uint16, refTenths, penTenths uint8) bool {
+		w := Workload{
+			QueriesPerSecond: 10,
+			Bounds: []BoundShare{
+				{Bound: time.Duration(1+int(seedB1)%600) * time.Second, Weight: 0.5},
+				{Bound: time.Duration(1+int(seedB2)%600) * time.Second, Weight: 0.5},
+			},
+		}
+		c := Costs{
+			RefreshCost:   float64(1+refTenths) / 2,
+			RemotePenalty: float64(1+penTenths) / 10,
+		}
+		d := 2 * time.Second
+		res, err := Tune(w, c, d)
+		if err != nil {
+			return false
+		}
+		for fSec := 0.5; fSec < 4000; fSec *= 1.7 {
+			rate, err := CostRate(w, c, d, time.Duration(fSec*float64(time.Second)))
+			if err != nil {
+				return false
+			}
+			if rate < res.CostRate-1e-6 {
+				t.Logf("fixed f=%.1fs beats tuned %v: %.6f < %.6f", fSec, res.Interval, rate, res.CostRate)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package txn provides the back-end commit path: monotonically increasing
+// commit timestamps and the commit log that feeds transactional replication.
+//
+// Following the paper's model (Appendix 8.1), update transactions run only
+// against the master database and are assigned integer ids — timestamps — in
+// increasing order as they commit; the history H_n is the sequence of
+// committed transactions. The Log below *is* that history: each CommitRecord
+// carries the transaction's sequence number, its commit time on the master
+// clock, and the row-level changes it made. Distribution agents read the log
+// in order and apply records one transaction at a time, which is what makes
+// all views maintained by one agent mutually snapshot-consistent.
+package txn
+
+import (
+	"sync"
+	"time"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// Op is the kind of row change within a transaction.
+type Op int
+
+// Row-change kinds.
+const (
+	OpInsert Op = iota
+	OpDelete
+	OpUpdate
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpUpdate:
+		return "UPDATE"
+	default:
+		return "Op(?)"
+	}
+}
+
+// Change is one row modification. Old is the before-image (DELETE, UPDATE);
+// New is the after-image (INSERT, UPDATE).
+type Change struct {
+	Table string
+	Op    Op
+	Old   sqltypes.Row
+	New   sqltypes.Row
+}
+
+// Timestamp identifies a committed transaction: its position in the master
+// history (Seq, the paper's integer transaction id) and its commit time.
+type Timestamp struct {
+	Seq int64
+	At  time.Time
+}
+
+// Before reports whether t committed before u in the master history.
+func (t Timestamp) Before(u Timestamp) bool { return t.Seq < u.Seq }
+
+// CommitRecord is one committed transaction in the log.
+type CommitRecord struct {
+	TS      Timestamp
+	Changes []Change
+}
+
+// Log is the master commit history. It is append-only and safe for
+// concurrent use. Sequence numbers start at 1; Seq 0 means "the initial
+// (empty) snapshot".
+type Log struct {
+	mu      sync.RWMutex
+	records []CommitRecord
+}
+
+// NewLog returns an empty commit log.
+func NewLog() *Log { return &Log{} }
+
+// Append atomically appends a transaction's changes, assigning the next
+// sequence number, and returns the commit timestamp.
+func (l *Log) Append(at time.Time, changes []Change) Timestamp {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := Timestamp{Seq: int64(len(l.records)) + 1, At: at}
+	l.records = append(l.records, CommitRecord{TS: ts, Changes: changes})
+	return ts
+}
+
+// Since returns all records with sequence numbers strictly greater than seq,
+// in commit order. The returned slice aliases the log's storage; callers
+// must treat it as read-only.
+func (l *Log) Since(seq int64) []CommitRecord {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if int(seq) >= len(l.records) {
+		return nil
+	}
+	return l.records[seq:]
+}
+
+// SinceUntil returns records with seq < record.Seq and record.At <= cutoff —
+// i.e. the transactions a distribution agent propagates when it wakes up at
+// time cutoff having already applied everything up to seq.
+func (l *Log) SinceUntil(seq int64, cutoff time.Time) []CommitRecord {
+	recs := l.Since(seq)
+	for i, r := range recs {
+		if r.TS.At.After(cutoff) {
+			return recs[:i]
+		}
+	}
+	return recs
+}
+
+// LastSeq returns the sequence number of the most recent commit (0 if none).
+func (l *Log) LastSeq() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return int64(len(l.records))
+}
+
+// LastCommit returns the timestamp of the most recent commit and whether the
+// log is non-empty.
+func (l *Log) LastCommit() (Timestamp, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.records) == 0 {
+		return Timestamp{}, false
+	}
+	return l.records[len(l.records)-1].TS, true
+}
+
+// SeqAt returns the sequence number of the latest transaction committed at
+// or before t (0 if none) — the snapshot the master exposed at time t.
+func (l *Log) SeqAt(t time.Time) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	lo, hi := 0, len(l.records)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.records[mid].TS.At.After(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return int64(lo)
+}
