@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages that exercise concurrent execution paths.
+race:
+	$(GO) test -race ./internal/exec/... ./internal/core/...
+
+# Tier-1 verification line (see ROADMAP.md).
+verify: build vet test race
+
+# Executor benchmarks: row-at-a-time vs batch vs morsel-parallel.
+# Emits BENCH_exec.json with rows/sec per benchmark.
+bench:
+	./scripts/bench.sh

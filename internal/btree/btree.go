@@ -268,6 +268,38 @@ func (t *Tree) AscendRange(start, end string, fn func(key string, val any) bool)
 	}
 }
 
+// AscendLeaves calls fn once per leaf with the keys and payloads falling in
+// [start, end), in ascending order, until fn returns false. The slices alias
+// leaf storage and must not be retained or mutated. It is the bulk
+// counterpart of AscendRange: batch consumers avoid the per-entry callback
+// and amortize traversal to one call per leaf.
+func (t *Tree) AscendLeaves(start, end string, fn func(keys []string, vals []any) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, start)]
+	}
+	i := sort.SearchStrings(n.keys, start)
+	for n != nil {
+		j := len(n.keys)
+		if end != "" && j > 0 && n.keys[j-1] >= end {
+			j = sort.SearchStrings(n.keys, end)
+		}
+		if i < j {
+			if !fn(n.keys[i:j], n.vals[i:j]) {
+				return
+			}
+		}
+		if j < len(n.keys) {
+			return // end bound fell inside this leaf
+		}
+		n = n.next
+		i = 0
+	}
+}
+
 // AscendPrefix calls fn for every entry whose key begins with prefix.
 func (t *Tree) AscendPrefix(prefix string, fn func(key string, val any) bool) {
 	if prefix == "" {

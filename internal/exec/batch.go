@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"sync"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// DefaultBatchSize is the number of rows per batch when the EvalContext does
+// not override it. 1024 keeps a batch of row references well inside L2 while
+// amortizing per-batch overhead to a fraction of a nanosecond per row.
+const DefaultBatchSize = 1024
+
+// BatchOperator is the batch-at-a-time counterpart of Operator. Operators
+// that can produce rows in bulk implement both interfaces; Run prefers the
+// batch path when the root supports it, and the RowAdapter/BatchAdapter pair
+// lets batch and row operators compose freely in one tree.
+//
+// NextBatch returns a non-empty batch and ok=true, or ok=false at end of
+// stream. Batches follow the ownership contract documented on
+// sqltypes.Batch: read-only for the consumer and valid only until the next
+// NextBatch/Close call on this operator.
+type BatchOperator interface {
+	Operator
+	NextBatch() (sqltypes.Batch, bool, error)
+}
+
+// batchSizeOf resolves the tunable batch size from the context.
+func batchSizeOf(ctx *EvalContext) int {
+	if ctx != nil && ctx.BatchSize > 0 {
+		return ctx.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// batchBufPool recycles output buffers for operators that build batches
+// (Filter, Project, HashJoin, MergeJoin, BatchAdapter). Pooled as *Batch so
+// Put does not allocate a header box per cycle.
+var batchBufPool = sync.Pool{
+	New: func() any {
+		b := make(sqltypes.Batch, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
+func getBatchBuf() *sqltypes.Batch { return batchBufPool.Get().(*sqltypes.Batch) }
+
+func putBatchBuf(b *sqltypes.Batch) {
+	if b == nil {
+		return
+	}
+	*b = (*b)[:0]
+	batchBufPool.Put(b)
+}
+
+// rowBufPool recycles the row-reference snapshot buffers Scan materializes
+// at Open.
+var rowBufPool = sync.Pool{
+	New: func() any {
+		b := make([]sqltypes.Row, 0, DefaultBatchSize)
+		return &b
+	},
+}
+
+func getRowBuf() *[]sqltypes.Row { return rowBufPool.Get().(*[]sqltypes.Row) }
+
+func putRowBuf(b *[]sqltypes.Row) {
+	if b == nil {
+		return
+	}
+	*b = (*b)[:0]
+	rowBufPool.Put(b)
+}
+
+// AsBatch returns op itself when it is batch-capable, else wraps it in a
+// BatchAdapter that drains the row interface into batches.
+func AsBatch(op Operator) BatchOperator {
+	if b, ok := op.(BatchOperator); ok {
+		return b
+	}
+	return &BatchAdapter{Child: op}
+}
+
+// AsRow returns a row-at-a-time view of a batch operator. Since every
+// BatchOperator also implements Operator this is the operator itself; the
+// function exists for symmetry and call-site clarity.
+func AsRow(op BatchOperator) Operator { return op }
+
+// BatchAdapter lifts a row-at-a-time operator into the batch interface by
+// buffering child rows.
+type BatchAdapter struct {
+	Child Operator
+	buf   *sqltypes.Batch
+}
+
+// Schema implements Operator.
+func (a *BatchAdapter) Schema() *Schema { return a.Child.Schema() }
+
+// Open implements Operator.
+func (a *BatchAdapter) Open(ctx *EvalContext) error { return a.Child.Open(ctx) }
+
+// Next implements Operator.
+func (a *BatchAdapter) Next() (sqltypes.Row, bool, error) { return a.Child.Next() }
+
+// NextBatch implements BatchOperator.
+func (a *BatchAdapter) NextBatch() (sqltypes.Batch, bool, error) {
+	if a.buf == nil {
+		a.buf = getBatchBuf()
+	}
+	out := (*a.buf)[:0]
+	n := DefaultBatchSize
+	for len(out) < n {
+		row, ok, err := a.Child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	*a.buf = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (a *BatchAdapter) Close() error {
+	putBatchBuf(a.buf)
+	a.buf = nil
+	return a.Child.Close()
+}
+
+// RowAdapter exposes a batch operator row-at-a-time by walking its batches.
+// It is the streaming inverse of BatchAdapter; adapters in both directions
+// compose without copying rows.
+type RowAdapter struct {
+	Child BatchOperator
+
+	cur sqltypes.Batch
+	pos int
+}
+
+// Schema implements Operator.
+func (a *RowAdapter) Schema() *Schema { return a.Child.Schema() }
+
+// Open implements Operator.
+func (a *RowAdapter) Open(ctx *EvalContext) error {
+	a.cur, a.pos = nil, 0
+	return a.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (a *RowAdapter) Next() (sqltypes.Row, bool, error) {
+	for a.pos >= len(a.cur) {
+		b, ok, err := a.Child.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		a.cur, a.pos = b, 0
+	}
+	r := a.cur[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (a *RowAdapter) Close() error {
+	a.cur, a.pos = nil, 0
+	return a.Child.Close()
+}
+
+// sliceBatch is the shared NextBatch implementation for operators that have
+// fully materialized their output: it returns read-only subslices of the
+// materialized rows, advancing *pos. Zero-copy — the fast path that makes
+// batch execution cheap for Scan, Sort, Aggregate, Values and Remote.
+func sliceBatch(rows []sqltypes.Row, pos *int, n int) (sqltypes.Batch, bool, error) {
+	if *pos >= len(rows) {
+		return nil, false, nil
+	}
+	end := *pos + n
+	if end > len(rows) {
+		end = len(rows)
+	}
+	b := sqltypes.Batch(rows[*pos:end])
+	*pos = end
+	return b, true, nil
+}

@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// renderRows projects rows to strings so multisets can be compared.
+func renderRows(rows []sqltypes.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint([]sqltypes.Value(r))
+	}
+	return out
+}
+
+func assertSameRows(t *testing.T, name string, got, want []sqltypes.Row, ordered bool) {
+	t.Helper()
+	g, w := renderRows(got), renderRows(want)
+	if !ordered {
+		sort.Strings(g)
+		sort.Strings(w)
+	}
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d rows, want %d", name, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: row %d = %s, want %s", name, i, g[i], w[i])
+		}
+	}
+}
+
+// TestBatchRowEquivalence runs every operator shape through both execution
+// paths — Run (batch-at-a-time) and RunRows (row-at-a-time) — at batch sizes
+// 1, 3 and the default, and requires identical results.
+func TestBatchRowEquivalence(t *testing.T) {
+	tbl := storageTable(t)
+	s := testSchema("t")
+	join := func(kind JoinKind) func() Operator {
+		return func() Operator {
+			left := NewValues(testSchema("L"), testRows(50))
+			right := NewValues(testSchema("R"), testRows(20))
+			return NewHashJoin(left, right,
+				[]Compiled{compileItem(t, "L.id", left.Schema())},
+				[]Compiled{compileItem(t, "R.id", right.Schema())},
+				nil, kind)
+		}
+	}
+	trees := []struct {
+		name    string
+		ordered bool
+		build   func() Operator
+	}{
+		{"values", true, func() Operator { return NewValues(s, testRows(10)) }},
+		{"scan", true, func() Operator { return NewScan(tbl, s) }},
+		{"scan-filtered", true, func() Operator {
+			sc := NewScan(tbl, s)
+			sc.Filter = compile(t, "name = '0'", s)
+			return sc
+		}},
+		{"filter", true, func() Operator {
+			return &Filter{Child: NewValues(s, testRows(50)), Pred: compile(t, "id > 10", s)}
+		}},
+		{"filter-empty", true, func() Operator {
+			return &Filter{Child: NewValues(s, testRows(50)), Pred: compile(t, "id > 999", s)}
+		}},
+		{"project", true, func() Operator {
+			return &Project{
+				Child: NewValues(s, testRows(10)),
+				Exprs: []Compiled{compileItem(t, "id * 2", s)},
+				Out:   NewSchema(Col{Name: "d", Kind: sqltypes.KindInt}),
+			}
+		}},
+		{"hashjoin-inner", true, join(JoinInner)},
+		{"hashjoin-semi", true, join(JoinSemi)},
+		{"hashjoin-anti", true, join(JoinAnti)},
+		{"mergejoin", true, func() Operator {
+			l := NewValues(testSchema("L"), testRows(30))
+			r := NewValues(testSchema("R"), testRows(12))
+			return NewMergeJoin(l, r,
+				[]Compiled{compileItem(t, "L.id", l.Schema())},
+				[]Compiled{compileItem(t, "R.id", r.Schema())},
+				nil, JoinInner)
+		}},
+		{"sort-limit", true, func() Operator {
+			sorted := &Sort{
+				Child: NewValues(s, testRows(20)),
+				Keys:  []Compiled{compileItem(t, "bal", s)},
+				Desc:  []bool{true},
+			}
+			return &Limit{Child: sorted, N: 5}
+		}},
+		{"limit", true, func() Operator {
+			return &Limit{Child: NewValues(s, testRows(20)), N: 7}
+		}},
+		{"aggregate", false, func() Operator {
+			return &Aggregate{
+				Child:   NewValues(s, testRows(30)),
+				GroupBy: []Compiled{compileItem(t, "name", s)},
+				Aggs:    []AggSpec{{Func: "COUNT", Star: true}},
+				Out: NewSchema(
+					Col{Name: "name", Kind: sqltypes.KindString},
+					Col{Name: "cnt", Kind: sqltypes.KindInt},
+				),
+			}
+		}},
+		{"switchunion", true, func() Operator {
+			return &SwitchUnion{
+				Children: []Operator{NewValues(s, testRows(3)), NewValues(s, testRows(8))},
+				Selector: func(*EvalContext) (int, error) { return 1, nil },
+			}
+		}},
+	}
+	for _, tc := range trees {
+		want, err := RunRows(tc.build(), ctx(), 0)
+		if err != nil {
+			t.Fatalf("%s: row path: %v", tc.name, err)
+		}
+		for _, bs := range []int{1, 3, DefaultBatchSize} {
+			c := &EvalContext{Now: testNow, BatchSize: bs}
+			got, err := Run(tc.build(), c, 0)
+			if err != nil {
+				t.Fatalf("%s bs=%d: batch path: %v", tc.name, bs, err)
+			}
+			assertSameRows(t, fmt.Sprintf("%s bs=%d", tc.name, bs), got.Rows, want.Rows, tc.ordered)
+		}
+	}
+}
+
+// TestAdaptersCompose checks the RowAdapter/BatchAdapter pair round-trips
+// rows without loss in either direction.
+func TestAdaptersCompose(t *testing.T) {
+	s := testSchema("t")
+	want := testRows(2500) // several default batches plus a partial one
+
+	// BatchAdapter over a row operator, drained by batches.
+	ba := &BatchAdapter{Child: NewValues(s, want)}
+	res, err := Run(ba, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "batch-adapter", res.Rows, want, true)
+
+	// RowAdapter over a batch operator, drained row-at-a-time.
+	ra := &RowAdapter{Child: NewValues(s, want)}
+	res, err = RunRows(ra, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "row-adapter", res.Rows, want, true)
+
+	// Both stacked: row -> batch -> row.
+	stack := &RowAdapter{Child: &BatchAdapter{Child: NewValues(s, want)}}
+	res, err = RunRows(stack, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "stacked", res.Rows, want, true)
+}
+
+// TestScanReopenAfterClose ensures the pooled snapshot buffers are
+// re-acquired cleanly across Open/Close cycles.
+func TestScanReopenAfterClose(t *testing.T) {
+	tbl := storageTable(t)
+	s := NewScan(tbl, testSchema("t"))
+	for i := 0; i < 3; i++ {
+		res, err := Run(s, ctx(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 100 {
+			t.Fatalf("pass %d: %d rows", i, len(res.Rows))
+		}
+	}
+	// Double Close must be safe.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// closeProbe counts Open/Close calls, optionally failing Open.
+type closeProbe struct {
+	*Values
+	opens, closes int
+	failOpen      bool
+}
+
+func (c *closeProbe) Open(ctx *EvalContext) error {
+	c.opens++
+	if c.failOpen {
+		return errors.New("open failed")
+	}
+	return c.Values.Open(ctx)
+}
+
+func (c *closeProbe) Close() error {
+	c.closes++
+	return c.Values.Close()
+}
+
+// TestSwitchUnionCloseClosesAllOpenedBranches is the regression test for the
+// leak where Close only released the currently chosen child: if the currency
+// guard picks different branches across re-opens, every branch that was ever
+// opened must be closed.
+func TestSwitchUnionCloseClosesAllOpenedBranches(t *testing.T) {
+	s := testSchema("t")
+	a := &closeProbe{Values: NewValues(s, testRows(2))}
+	b := &closeProbe{Values: NewValues(s, testRows(3))}
+	branch := 0
+	su := &SwitchUnion{
+		Children: []Operator{a, b},
+		Selector: func(*EvalContext) (int, error) { return branch, nil },
+	}
+	if err := su.Open(ctx()); err != nil {
+		t.Fatal(err)
+	}
+	// The guard flips before the first branch was closed (re-execution of a
+	// cached plan after the region fell stale).
+	branch = 1
+	if err := su.Open(ctx()); err != nil {
+		t.Fatal(err)
+	}
+	if err := su.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatalf("closes = (%d, %d), want both branches closed once", a.closes, b.closes)
+	}
+	// A second Close must not double-close anything.
+	if err := su.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatalf("second Close re-closed children: (%d, %d)", a.closes, b.closes)
+	}
+}
+
+// TestSwitchUnionCloseAfterFailedOpen: a child whose Open fails may still
+// hold resources; Close must reach it.
+func TestSwitchUnionCloseAfterFailedOpen(t *testing.T) {
+	s := testSchema("t")
+	c := &closeProbe{Values: NewValues(s, nil), failOpen: true}
+	su := &SwitchUnion{
+		Children: []Operator{c},
+		Selector: func(*EvalContext) (int, error) { return 0, nil },
+	}
+	if err := su.Open(ctx()); err == nil {
+		t.Fatal("Open should have failed")
+	}
+	if err := su.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.closes != 1 {
+		t.Fatalf("failed-open child closed %d times, want 1", c.closes)
+	}
+}
+
+// TestSwitchUnionBatchPath drains a SwitchUnion through NextBatch and checks
+// the guard still ran exactly once.
+func TestSwitchUnionBatchPath(t *testing.T) {
+	s := testSchema("t")
+	calls := 0
+	su := &SwitchUnion{
+		Children: []Operator{NewValues(s, testRows(5)), NewValues(s, testRows(9))},
+		Selector: func(*EvalContext) (int, error) { calls++; return 1, nil },
+	}
+	res, err := Run(su, &EvalContext{Now: testNow, BatchSize: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if calls != 1 {
+		t.Fatalf("selector evaluated %d times, want once per open", calls)
+	}
+}

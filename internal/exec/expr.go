@@ -13,6 +13,12 @@ type EvalContext struct {
 	// Now is the query start time, returned by GETDATE(). Fixing it per
 	// execution keeps currency-guard evaluation consistent within a plan.
 	Now time.Time
+	// BatchSize overrides DefaultBatchSize for batch-at-a-time operators.
+	// Zero means the default.
+	BatchSize int
+	// MaxDOP caps the worker count of parallel operators (ParallelScan).
+	// Zero means GOMAXPROCS.
+	MaxDOP int
 }
 
 // Compiled is an expression compiled against a schema: it evaluates on one

@@ -30,6 +30,8 @@ type MergeJoin struct {
 	curKey   sqltypes.Row
 	mi       int  // index into rightGroup while emitting inner matches
 	emitting bool // the current left row matches rightGroup
+
+	out *sqltypes.Batch // pooled output buffer for the batch path
 }
 
 // NewMergeJoin builds a merge join; key lists must be equal length and both
@@ -181,8 +183,37 @@ func (m *MergeJoin) semiMatch(left sqltypes.Row) bool {
 	return false
 }
 
+// NextBatch implements BatchOperator: it fills a pooled buffer from the
+// merge loop. The merge itself stays row-at-a-time (it is inherently
+// sequential on key order) but downstream operators and the Run drain get
+// full batches.
+func (m *MergeJoin) NextBatch() (sqltypes.Batch, bool, error) {
+	if m.out == nil {
+		m.out = getBatchBuf()
+	}
+	n := batchSizeOf(m.ctx)
+	out := (*m.out)[:0]
+	for len(out) < n {
+		row, ok, err := m.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	*m.out = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
 // Close implements Operator.
 func (m *MergeJoin) Close() error {
+	putBatchBuf(m.out)
+	m.out = nil
 	errL := m.Left.Close()
 	errR := m.Right.Close()
 	if errL != nil {

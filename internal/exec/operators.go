@@ -51,6 +51,11 @@ func (v *Values) Next() (sqltypes.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator: zero-copy subslices of the row list.
+func (v *Values) NextBatch() (sqltypes.Batch, bool, error) {
+	return sliceBatch(v.Rows, &v.pos, DefaultBatchSize)
+}
+
 // Close implements Operator.
 func (v *Values) Close() error { return nil }
 
@@ -59,6 +64,12 @@ func (v *Values) Close() error { return nil }
 // Scan reads a stored table (base table or materialized view) through one
 // of its indexes, optionally within a key range and with a pushed-down
 // residual predicate.
+//
+// Clustered scans (Index == "") stream chunk-at-a-time straight from the
+// B+-tree: each chunk is read under one short read latch, so the scan never
+// materializes the table and interleaves with writers at chunk granularity —
+// the same read-committed view ScanMorsel gives parallel workers. Index
+// scans snapshot the matching row references at Open as before.
 type Scan struct {
 	Table  *storage.Table
 	Index  string // index to drive the scan; "" = clustered order
@@ -67,8 +78,20 @@ type Scan struct {
 
 	schema *Schema
 	ctx    *EvalContext
-	rows   []sqltypes.Row
-	pos    int
+	// Index-scan snapshot state.
+	rows []sqltypes.Row
+	pos  int
+	buf  *[]sqltypes.Row // pooled backing store for the snapshot
+	// Clustered-scan streaming state: cursor is the encoded resume key, curb
+	// the in-flight chunk for row-mode iteration. streaming flips on once the
+	// batch path starts pulling chunks, committing the scan to the streaming
+	// read-committed view; row-mode clustered scans instead materialize the
+	// seed's snapshot lazily on first Next.
+	cursor    string
+	streamEnd bool
+	streaming bool
+	curb      sqltypes.Batch
+	fout      *sqltypes.Batch // pooled output buffer for built batches
 
 	// RowsScanned counts rows read from storage (before the residual
 	// filter); used by tests and cost-model validation.
@@ -84,26 +107,125 @@ func NewScan(table *storage.Table, schema *Schema) *Scan {
 // Schema implements Operator.
 func (s *Scan) Schema() *Schema { return s.schema }
 
-// Open implements Operator. It captures a stable snapshot of matching row
-// references under the table's read latch.
+// Open implements Operator. Index scans capture a snapshot of matching row
+// references under the table's read latch; clustered scans prepare the
+// streaming cursor and read nothing yet.
 func (s *Scan) Open(ctx *EvalContext) error {
 	s.ctx = ctx
 	s.pos = 0
-	s.rows = s.rows[:0]
 	s.RowsScanned = 0
-	collect := func(r sqltypes.Row) bool {
-		s.rows = append(s.rows, r)
-		return true
-	}
+	s.cursor, s.streamEnd, s.streaming, s.curb = "", false, false, nil
+	s.rows = nil
 	if s.Index == "" {
-		s.Table.Scan(collect)
 		return nil
 	}
-	return s.Table.ScanIndex(s.Index, s.Lo, s.Hi, collect)
+	if s.buf == nil {
+		s.buf = getRowBuf()
+	}
+	rows := (*s.buf)[:0]
+	err := s.Table.ScanIndex(s.Index, s.Lo, s.Hi, func(r sqltypes.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	*s.buf = rows
+	s.rows = rows
+	return err
 }
 
-// Next implements Operator.
+// snapshot materializes the clustered table into the pooled row buffer; the
+// row path uses it so clustered row-mode iteration keeps the original
+// snapshot-at-first-read semantics.
+func (s *Scan) snapshot() {
+	if s.buf == nil {
+		s.buf = getRowBuf()
+	}
+	rows := (*s.buf)[:0]
+	s.Table.Scan(func(r sqltypes.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	*s.buf = rows
+	s.rows = rows
+}
+
+// nextChunk streams the next batch of a clustered scan from the B+-tree.
+// Without a residual filter it bulk-copies whole leaves via ChunkRows; with
+// one, ScanChunk's limit applies to rows read, so the loop keeps pulling
+// chunks until a batch has content or input runs out — bounding latch hold
+// time per chunk without ever returning a spurious end-of-stream.
+func (s *Scan) nextChunk() (sqltypes.Batch, bool, error) {
+	s.streaming = true
+	if s.fout == nil {
+		s.fout = getBatchBuf()
+	}
+	n := batchSizeOf(s.ctx)
+	out := (*s.fout)[:0]
+	if s.Filter == nil {
+		if s.streamEnd {
+			return nil, false, nil
+		}
+		var more bool
+		out, s.cursor, more = s.Table.ChunkRows(s.cursor, "", n, out)
+		s.streamEnd = !more
+		s.RowsScanned += len(out)
+		*s.fout = out
+		if len(out) == 0 {
+			return nil, false, nil
+		}
+		return out, true, nil
+	}
+	var evalErr error
+	for len(out) == 0 && !s.streamEnd {
+		next, more := s.Table.ScanChunk(s.cursor, "", n, func(r sqltypes.Row) bool {
+			s.RowsScanned++
+			ok, err := PredicateTrue(s.Filter, s.ctx, r)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				out = append(out, r)
+			}
+			return true
+		})
+		if evalErr != nil {
+			*s.fout = out
+			return nil, false, evalErr
+		}
+		if !more {
+			s.streamEnd = true
+		}
+		s.cursor = next
+	}
+	*s.fout = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Next implements Operator. A clustered scan that already streamed batches
+// keeps pulling chunks through the same cursor (adapters may mix modes);
+// otherwise it materializes the snapshot on first call, preserving the
+// original row-at-a-time semantics.
 func (s *Scan) Next() (sqltypes.Row, bool, error) {
+	if s.Index == "" {
+		if s.streaming {
+			for s.pos >= len(s.curb) {
+				b, ok, err := s.nextChunk()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				s.curb, s.pos = b, 0
+			}
+			r := s.curb[s.pos]
+			s.pos++
+			return r, true, nil
+		}
+		if s.rows == nil {
+			s.snapshot()
+		}
+	}
 	for s.pos < len(s.rows) {
 		r := s.rows[s.pos]
 		s.pos++
@@ -122,8 +244,54 @@ func (s *Scan) Next() (sqltypes.Row, bool, error) {
 	return nil, false, nil
 }
 
-// Close implements Operator.
-func (s *Scan) Close() error { s.rows = nil; return nil }
+// NextBatch implements BatchOperator. Without a residual filter it returns
+// zero-copy subslices of the snapshot; with one it compacts qualifying rows
+// into a pooled output buffer, scanning as much input as it takes to fill a
+// batch (or reach the end). Clustered scans stream chunks from the tree
+// instead (see nextChunk).
+func (s *Scan) NextBatch() (sqltypes.Batch, bool, error) {
+	if s.Index == "" && s.rows == nil {
+		return s.nextChunk()
+	}
+	n := batchSizeOf(s.ctx)
+	if s.Filter == nil {
+		b, ok, err := sliceBatch(s.rows, &s.pos, n)
+		s.RowsScanned += len(b)
+		return b, ok, err
+	}
+	if s.fout == nil {
+		s.fout = getBatchBuf()
+	}
+	out := (*s.fout)[:0]
+	for len(out) < n && s.pos < len(s.rows) {
+		r := s.rows[s.pos]
+		s.pos++
+		s.RowsScanned++
+		ok, err := PredicateTrue(s.Filter, s.ctx, r)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	*s.fout = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Close implements Operator. It returns the pooled buffers.
+func (s *Scan) Close() error {
+	s.rows = nil
+	s.curb = nil
+	putRowBuf(s.buf)
+	s.buf = nil
+	putBatchBuf(s.fout)
+	s.fout = nil
+	return nil
+}
 
 // ---- Filter ----
 
@@ -132,6 +300,9 @@ type Filter struct {
 	Child Operator
 	Pred  Compiled
 	ctx   *EvalContext
+
+	bchild BatchOperator
+	out    *sqltypes.Batch // pooled output buffer for the batch path
 }
 
 // Schema implements Operator.
@@ -157,8 +328,52 @@ func (f *Filter) Next() (sqltypes.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: it pulls child batches and compacts
+// qualifying rows into a pooled output buffer, pulling as many input batches
+// as it takes to produce at least one row (or reach the end).
+func (f *Filter) NextBatch() (sqltypes.Batch, bool, error) {
+	if f.bchild == nil {
+		f.bchild = AsBatch(f.Child)
+	}
+	if f.out == nil {
+		f.out = getBatchBuf()
+	}
+	out := (*f.out)[:0]
+	for len(out) == 0 {
+		in, ok, err := f.bchild.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		for _, row := range in {
+			keep, err := PredicateTrue(f.Pred, f.ctx, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				out = append(out, row)
+			}
+		}
+	}
+	*f.out = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
 // Close implements Operator.
-func (f *Filter) Close() error { return f.Child.Close() }
+func (f *Filter) Close() error {
+	putBatchBuf(f.out)
+	f.out = nil
+	if c := f.bchild; c != nil {
+		f.bchild = nil
+		return c.Close()
+	}
+	return f.Child.Close()
+}
 
 // ---- Project ----
 
@@ -168,6 +383,9 @@ type Project struct {
 	Exprs []Compiled
 	Out   *Schema
 	ctx   *EvalContext
+
+	bchild BatchOperator
+	out    *sqltypes.Batch // pooled output buffer for the batch path
 }
 
 // Schema implements Operator.
@@ -192,8 +410,44 @@ func (p *Project) Next() (sqltypes.Row, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchOperator: it computes output rows for one child
+// batch at a time into a pooled buffer.
+func (p *Project) NextBatch() (sqltypes.Batch, bool, error) {
+	if p.bchild == nil {
+		p.bchild = AsBatch(p.Child)
+	}
+	in, ok, err := p.bchild.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.out == nil {
+		p.out = getBatchBuf()
+	}
+	out := (*p.out)[:0]
+	for _, row := range in {
+		res := make(sqltypes.Row, len(p.Exprs))
+		for i, e := range p.Exprs {
+			res[i], err = e(p.ctx, row)
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		out = append(out, res)
+	}
+	*p.out = out
+	return out, true, nil
+}
+
 // Close implements Operator.
-func (p *Project) Close() error { return p.Child.Close() }
+func (p *Project) Close() error {
+	putBatchBuf(p.out)
+	p.out = nil
+	if c := p.bchild; c != nil {
+		p.bchild = nil
+		return c.Close()
+	}
+	return p.Child.Close()
+}
 
 // ---- Joins ----
 
@@ -223,6 +477,12 @@ type HashJoin struct {
 	cur     sqltypes.Row
 	matches []sqltypes.Row
 	mi      int
+	// batch-path probe state
+	bleft     BatchOperator
+	probe     sqltypes.Batch
+	pi        int
+	probeDone bool
+	out       *sqltypes.Batch // pooled output buffer
 }
 
 // NewHashJoin builds a hash join; key lists must be equal length.
@@ -244,6 +504,7 @@ func (h *HashJoin) Open(ctx *EvalContext) error {
 	h.ctx = ctx
 	h.table = map[string][]sqltypes.Row{}
 	h.cur, h.matches, h.mi = nil, nil, 0
+	h.probe, h.pi, h.probeDone = nil, 0, false
 	if err := h.Right.Open(ctx); err != nil {
 		return err
 	}
@@ -341,9 +602,92 @@ func (h *HashJoin) anyMatch(left sqltypes.Row, matches []sqltypes.Row) (bool, er
 	return false, nil
 }
 
+// NextBatch implements BatchOperator: it pulls whole probe-side batches and
+// builds joined rows into a pooled output buffer.
+func (h *HashJoin) NextBatch() (sqltypes.Batch, bool, error) {
+	if h.bleft == nil {
+		h.bleft = AsBatch(h.Left)
+	}
+	if h.out == nil {
+		h.out = getBatchBuf()
+	}
+	n := batchSizeOf(h.ctx)
+	out := (*h.out)[:0]
+	for len(out) < n {
+		// Emit pending inner-join matches for the current probe row.
+		for h.mi < len(h.matches) && len(out) < n {
+			m := h.matches[h.mi]
+			h.mi++
+			joined := append(append(make(sqltypes.Row, 0, len(h.cur)+len(m)), h.cur...), m...)
+			if h.Residual != nil {
+				ok, err := PredicateTrue(h.Residual, h.ctx, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, joined)
+		}
+		if h.mi < len(h.matches) {
+			break // batch full with matches still pending
+		}
+		if h.pi >= len(h.probe) {
+			if h.probeDone {
+				break
+			}
+			b, ok, err := h.bleft.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				h.probeDone = true
+				break
+			}
+			h.probe, h.pi = b, 0
+			continue
+		}
+		row := h.probe[h.pi]
+		h.pi++
+		key, null, err := evalKey(h.LeftKeys, h.ctx, row)
+		if err != nil {
+			return nil, false, err
+		}
+		var matches []sqltypes.Row
+		if !null {
+			matches = h.table[key]
+		}
+		switch h.Kind {
+		case JoinInner:
+			h.cur, h.matches, h.mi = row, matches, 0
+		case JoinSemi, JoinAnti:
+			found, err := h.anyMatch(row, matches)
+			if err != nil {
+				return nil, false, err
+			}
+			if found == (h.Kind == JoinSemi) {
+				out = append(out, row)
+			}
+		}
+	}
+	*h.out = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
 // Close implements Operator.
 func (h *HashJoin) Close() error {
 	h.table = nil
+	h.probe = nil
+	putBatchBuf(h.out)
+	h.out = nil
+	if c := h.bleft; c != nil {
+		h.bleft = nil
+		return c.Close()
+	}
 	return h.Left.Close()
 }
 
@@ -557,6 +901,12 @@ func (s *Sort) Next() (sqltypes.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator: zero-copy subslices of the sorted
+// output.
+func (s *Sort) NextBatch() (sqltypes.Batch, bool, error) {
+	return sliceBatch(s.rows, &s.pos, DefaultBatchSize)
+}
+
 // Close implements Operator.
 func (s *Sort) Close() error { s.rows = nil; return s.Child.Close() }
 
@@ -565,6 +915,8 @@ type Limit struct {
 	Child Operator
 	N     int64
 	seen  int64
+
+	bchild BatchOperator
 }
 
 // Schema implements Operator.
@@ -586,8 +938,34 @@ func (l *Limit) Next() (sqltypes.Row, bool, error) {
 	return row, true, nil
 }
 
+// NextBatch implements BatchOperator: child batches pass through, truncated
+// at the limit.
+func (l *Limit) NextBatch() (sqltypes.Batch, bool, error) {
+	if l.bchild == nil {
+		l.bchild = AsBatch(l.Child)
+	}
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	b, ok, err := l.bchild.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if rem := l.N - l.seen; int64(len(b)) > rem {
+		b = b[:rem]
+	}
+	l.seen += int64(len(b))
+	return b, true, nil
+}
+
 // Close implements Operator.
-func (l *Limit) Close() error { return l.Child.Close() }
+func (l *Limit) Close() error {
+	if c := l.bchild; c != nil {
+		l.bchild = nil
+		return c.Close()
+	}
+	return l.Child.Close()
+}
 
 // Distinct removes duplicate rows.
 type Distinct struct {
@@ -810,6 +1188,12 @@ func (a *Aggregate) Next() (sqltypes.Row, bool, error) {
 	r := a.rows[a.pos]
 	a.pos++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: zero-copy subslices of the computed
+// groups.
+func (a *Aggregate) NextBatch() (sqltypes.Batch, bool, error) {
+	return sliceBatch(a.rows, &a.pos, DefaultBatchSize)
 }
 
 // Close implements Operator.

@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+)
+
+// morselsPerWorker oversubscribes morsels relative to workers so stragglers
+// (skewed key ranges, scheduling hiccups) rebalance: workers claim morsels
+// from a shared counter instead of being assigned fixed ranges.
+const morselsPerWorker = 4
+
+// parMsg is one message on the exchange channel: a batch or a worker error.
+type parMsg struct {
+	batch sqltypes.Batch
+	err   error
+}
+
+// ParallelScan is the morsel-driven parallel table scan: Open partitions the
+// clustered key range into morsels, fans DOP worker goroutines over them,
+// and merges their batches through a bounded channel (the exchange). Output
+// order is nondeterministic, so the optimizer only chooses it when no sort
+// order is required — ordered plans (merge-join inputs) fall back to the
+// serial Scan.
+//
+// Unlike Scan, which snapshots the whole table under one read latch, workers
+// latch per morsel: a long parallel scan interleaves with writers at morsel
+// granularity (each morsel sees a committed state).
+type ParallelScan struct {
+	Table  *storage.Table
+	Lo, Hi storage.Bound
+	Filter Compiled // residual predicate, may be nil
+	// DOP is the worker count; 0 defers to EvalContext.MaxDOP, then
+	// GOMAXPROCS.
+	DOP int
+
+	schema *Schema
+	ctx    *EvalContext
+	out    chan parMsg
+	stop   chan struct{}
+	closed bool
+	// row-mode cursor over the last received batch.
+	cur sqltypes.Batch
+	pos int
+
+	rowsScanned atomic.Int64
+}
+
+// NewParallelScan builds a parallel scan over the table's clustered index.
+// The schema's column order must match the stored row layout.
+func NewParallelScan(table *storage.Table, schema *Schema) *ParallelScan {
+	return &ParallelScan{Table: table, schema: schema}
+}
+
+// Schema implements Operator.
+func (p *ParallelScan) Schema() *Schema { return p.schema }
+
+// RowsScanned returns the number of rows read from storage so far (before
+// the residual filter); used by tests and cost-model validation.
+func (p *ParallelScan) RowsScanned() int64 { return p.rowsScanned.Load() }
+
+func (p *ParallelScan) dop() int {
+	d := p.DOP
+	if d <= 0 && p.ctx != nil {
+		d = p.ctx.MaxDOP
+	}
+	if d <= 0 {
+		d = runtime.GOMAXPROCS(0)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Open implements Operator: it partitions the key range and starts the
+// workers. Workers exit when all morsels are claimed, when the exchange
+// consumer closes the stop channel, or after sending an error.
+func (p *ParallelScan) Open(ctx *EvalContext) error {
+	p.ctx = ctx
+	p.cur, p.pos = nil, 0
+	p.closed = false
+	p.rowsScanned.Store(0)
+	dop := p.dop()
+	morsels := p.Table.Morsels(p.Lo, p.Hi, dop*morselsPerWorker)
+	p.stop = make(chan struct{})
+	p.out = make(chan parMsg, dop*2)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker(&next, morsels)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(p.out)
+	}()
+	return nil
+}
+
+// worker claims morsels from the shared counter until none remain, sending
+// full batches into the exchange.
+func (p *ParallelScan) worker(next *atomic.Int64, morsels []storage.Morsel) {
+	n := batchSizeOf(p.ctx)
+	buf := make(sqltypes.Batch, 0, n)
+	var scanned int64
+	for {
+		idx := int(next.Add(1)) - 1
+		if idx >= len(morsels) {
+			break
+		}
+		var scanErr error
+		aborted := false
+		p.Table.ScanMorsel(morsels[idx], func(r sqltypes.Row) bool {
+			scanned++
+			if p.Filter != nil {
+				ok, err := PredicateTrue(p.Filter, p.ctx, r)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+			}
+			buf = append(buf, r)
+			if len(buf) >= n {
+				if !p.send(parMsg{batch: buf}) {
+					aborted = true
+					return false
+				}
+				buf = make(sqltypes.Batch, 0, n)
+			}
+			return true
+		})
+		if scanErr != nil {
+			p.send(parMsg{err: scanErr})
+			aborted = true
+		}
+		if aborted {
+			break
+		}
+	}
+	if len(buf) > 0 {
+		p.send(parMsg{batch: buf})
+	}
+	p.rowsScanned.Add(scanned)
+}
+
+// send delivers a message unless the consumer has already stopped.
+func (p *ParallelScan) send(m parMsg) bool {
+	select {
+	case p.out <- m:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// NextBatch implements BatchOperator: it receives the next merged batch from
+// the exchange. Worker batches are freshly allocated, so unlike pooled
+// batches they stay valid across calls — but consumers should not rely on
+// that beyond the documented contract.
+func (p *ParallelScan) NextBatch() (sqltypes.Batch, bool, error) {
+	msg, ok := <-p.out
+	if !ok {
+		return nil, false, nil
+	}
+	if msg.err != nil {
+		return nil, false, msg.err
+	}
+	return msg.batch, true, nil
+}
+
+// Next implements Operator: row-at-a-time iteration over received batches.
+func (p *ParallelScan) Next() (sqltypes.Row, bool, error) {
+	for p.pos >= len(p.cur) {
+		b, ok, err := p.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		p.cur, p.pos = b, 0
+	}
+	r := p.cur[p.pos]
+	p.pos++
+	return r, true, nil
+}
+
+// Close implements Operator: it signals the workers to stop and drains the
+// exchange so every worker unblocks and exits before Close returns.
+func (p *ParallelScan) Close() error {
+	if p.stop == nil || p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	for range p.out {
+	}
+	p.cur, p.pos = nil, 0
+	return nil
+}

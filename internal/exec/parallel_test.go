@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/storage"
+)
+
+// parallelTable builds a clustered table with n rows so a split of the
+// B+-tree yields many morsels.
+func parallelTable(t testing.TB, n int) *storage.Table {
+	t.Helper()
+	c := catalog.New()
+	def := &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqltypes.KindInt, NotNull: true},
+			{Name: "name", Type: sqltypes.KindString},
+			{Name: "bal", Type: sqltypes.KindFloat},
+		},
+		PrimaryKey: []string{"id"},
+	}
+	if err := c.AddTable(def); err != nil {
+		t.Fatal(err)
+	}
+	tbl := storage.NewTable(c.Table("t"))
+	for i := 1; i <= n; i++ {
+		row := sqltypes.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprint(i % 3)),
+			sqltypes.NewFloat(float64(i)),
+		}
+		if err := tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// TestParallelScanMatchesSerialScan compares a morsel-parallel scan against
+// the serial Scan as a multiset, across worker counts and batch sizes.
+func TestParallelScanMatchesSerialScan(t *testing.T) {
+	const n = 5000
+	tbl := parallelTable(t, n)
+	s := testSchema("t")
+	want := drain(t, NewScan(tbl, s))
+	if len(want) != n {
+		t.Fatalf("serial scan = %d rows", len(want))
+	}
+	for _, dop := range []int{1, 2, 4} {
+		for _, bs := range []int{1, 64, 1024} {
+			ps := NewParallelScan(tbl, s)
+			ps.DOP = dop
+			res, err := Run(ps, &EvalContext{Now: testNow, BatchSize: bs}, 0)
+			if err != nil {
+				t.Fatalf("dop=%d bs=%d: %v", dop, bs, err)
+			}
+			assertSameRows(t, fmt.Sprintf("dop=%d bs=%d", dop, bs), res.Rows, want, false)
+			if got := ps.RowsScanned(); got != n {
+				t.Fatalf("dop=%d bs=%d: RowsScanned = %d, want %d", dop, bs, got, n)
+			}
+		}
+	}
+}
+
+// TestParallelScanBounds restricts the scan to a clustered key range and
+// compares against a serial primary-index range scan.
+func TestParallelScanBounds(t *testing.T) {
+	tbl := parallelTable(t, 3000)
+	s := testSchema("t")
+	lo := storage.Bound{Vals: sqltypes.Row{intv(1000)}, Inclusive: true}
+	hi := storage.Bound{Vals: sqltypes.Row{intv(2000)}, Inclusive: true}
+
+	serial := NewScan(tbl, s)
+	serial.Index = "pk_t"
+	serial.Lo, serial.Hi = lo, hi
+	want := drain(t, serial)
+	if len(want) != 1001 {
+		t.Fatalf("serial range = %d rows", len(want))
+	}
+
+	ps := NewParallelScan(tbl, s)
+	ps.Lo, ps.Hi = lo, hi
+	ps.DOP = 4
+	res, err := Run(ps, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "bounded parallel scan", res.Rows, want, false)
+}
+
+// TestParallelScanFilter pushes a residual predicate into the workers.
+func TestParallelScanFilter(t *testing.T) {
+	const n = 3000
+	tbl := parallelTable(t, n)
+	s := testSchema("t")
+	serial := NewScan(tbl, s)
+	serial.Filter = compile(t, "name = '0'", s)
+	want := drain(t, serial)
+
+	ps := NewParallelScan(tbl, s)
+	ps.Filter = compile(t, "name = '0'", s)
+	ps.DOP = 4
+	res, err := Run(ps, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "filtered parallel scan", res.Rows, want, false)
+	if got := ps.RowsScanned(); got != n {
+		t.Fatalf("RowsScanned = %d, want %d (filter applies after the read)", got, n)
+	}
+}
+
+// TestParallelScanEarlyClose closes the scan after one batch: workers must
+// unwind without deadlocking, and the operator must be reusable.
+func TestParallelScanEarlyClose(t *testing.T) {
+	tbl := parallelTable(t, 5000)
+	s := testSchema("t")
+	ps := NewParallelScan(tbl, s)
+	ps.DOP = 4
+	for i := 0; i < 3; i++ {
+		if err := ps.Open(&EvalContext{Now: testNow, BatchSize: 16}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := ps.NextBatch(); err != nil || !ok {
+			t.Fatalf("pass %d: first batch ok=%v err=%v", i, ok, err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Double Close must be safe.
+		if err := ps.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParallelScanFilterError propagates a worker-side evaluation error to
+// the consumer and still tears down cleanly.
+func TestParallelScanFilterError(t *testing.T) {
+	tbl := parallelTable(t, 2000)
+	s := testSchema("t")
+	ps := NewParallelScan(tbl, s)
+	ps.Filter = compile(t, "id / 0 > 1", s)
+	ps.DOP = 4
+	if _, err := Run(ps, ctx(), 0); err == nil {
+		t.Fatal("worker error not propagated")
+	}
+}
+
+// TestParallelScanRowMode drains the exchange through the row interface.
+func TestParallelScanRowMode(t *testing.T) {
+	const n = 2000
+	tbl := parallelTable(t, n)
+	s := testSchema("t")
+	want := drain(t, NewScan(tbl, s))
+	ps := NewParallelScan(tbl, s)
+	ps.DOP = 2
+	res, err := RunRows(ps, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "row-mode parallel scan", res.Rows, want, false)
+}

@@ -47,7 +47,57 @@ type Result struct {
 // Run opens the operator tree, drains it and closes it, recording run and
 // shutdown phase times. Setup time (plan instantiation) is recorded by the
 // caller that built the tree and passed here for inclusion in the result.
+// When the root is batch-capable the drain pulls whole batches — the default
+// execution path for every query; RunRows keeps the row-at-a-time drain for
+// comparison.
 func Run(root Operator, ctx *EvalContext, setup time.Duration) (*Result, error) {
+	res := &Result{Schema: root.Schema()}
+	res.Phases.Setup = setup
+
+	start := time.Now()
+	if err := root.Open(ctx); err != nil {
+		root.Close()
+		return nil, err
+	}
+	if b, ok := root.(BatchOperator); ok {
+		for {
+			batch, ok, err := b.NextBatch()
+			if err != nil {
+				root.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			res.Rows = append(res.Rows, batch...)
+		}
+	} else {
+		for {
+			row, ok, err := root.Next()
+			if err != nil {
+				root.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	res.Phases.Run = time.Since(start)
+
+	start = time.Now()
+	if err := root.Close(); err != nil {
+		return nil, err
+	}
+	res.Phases.Shutdown = time.Since(start)
+	return res, nil
+}
+
+// RunRows drains the tree strictly row-at-a-time through Operator.Next, even
+// when the root is batch-capable. It exists for benchmarks and equivalence
+// tests comparing the two execution paths.
+func RunRows(root Operator, ctx *EvalContext, setup time.Duration) (*Result, error) {
 	res := &Result{Schema: root.Schema()}
 	res.Phases.Setup = setup
 
@@ -96,8 +146,15 @@ func CollectSwitchUnions(root Operator) []*SwitchUnion {
 		case *HashJoin:
 			walk(op.Left)
 			walk(op.Right)
+		case *MergeJoin:
+			walk(op.Left)
+			walk(op.Right)
 		case *IndexLoopJoin:
 			walk(op.Outer)
+		case *BatchAdapter:
+			walk(op.Child)
+		case *RowAdapter:
+			walk(op.Child)
 		case *Sort:
 			walk(op.Child)
 		case *Limit:

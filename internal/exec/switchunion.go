@@ -29,6 +29,11 @@ type SwitchUnion struct {
 
 	chosen int
 	active Operator
+	// opened tracks every child this operator has opened and not yet
+	// closed, so Close can release them all even if a guard re-evaluation
+	// across re-opens chose different branches or an error struck mid-open.
+	opened  []Operator
+	bactive BatchOperator
 	// GuardTime records how long the selector evaluation took; ChosenIndex
 	// records its decision. Both are observable after Open for the
 	// guard-overhead experiments (Tables 4.4/4.5).
@@ -55,7 +60,20 @@ func (s *SwitchUnion) Open(ctx *EvalContext) error {
 	s.chosen = idx
 	s.ChosenIndex = idx
 	s.active = s.Children[idx]
+	s.bactive = nil
+	// Record the child before opening it: a failed Open may still have
+	// acquired resources that only Close releases.
+	s.track(s.active)
 	return s.active.Open(ctx)
+}
+
+func (s *SwitchUnion) track(op Operator) {
+	for _, o := range s.opened {
+		if o == op {
+			return
+		}
+	}
+	s.opened = append(s.opened, op)
 }
 
 // Next implements Operator: rows stream through from the chosen child (the
@@ -64,14 +82,29 @@ func (s *SwitchUnion) Next() (sqltypes.Row, bool, error) {
 	return s.active.Next()
 }
 
-// Close implements Operator.
-func (s *SwitchUnion) Close() error {
-	if s.active == nil {
-		return nil
+// NextBatch implements BatchOperator: batches stream through from the chosen
+// child, so a guard adds zero per-row overhead on the batch path.
+func (s *SwitchUnion) NextBatch() (sqltypes.Batch, bool, error) {
+	if s.bactive == nil {
+		s.bactive = AsBatch(s.active)
 	}
-	err := s.active.Close()
+	return s.bactive.NextBatch()
+}
+
+// Close implements Operator: it closes every child that was ever opened (not
+// just the currently chosen one), so an error mid-open or a branch switch
+// across re-opens cannot leak iterators. The first error wins.
+func (s *SwitchUnion) Close() error {
+	var first error
+	for _, op := range s.opened {
+		if err := op.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.opened = s.opened[:0]
 	s.active = nil
-	return err
+	s.bactive = nil
+	return first
 }
 
 // Remote executes a query against the back-end server through the
@@ -109,6 +142,12 @@ func (r *Remote) Next() (sqltypes.Row, bool, error) {
 	row := r.rows[r.pos]
 	r.pos++
 	return row, true, nil
+}
+
+// NextBatch implements BatchOperator: zero-copy subslices of the buffered
+// reply.
+func (r *Remote) NextBatch() (sqltypes.Batch, bool, error) {
+	return sliceBatch(r.rows, &r.pos, DefaultBatchSize)
 }
 
 // Close implements Operator.

@@ -32,7 +32,31 @@ const (
 	// costGuard is the cost of evaluating one currency guard (a local
 	// heartbeat-table lookup plus a comparison).
 	costGuard = 0.05
+	// costParallelStartup is the fixed overhead of a morsel-driven parallel
+	// scan: partitioning the key range, spawning workers and tearing down
+	// the exchange. It keeps point and small range queries (the paper's
+	// Table 4.2 lookups) on serial plans — parallelism only pays when the
+	// scan itself dwarfs the startup.
+	costParallelStartup = 0.15
+	// maxCostDOP caps the degree of parallelism the cost model assumes.
+	// Scan throughput stops scaling well past a few workers on this
+	// workload (latch + exchange contention), and a conservative cap keeps
+	// remote-vs-local plan choices stable across machines with different
+	// core counts.
+	maxCostDOP = 4
 )
+
+// parallelScanCost estimates a morsel-parallel scan given the serial access
+// cost: the per-row scan work divides across workers, the per-output-row CPU
+// (which the single consumer pays) does not, and the startup term is fixed.
+func parallelScanCost(serialCost, outRows float64, dop int) float64 {
+	perOut := outRows * costRow
+	scanWork := serialCost - perOut
+	if scanWork < 0 {
+		scanWork = 0
+	}
+	return costParallelStartup + scanWork/float64(dop) + perOut
+}
 
 // selectivity estimates the fraction of a leaf's rows satisfying one
 // conjunct.

@@ -96,6 +96,15 @@ type Options struct {
 	// NoViews hides all materialized views from the planner, yielding the
 	// traditional remote-only plan (the paper's unguarded remote baseline).
 	NoViews bool
+	// MaxDOP overrides the degree of parallelism the planner assumes for
+	// parallel scans (normally GOMAXPROCS capped by the cost model). It is
+	// also stamped into built ParallelScan operators. Zero means automatic;
+	// 1 effectively disables parallel plans.
+	MaxDOP int
+	// NoParallel disables parallel scan candidates entirely (ablation, and
+	// the guaranteed-serial path for callers that need deterministic row
+	// order without an ORDER BY).
+	NoParallel bool
 }
 
 // Leaf is one base-table instance in the flattened query: the unit of
@@ -195,6 +204,9 @@ type Plan struct {
 	// guarded view access counts as local).
 	LocalLeaves  int
 	RemoteLeaves int
+	// DOP is the plan's degree of parallelism: the worker count of its
+	// widest ParallelScan, or 1 for fully serial plans.
+	DOP int
 	// Setup is how long optimization + operator construction took.
 	Setup time.Duration
 }

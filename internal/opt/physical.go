@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -70,6 +71,34 @@ type cand struct {
 	// order lists the qualified columns ("binding.col") the output is
 	// sorted ascending by, or nil if unordered. Enables merge joins.
 	order []string
+	// dop is the degree of parallelism: the widest ParallelScan in the
+	// subtree, or 0 for fully serial candidates.
+	dop int
+}
+
+// costDOP returns the worker count the cost model assumes for parallel
+// scans: MaxDOP if set, else GOMAXPROCS, capped at maxCostDOP so plan
+// choices stay stable across machines.
+func (p *Planner) costDOP() int {
+	d := p.Opts.MaxDOP
+	if d <= 0 {
+		d = runtime.GOMAXPROCS(0)
+	}
+	if d > maxCostDOP {
+		d = maxCostDOP
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// maxDop combines subtree degrees of parallelism.
+func maxDop(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func (p *Planner) planQuery(q *Query) (*Plan, error) {
@@ -134,6 +163,7 @@ func (p *Planner) planQuery(q *Query) (*Plan, error) {
 		Guards:       best.guards,
 		LocalLeaves:  best.localLeaves,
 		RemoteLeaves: best.remoteLeaves,
+		DOP:          maxDop(best.dop, 1),
 	}, nil
 }
 
@@ -396,6 +426,57 @@ func buildStoredAccess(tbl *storage.Table, binding string, path accessPath, leaf
 	return projectTo(scan, leafSchema(leaf))
 }
 
+// clusteredPath reports whether the access path drives the clustered index
+// (morsel partitioning only applies to the primary B+-tree).
+func clusteredPath(def *catalog.Table, path accessPath) bool {
+	if path.index == "" {
+		return true
+	}
+	for _, idx := range def.Indexes {
+		if idx.Name == path.index {
+			return idx.Clustered
+		}
+	}
+	return false
+}
+
+// parallelAccess decides whether a morsel-parallel scan of the chosen path
+// beats the serial access, returning its estimated cost and worker count.
+// Only clustered paths qualify (morsels partition the primary key range),
+// and a parallel scan is unordered — the planner keeps the ordered serial
+// candidate alongside for plans that need sort order (merge-join inputs).
+func (p *Planner) parallelAccess(def *catalog.Table, path accessPath, outRows float64) (float64, int, bool) {
+	if p.Opts.NoParallel {
+		return 0, 0, false
+	}
+	dop := p.costDOP()
+	if dop < 2 || !clusteredPath(def, path) {
+		return 0, 0, false
+	}
+	c := parallelScanCost(path.cost, outRows, dop)
+	if c >= path.cost {
+		return 0, 0, false
+	}
+	return c, dop, true
+}
+
+// buildParallelAccess constructs the morsel-parallel counterpart of
+// buildStoredAccess for a clustered access path.
+func (p *Planner) buildParallelAccess(tbl *storage.Table, binding string, path accessPath, leaf *Leaf) (exec.Operator, error) {
+	full := storedSchema(tbl.Def(), binding)
+	ps := exec.NewParallelScan(tbl, full)
+	ps.Lo, ps.Hi = path.lo, path.hi
+	ps.DOP = p.Opts.MaxDOP // 0 defers to the execution context
+	if len(path.residual) > 0 {
+		pred, err := exec.Compile(andAll(path.residual), full)
+		if err != nil {
+			return nil, err
+		}
+		ps.Filter = pred
+	}
+	return projectTo(ps, leafSchema(leaf))
+}
+
 // projectTo narrows an operator's output to the target schema by column
 // lookup.
 func projectTo(child exec.Operator, target *exec.Schema) (exec.Operator, error) {
@@ -490,6 +571,21 @@ func (p *Planner) leafCandidates(q *Query, leaf *Leaf) ([]*cand, error) {
 			localLeaves: 1,
 			order:       accessOrder(tbl.Def(), path, leaf),
 		})
+		// Morsel-parallel variant of the same access: unordered, so it is a
+		// second candidate next to the ordered serial scan, not a
+		// replacement.
+		if pcost, dop, ok := p.parallelAccess(tbl.Def(), path, outRows); ok {
+			cands = append(cands, &cand{
+				build:       func() (exec.Operator, error) { return p.buildParallelAccess(tbl, leaf.Binding, path, leaf) },
+				schema:      schema,
+				cost:        pcost,
+				rows:        outRows,
+				delivered:   cc.DeliverScan(catalog.MasterRegionID, leaf.ID),
+				shape:       fmt.Sprintf("ParScan(%s)", leaf.Table.Name),
+				localLeaves: 1,
+				dop:         dop,
+			})
+		}
 		return cands, nil
 	}
 	if p.Site.IsBackend() {
@@ -566,16 +662,28 @@ func (p *Planner) viewCand(q *Query, leaf *Leaf, view *catalog.View, remote *can
 	localBuild := func() (exec.Operator, error) {
 		return buildStoredAccess(vtbl, leaf.Binding, path, leaf)
 	}
+	localCost := path.cost
+	dop := 0
+	// Analytic view scans parallelize just like base-table scans; the guard
+	// decision is unaffected (it is evaluated once at Open, before any
+	// workers start).
+	if pcost, pdop, ok := p.parallelAccess(vtbl.Def(), path, outRows); ok {
+		localCost, dop = pcost, pdop
+		localBuild = func() (exec.Operator, error) {
+			return p.buildParallelAccess(vtbl, leaf.Binding, path, leaf)
+		}
+	}
 	if p.Opts.NoGuards {
 		return &cand{
 			build:       localBuild,
 			schema:      schema,
-			cost:        path.cost,
+			cost:        localCost,
 			rows:        outRows,
 			delivered:   cc.DeliverScan(view.RegionID, leaf.ID),
 			shape:       fmt.Sprintf("View(%s)", view.Name),
 			usesLocal:   true,
 			localLeaves: 1,
+			dop:         dop,
 		}, true, nil
 	}
 	guard := p.currencyGuard(view.RegionID, bound)
@@ -603,12 +711,13 @@ func (p *Planner) viewCand(q *Query, leaf *Leaf, view *catalog.View, remote *can
 		usesLocal:   true,
 		guards:      1,
 		localLeaves: 1,
+		dop:         dop,
 	}
 	prob := cc.LocalProbability(bound, region.UpdateDelay, region.UpdateInterval)
 	if !constrained {
 		prob = 1
 	}
-	c.cost = prob*path.cost + (1-prob)*remote.cost + costGuard
+	c.cost = prob*localCost + (1-prob)*remote.cost + costGuard
 	return c, true, nil
 }
 
@@ -993,7 +1102,10 @@ func allResidualLeavesIn(q *Query, residuals []sqlparser.Expr, mask uint32, addi
 }
 
 // prune keeps the cheapest candidates, at most keepPerState with distinct
-// delivered properties.
+// (delivered property, interesting order) pairs. Keeping orders distinct is
+// what lets an ordered serial scan survive next to a cheaper unordered
+// parallel scan of the same data — the classic interesting-orders rule, here
+// so merge joins keep their serial ordered inputs.
 func prune(cands []*cand) []*cand {
 	if len(cands) <= 1 {
 		return cands
@@ -1003,6 +1115,9 @@ func prune(cands []*cand) []*cand {
 	seen := map[string]bool{}
 	for _, c := range cands {
 		key := c.delivered.String()
+		if len(c.order) > 0 {
+			key += " ordered:" + strings.Join(c.order, ",")
+		}
 		if seen[key] {
 			continue
 		}
@@ -1143,6 +1258,7 @@ func (p *Planner) mergeJoinCand(q *Query, left *cand, leaf *Leaf, edges []joinEd
 		localLeaves:  left.localLeaves + right.localLeaves,
 		remoteLeaves: left.remoteLeaves + right.remoteLeaves,
 		order:        left.order,
+		dop:          maxDop(left.dop, right.dop),
 	}, true, nil
 }
 
@@ -1231,6 +1347,7 @@ func (p *Planner) hashJoinCand(q *Query, left, right *cand, leaf *Leaf, edges []
 		localLeaves:  left.localLeaves + right.localLeaves,
 		remoteLeaves: left.remoteLeaves + right.remoteLeaves,
 		order:        left.order, // probe rows stream through in order
+		dop:          maxDop(left.dop, right.dop),
 	}, nil
 }
 
@@ -1348,6 +1465,7 @@ func (p *Planner) indexLoopCand(q *Query, left *cand, leaf *Leaf, edges []joinEd
 			localLeaves:  left.localLeaves + 1,
 			remoteLeaves: left.remoteLeaves,
 			order:        left.order,
+			dop:          left.dop,
 		}, true, nil
 	}
 	if p.Site.IsBackend() {
@@ -1396,6 +1514,7 @@ func (p *Planner) indexLoopCand(q *Query, left *cand, leaf *Leaf, edges []joinEd
 				guards:       left.guards,
 				localLeaves:  left.localLeaves + 1,
 				remoteLeaves: left.remoteLeaves,
+				dop:          left.dop,
 			}, true, nil
 		}
 		// Remote fall-back branch: hash join with a remote fetch.
@@ -1432,6 +1551,7 @@ func (p *Planner) indexLoopCand(q *Query, left *cand, leaf *Leaf, edges []joinEd
 			guards:       left.guards + 1,
 			localLeaves:  left.localLeaves + 1,
 			remoteLeaves: left.remoteLeaves,
+			dop:          maxDop(left.dop, hj.dop),
 		}, true, nil
 	}
 	return nil, false, nil
@@ -1533,6 +1653,7 @@ func (p *Planner) finish(q *Query, jc *cand, innerResiduals []sqlparser.Expr) (*
 		guards:       jc.guards,
 		localLeaves:  jc.localLeaves,
 		remoteLeaves: jc.remoteLeaves,
+		dop:          jc.dop,
 	}, nil
 }
 

@@ -1,0 +1,128 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/sqltypes"
+)
+
+func morselTable(t *testing.T, n int) *Table {
+	t.Helper()
+	c := catalog.New()
+	def := &catalog.Table{
+		Name: "m",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqltypes.KindInt, NotNull: true},
+			{Name: "v", Type: sqltypes.KindString},
+		},
+		PrimaryKey: []string{"id"},
+	}
+	if err := c.AddTable(def); err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable(c.Table("m"))
+	for i := 1; i <= n; i++ {
+		row := sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprint(i))}
+		if err := tbl.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func collectMorsels(tbl *Table, ms []Morsel) []sqltypes.Row {
+	var out []sqltypes.Row
+	for _, m := range ms {
+		tbl.ScanMorsel(m, func(r sqltypes.Row) bool {
+			out = append(out, r)
+			return true
+		})
+	}
+	return out
+}
+
+// TestMorselsCoverFullRange partitions the whole table and checks the
+// morsels are contiguous, half-open and jointly equivalent to a full scan.
+func TestMorselsCoverFullRange(t *testing.T) {
+	const n = 2000
+	tbl := morselTable(t, n)
+	var want []sqltypes.Row
+	tbl.Scan(func(r sqltypes.Row) bool { want = append(want, r); return true })
+
+	for _, parts := range []int{1, 4, 16, 64} {
+		ms := tbl.Morsels(Bound{}, Bound{}, parts)
+		if len(ms) == 0 {
+			t.Fatalf("parts=%d: no morsels", parts)
+		}
+		if ms[0].Start != "" || ms[len(ms)-1].End != "" {
+			t.Fatalf("parts=%d: outer bounds not open (%q, %q)", parts, ms[0].Start, ms[len(ms)-1].End)
+		}
+		for i := 0; i+1 < len(ms); i++ {
+			if ms[i].End != ms[i+1].Start {
+				t.Fatalf("parts=%d: gap between morsel %d and %d (%q vs %q)",
+					parts, i, i+1, ms[i].End, ms[i+1].Start)
+			}
+			if ms[i].End == "" {
+				t.Fatalf("parts=%d: interior morsel %d unbounded", parts, i)
+			}
+		}
+		got := collectMorsels(tbl, ms)
+		if len(got) != len(want) {
+			t.Fatalf("parts=%d: morsel union = %d rows, scan = %d", parts, len(got), len(want))
+		}
+		// Ascending within and across contiguous morsels means the union is
+		// in clustered order: compare positionally.
+		for i := range got {
+			if got[i][0].Int() != want[i][0].Int() {
+				t.Fatalf("parts=%d: row %d = %v, want %v", parts, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMorselsRespectBounds compares the union of bounded morsels against the
+// primary-index range scan.
+func TestMorselsRespectBounds(t *testing.T) {
+	tbl := morselTable(t, 1500)
+	lo := Bound{Vals: sqltypes.Row{sqltypes.NewInt(300)}, Inclusive: true}
+	hi := Bound{Vals: sqltypes.Row{sqltypes.NewInt(900)}, Inclusive: true}
+
+	var want []sqltypes.Row
+	if err := tbl.ScanIndex("pk_m", lo, hi, func(r sqltypes.Row) bool {
+		want = append(want, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 601 {
+		t.Fatalf("range scan = %d rows", len(want))
+	}
+
+	ms := tbl.Morsels(lo, hi, 8)
+	got := collectMorsels(tbl, ms)
+	if len(got) != len(want) {
+		t.Fatalf("morsel union = %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0].Int() != want[i][0].Int() {
+			t.Fatalf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMorselsSmallTable: tiny tables still yield at least one morsel and
+// lose no rows however many parts are requested.
+func TestMorselsSmallTable(t *testing.T) {
+	for _, n := range []int{0, 1, 3} {
+		tbl := morselTable(t, n)
+		ms := tbl.Morsels(Bound{}, Bound{}, 8)
+		if len(ms) == 0 {
+			t.Fatalf("n=%d: no morsels", n)
+		}
+		if got := collectMorsels(tbl, ms); len(got) != n {
+			t.Fatalf("n=%d: morsel union = %d rows", n, len(got))
+		}
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the executor benchmarks (row vs batch vs morsel-parallel) and writes
+# BENCH_exec.json in the repo root with ns/op, rows/sec, B/op and allocs/op
+# per benchmark. Usage: scripts/bench.sh [benchtime], default 2s.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2s}"
+out="BENCH_exec.json"
+
+raw=$(go test -run '^$' -bench 'BenchmarkExec' -benchtime "$benchtime" -benchmem .)
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "["; first = 1 }
+/^BenchmarkExec/ {
+    # Names keep any -N suffix verbatim: Go only appends a -GOMAXPROCS
+    # suffix when GOMAXPROCS > 1, and sub-benchmark names like parallel-4
+    # are indistinguishable from it.
+    name = $1
+    ns = ""; rps = ""; bop = ""; aop = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")    ns  = $i
+        if ($(i+1) == "rows/sec") rps = $i
+        if ($(i+1) == "B/op")     bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"rows_per_sec\": %s, \"B_op\": %s, \"allocs_op\": %s}", \
+        name, ns == "" ? "null" : ns, rps == "" ? "null" : rps, \
+        bop == "" ? "null" : bop, aop == "" ? "null" : aop
+}
+END { print "\n]" }
+' > "$out"
+
+echo "wrote $out"
