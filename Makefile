@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,12 @@ vet:
 race:
 	$(GO) test -race ./internal/exec/... ./internal/core/...
 
+# Check that all registered metric names are lowercase_snake and unique.
+metrics-lint:
+	./scripts/metrics_lint.sh
+
 # Tier-1 verification line (see ROADMAP.md).
-verify: build vet test race
+verify: build vet metrics-lint test race
 
 # Executor benchmarks: row-at-a-time vs batch vs morsel-parallel.
 # Emits BENCH_exec.json with rows/sec per benchmark.

@@ -25,6 +25,8 @@ func main() {
 		"use physical statistics instead of scaling them to the paper's cardinalities")
 	flag.BoolVar(&cfg.Extras, "extras", false,
 		"also run extension experiments (back-end offload, region tuning)")
+	flag.BoolVar(&cfg.Metrics, "metrics", false,
+		"append a metrics-registry snapshot (guard picks, staleness gauges) to the report")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "data generation seed")
 	flag.Parse()
 	cfg.ScaleStatsToPaper = !*rawStats

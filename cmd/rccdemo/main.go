@@ -59,6 +59,19 @@ func main() {
 		fmt.Printf("%-4s %6d rows  local-views=%d remote-queries=%d  %s\n",
 			r.Case.Name, len(res.Rows), len(res.LocalViews), res.RemoteQueries, status)
 	}
+
+	// EXPLAIN ANALYZE on a currency-guarded query: the trace tree shows
+	// per-node time and rows, which branch the guard picked, and the
+	// region's staleness at decision time.
+	guarded := "SELECT c_name FROM Customer WHERE c_custkey = 17 CURRENCY 3600 ON (Customer)"
+	fmt.Println("\n=== EXPLAIN ANALYZE of a currency-guarded query ===")
+	fmt.Println("--", guarded)
+	traced, err := sys.ExplainAnalyze(guarded)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rccdemo:", err)
+		os.Exit(1)
+	}
+	fmt.Print(traced.Trace.String())
 }
 
 func sameRowSet(a, b []sqltypes.Row) bool {

@@ -9,8 +9,15 @@
 //	\run <duration>   advance simulated time (heartbeats + replication)
 //	\regions          show currency regions and their staleness
 //	\stats            show remote-link traffic counters
+//	\metrics          dump the cache's metrics registry
+//	\trace            show the last recorded execution trace
 //	\plan <query>     show the chosen plan without executing
 //	\q                quit
+//
+// EXPLAIN <query> prints the chosen plan; EXPLAIN ANALYZE <query> executes
+// it and prints the annotated trace tree (per-node time and rows, guard
+// verdicts, region staleness at decision time). With -metrics ADDR the shell
+// also serves the registry over HTTP at /metrics and /trace/last.
 package main
 
 import (
@@ -22,12 +29,14 @@ import (
 	"time"
 
 	"relaxedcc/internal/harness"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/opt"
 	"relaxedcc/internal/sqlparser"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.005, "physical TPC-D scale factor")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /trace/last on this address (e.g. :8080)")
 	flag.Parse()
 
 	fmt.Printf("loading TPC-D at scale %.3f (%d customers, %d orders)...\n",
@@ -38,8 +47,18 @@ func main() {
 		os.Exit(1)
 	}
 	sess := sys.Cache.NewSession()
+	if *metricsAddr != "" {
+		h := obs.Handler(sys.Cache.Obs(), sys.Cache.Traces(), sys.Cache.RefreshStalenessGauges)
+		_, addr, err := obs.Serve(*metricsAddr, h)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics (traces at /trace/last)\n", addr)
+	}
 	fmt.Println(`ready. tables: Customer, Orders; views: cust_prj (CR1), orders_prj (CR2).`)
 	fmt.Println(`try: SELECT c_name FROM Customer WHERE c_custkey = 17 CURRENCY 60 ON (Customer)`)
+	fmt.Println(`     EXPLAIN ANALYZE SELECT c_name FROM Customer WHERE c_custkey = 17 CURRENCY 60 ON (Customer)`)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -80,6 +99,19 @@ func main() {
 		case line == `\stats`:
 			st := sys.Cache.Link().Stats()
 			fmt.Printf("  remote queries=%d rows=%d bytes=%d\n", st.Queries, st.Rows, st.Bytes)
+		case line == `\metrics`:
+			sys.Cache.RefreshStalenessGauges()
+			sys.Cache.Obs().Snapshot().WriteText(os.Stdout)
+		case line == `\trace`:
+			sql, root := sys.Cache.Traces().Last()
+			if root == nil {
+				fmt.Println("  no trace recorded yet; run EXPLAIN ANALYZE <query>")
+				continue
+			}
+			if sql != "" {
+				fmt.Println("--", sql)
+			}
+			root.Render(os.Stdout)
 		case strings.HasPrefix(line, `\plan `):
 			sql := strings.TrimPrefix(line, `\plan `)
 			sel, err := sqlparser.ParseSelect(sql)
@@ -95,11 +127,19 @@ func main() {
 			fmt.Printf("  constraint: %v\n  plan:       %s\n  est. cost:  %.3f ms\n  class:      %s\n",
 				q.Constraint, plan.Shape, plan.Cost, harness.PlanLabel(plan))
 		case strings.HasPrefix(line, `\`):
-			fmt.Println("unknown meta command; try \\run 30s, \\regions, \\stats, \\plan <q>, \\q")
+			fmt.Println("unknown meta command; try \\run 30s, \\regions, \\stats, \\metrics, \\trace, \\plan <q>, \\q")
 		default:
 			res, err := sess.Execute(line)
 			if err != nil {
 				fmt.Println("error:", err)
+				continue
+			}
+			if res.Trace != nil {
+				res.Trace.Render(os.Stdout)
+				continue
+			}
+			if res.Explained {
+				fmt.Printf("  plan: %s  (est. cost %.3f ms)\n", res.Plan.Shape, res.Plan.Cost)
 				continue
 			}
 			if res.Plan != nil {

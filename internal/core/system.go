@@ -102,6 +102,13 @@ func (s *System) Query(sql string) (*mtcache.QueryResult, error) {
 	return s.Cache.Query(sql)
 }
 
+// ExplainAnalyze runs a SELECT at the cache with per-operator tracing: the
+// returned result's Trace field holds the annotated plan tree (per-node
+// time and rows, guard verdicts, region staleness at decision time).
+func (s *System) ExplainAnalyze(sql string) (*mtcache.QueryResult, error) {
+	return s.Cache.ExplainAnalyze(sql)
+}
+
 // QueryBackend runs a SELECT directly on the back end (bypassing the
 // cache), e.g. to verify cached answers against master data.
 func (s *System) QueryBackend(sql string) (*exec.Result, error) {

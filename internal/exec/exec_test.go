@@ -517,7 +517,7 @@ func TestSwitchUnionSelectsOneBranch(t *testing.T) {
 	if localOpened != 1 || remoteOpened != 0 {
 		t.Fatalf("opened local=%d remote=%d; unchosen branch must stay untouched", localOpened, remoteOpened)
 	}
-	if su.ChosenIndex != 0 {
+	if su.ChosenIndex() != 0 {
 		t.Fatal("ChosenIndex")
 	}
 	// Switch to branch 1.

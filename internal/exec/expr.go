@@ -19,6 +19,10 @@ type EvalContext struct {
 	// MaxDOP caps the worker count of parallel operators (ParallelScan).
 	// Zero means GOMAXPROCS.
 	MaxDOP int
+	// OnGuard, when non-nil, receives every SwitchUnion guard decision taken
+	// during this execution — the hook metrics and tracing layers use to
+	// observe branch picks and staleness without touching operator state.
+	OnGuard func(GuardDecision)
 }
 
 // Compiled is an expression compiled against a schema: it evaluates on one

@@ -163,6 +163,8 @@ func CollectSwitchUnions(root Operator) []*SwitchUnion {
 			walk(op.Child)
 		case *Aggregate:
 			walk(op.Child)
+		case *Traced:
+			walk(op.child)
 		}
 	}
 	walk(root)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"relaxedcc/internal/sqltypes"
@@ -10,6 +11,26 @@ import (
 // Selector decides which SwitchUnion input to execute. It is evaluated once
 // when the operator is opened and must return an index in [0, n).
 type Selector func(ctx *EvalContext) (int, error)
+
+// GuardDecision records one SwitchUnion guard evaluation: the decision, its
+// cost, and the guarded region's observed staleness at decision time. It is
+// published atomically per Open (replacing the old mutable GuardTime/
+// ChosenIndex fields, which raced with observers under plan reuse) and
+// delivered to EvalContext.OnGuard for metrics and tracing.
+type GuardDecision struct {
+	// Label is the guard's diagnostic name (SwitchUnion.Label).
+	Label string
+	// Region is the currency region the guard checked.
+	Region int
+	// Chosen is the selected branch: 0 is the local branch, by convention.
+	Chosen int
+	// GuardTime is how long the selector evaluation took.
+	GuardTime time.Duration
+	// Staleness is the region's staleness at decision time (query Now minus
+	// the last replicated heartbeat); valid only when StalenessKnown is true.
+	Staleness      time.Duration
+	StalenessKnown bool
+}
 
 // SwitchUnion is the paper's dynamic-plan operator (Section 3): it has N
 // input expressions plus a selector; on open the selector picks exactly one
@@ -26,19 +47,21 @@ type SwitchUnion struct {
 	// guard checks for the local branch (child 0). Sessions use it to track
 	// timeline consistency.
 	Region int
+	// Staleness optionally observes the guarded region's staleness at
+	// decision time (query Now minus last heartbeat), for tracing and
+	// metrics. Set by the planner; nil means staleness is unknown.
+	Staleness func(ctx *EvalContext) (time.Duration, bool)
 
-	chosen int
 	active Operator
 	// opened tracks every child this operator has opened and not yet
 	// closed, so Close can release them all even if a guard re-evaluation
 	// across re-opens chose different branches or an error struck mid-open.
 	opened  []Operator
 	bactive BatchOperator
-	// GuardTime records how long the selector evaluation took; ChosenIndex
-	// records its decision. Both are observable after Open for the
-	// guard-overhead experiments (Tables 4.4/4.5).
-	GuardTime   time.Duration
-	ChosenIndex int
+	// decision is the guard outcome of the most recent Open, published
+	// atomically so observers (harness, session bookkeeping, monitoring
+	// goroutines) can read it without racing a concurrent re-open.
+	decision atomic.Pointer[GuardDecision]
 }
 
 // Schema implements Operator. All children must share a schema shape; the
@@ -50,21 +73,57 @@ func (s *SwitchUnion) Schema() *Schema { return s.Children[0].Schema() }
 func (s *SwitchUnion) Open(ctx *EvalContext) error {
 	start := time.Now()
 	idx, err := s.Selector(ctx)
-	s.GuardTime = time.Since(start)
+	guardTime := time.Since(start)
 	if err != nil {
 		return err
 	}
 	if idx < 0 || idx >= len(s.Children) {
 		return fmt.Errorf("exec: SwitchUnion selector returned %d of %d", idx, len(s.Children))
 	}
-	s.chosen = idx
-	s.ChosenIndex = idx
+	d := &GuardDecision{Label: s.Label, Region: s.Region, Chosen: idx, GuardTime: guardTime}
+	if s.Staleness != nil {
+		if st, ok := s.Staleness(ctx); ok {
+			d.Staleness, d.StalenessKnown = st, true
+		}
+	}
+	s.decision.Store(d)
+	if ctx.OnGuard != nil {
+		ctx.OnGuard(*d)
+	}
 	s.active = s.Children[idx]
 	s.bactive = nil
 	// Record the child before opening it: a failed Open may still have
 	// acquired resources that only Close releases.
 	s.track(s.active)
 	return s.active.Open(ctx)
+}
+
+// LastDecision returns the guard outcome of the most recent Open; ok is
+// false if the operator was never opened. Safe to call from any goroutine.
+func (s *SwitchUnion) LastDecision() (GuardDecision, bool) {
+	d := s.decision.Load()
+	if d == nil {
+		return GuardDecision{}, false
+	}
+	return *d, true
+}
+
+// ChosenIndex returns the branch picked by the most recent Open (0 if never
+// opened).
+func (s *SwitchUnion) ChosenIndex() int {
+	if d := s.decision.Load(); d != nil {
+		return d.Chosen
+	}
+	return 0
+}
+
+// GuardTime returns the selector evaluation time of the most recent Open —
+// the guard cost measured by the Tables 4.4/4.5 experiments.
+func (s *SwitchUnion) GuardTime() time.Duration {
+	if d := s.decision.Load(); d != nil {
+		return d.GuardTime
+	}
+	return 0
 }
 
 func (s *SwitchUnion) track(op Operator) {

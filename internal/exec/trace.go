@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"relaxedcc/internal/obs"
+	"relaxedcc/internal/sqltypes"
+)
+
+// Instrument wraps every operator in the tree with a timing shim and
+// returns the wrapped root plus the matching plan-shaped trace tree. Each
+// node records inclusive open/next/close wall time, rows and batches
+// produced; SwitchUnion nodes additionally capture the guard decision
+// (branch, latency, region staleness) after Open. Both branches of a
+// SwitchUnion appear in the tree — the one the guard rejected shows
+// "(not executed)".
+//
+// The shim implements BatchOperator, so instrumenting never degrades a
+// batch-capable tree to row-at-a-time execution. Per-call time stamping
+// costs two clock reads per batch (amortized over up to DefaultBatchSize
+// rows); instrumentation is opt-in per execution (EXPLAIN ANALYZE), not
+// part of the normal query path.
+func Instrument(root Operator) (Operator, *obs.TraceNode) {
+	node := &obs.TraceNode{Name: describe(root)}
+	wrapChildren(root, node)
+	t := &Traced{child: root, node: node}
+	if su, ok := root.(*SwitchUnion); ok {
+		t.su = su
+	}
+	return t, node
+}
+
+// wrapChildren replaces each child of op with its instrumented wrapper,
+// appending the child trace nodes to node in plan order.
+func wrapChildren(op Operator, node *obs.TraceNode) {
+	wrap := func(c Operator) Operator {
+		w, cn := Instrument(c)
+		node.Children = append(node.Children, cn)
+		return w
+	}
+	switch op := op.(type) {
+	case *SwitchUnion:
+		for i, c := range op.Children {
+			op.Children[i] = wrap(c)
+		}
+	case *Filter:
+		op.Child = wrap(op.Child)
+	case *Project:
+		op.Child = wrap(op.Child)
+	case *HashJoin:
+		op.Left = wrap(op.Left)
+		op.Right = wrap(op.Right)
+	case *MergeJoin:
+		op.Left = wrap(op.Left)
+		op.Right = wrap(op.Right)
+	case *IndexLoopJoin:
+		op.Outer = wrap(op.Outer)
+	case *Sort:
+		op.Child = wrap(op.Child)
+	case *Limit:
+		op.Child = wrap(op.Child)
+	case *Distinct:
+		op.Child = wrap(op.Child)
+	case *Aggregate:
+		op.Child = wrap(op.Child)
+	case *BatchAdapter:
+		op.Child = wrap(op.Child)
+	case *RowAdapter:
+		w, cn := Instrument(op.Child)
+		node.Children = append(node.Children, cn)
+		op.Child = w.(BatchOperator)
+	}
+}
+
+// describe names an operator for the trace tree, using whatever identifying
+// detail the operator exports.
+func describe(op Operator) string {
+	switch op := op.(type) {
+	case *Scan:
+		if op.Index != "" {
+			return fmt.Sprintf("IndexScan(%s.%s)", op.Table.Def().Name, op.Index)
+		}
+		return fmt.Sprintf("Scan(%s)", op.Table.Def().Name)
+	case *ParallelScan:
+		return fmt.Sprintf("ParallelScan(%s)", op.Table.Def().Name)
+	case *SwitchUnion:
+		if op.Label != "" {
+			return fmt.Sprintf("SwitchUnion %s", op.Label)
+		}
+		return "SwitchUnion"
+	case *Remote:
+		return fmt.Sprintf("Remote(%s)", op.SQL)
+	case *Filter:
+		return "Filter"
+	case *Project:
+		return "Project"
+	case *HashJoin:
+		return "HashJoin"
+	case *MergeJoin:
+		return "MergeJoin"
+	case *IndexLoopJoin:
+		return fmt.Sprintf("IndexLoopJoin(%s.%s)", op.Inner.Def().Name, op.Index)
+	case *Sort:
+		return "Sort"
+	case *Limit:
+		return "Limit"
+	case *Distinct:
+		return "Distinct"
+	case *Aggregate:
+		return "Aggregate"
+	case *Values:
+		return "Values"
+	case *BatchAdapter:
+		return "BatchAdapter"
+	case *RowAdapter:
+		return "RowAdapter"
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+// Traced is the instrumentation shim around one operator. It passes rows
+// and batches through unchanged while accumulating phase timings into its
+// trace node. Tree walkers unwrap it via Unwrap.
+type Traced struct {
+	child  Operator
+	bchild BatchOperator
+	su     *SwitchUnion // non-nil when child is a SwitchUnion
+	node   *obs.TraceNode
+}
+
+// Unwrap returns the operator the shim wraps.
+func (t *Traced) Unwrap() Operator { return t.child }
+
+// Node returns the shim's trace node.
+func (t *Traced) Node() *obs.TraceNode { return t.node }
+
+// Schema implements Operator.
+func (t *Traced) Schema() *Schema { return t.child.Schema() }
+
+// Open implements Operator, timing the child's Open and capturing the guard
+// decision for SwitchUnion children.
+func (t *Traced) Open(ctx *EvalContext) error {
+	start := time.Now()
+	err := t.child.Open(ctx)
+	t.node.Open += time.Since(start)
+	t.node.Opens++
+	t.bchild = nil
+	if t.su != nil {
+		if d, ok := t.su.LastDecision(); ok {
+			t.node.Guard = &obs.GuardTrace{
+				Label:     d.Label,
+				Region:    d.Region,
+				Chosen:    d.Chosen,
+				Time:      d.GuardTime,
+				Staleness: d.Staleness,
+				Known:     d.StalenessKnown,
+			}
+		}
+	}
+	return err
+}
+
+// Next implements Operator.
+func (t *Traced) Next() (sqltypes.Row, bool, error) {
+	start := time.Now()
+	row, ok, err := t.child.Next()
+	t.node.Next += time.Since(start)
+	if ok {
+		t.node.Rows++
+	}
+	return row, ok, err
+}
+
+// NextBatch implements BatchOperator, preserving the child's batch path.
+func (t *Traced) NextBatch() (sqltypes.Batch, bool, error) {
+	if t.bchild == nil {
+		t.bchild = AsBatch(t.child)
+	}
+	start := time.Now()
+	batch, ok, err := t.bchild.NextBatch()
+	t.node.Next += time.Since(start)
+	if ok {
+		t.node.Rows += int64(len(batch))
+		t.node.Batches++
+	}
+	return batch, ok, err
+}
+
+// Close implements Operator.
+func (t *Traced) Close() error {
+	start := time.Now()
+	err := t.child.Close()
+	t.node.Close += time.Since(start)
+	return err
+}

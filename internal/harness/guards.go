@@ -137,7 +137,7 @@ func timePhases(plan *opt.Plan, transform func(exec.Operator) exec.Operator, ctx
 		rows = len(res.Rows)
 	}
 	for _, su := range exec.CollectSwitchUnions(root) {
-		guardEval += su.GuardTime
+		guardEval += su.GuardTime()
 	}
 	avg := total.Scale(iters)
 	avg.Setup = setup
@@ -177,8 +177,8 @@ func measureGuardedVsPlain(sys *core.System, sql string, wantLocal bool, reps in
 		return nil, err
 	}
 	for _, su := range exec.CollectSwitchUnions(root) {
-		if (su.ChosenIndex == 0) != wantLocal {
-			return nil, fmt.Errorf("harness: guard chose branch %d, want local=%v", su.ChosenIndex, wantLocal)
+		if chosen := su.ChosenIndex(); (chosen == 0) != wantLocal {
+			return nil, fmt.Errorf("harness: guard chose branch %d, want local=%v", chosen, wantLocal)
 		}
 	}
 	m := &GuardMeasurement{

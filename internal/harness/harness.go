@@ -35,6 +35,9 @@ type Config struct {
 	// Extras also runs the extension experiments (offload, region tuning)
 	// beyond the paper's tables and figures.
 	Extras bool
+	// Metrics appends a snapshot of the cache's metrics registry (guard
+	// picks, staleness gauges, replication throughput) to the report.
+	Metrics bool
 }
 
 // DefaultConfig is sized for a laptop run of every experiment.

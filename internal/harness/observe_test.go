@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunObservability drives the plan-choice workload through the cache
+// session and checks the metrics snapshot surfaces what the acceptance
+// criteria demand: per-region staleness gauges and guard pick counters, the
+// same content /metrics serves.
+func TestRunObservability(t *testing.T) {
+	sys, err := NewSystem(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunObservability(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`guard_local_total{region="1"}`,
+		`region_staleness_ns{region="1"}`,
+		`region_staleness_ns{region="2"}`,
+		"guard_latency_ns_count",
+		"guard_staleness_ns_p50",
+		"mtcache_queries_total",
+		"guard picks: ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("observability report missing %q in:\n%s", want, out)
+		}
+	}
+	// The workload must actually have executed guarded queries.
+	if strings.Contains(out, "mtcache_queries_total 0") {
+		t.Fatal("no queries recorded")
+	}
+}

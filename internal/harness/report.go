@@ -40,6 +40,11 @@ func RunAll(w io.Writer, cfg Config) error {
 		}
 		RunTuner(w)
 	}
+	if cfg.Metrics {
+		if err := RunObservability(w, sys); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

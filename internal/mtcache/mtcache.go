@@ -25,6 +25,7 @@ import (
 	"relaxedcc/internal/backend"
 	"relaxedcc/internal/catalog"
 	"relaxedcc/internal/exec"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/opt"
 	"relaxedcc/internal/remote"
 	"relaxedcc/internal/repl"
@@ -57,6 +58,10 @@ type Cache struct {
 	// change.
 	planMu    sync.Mutex
 	planCache map[string]*opt.Plan
+
+	// obs holds the cache's metrics registry, instruments and trace store
+	// (see obs.go). Always non-nil; each cache owns its registry.
+	obs *cacheObs
 }
 
 // New creates a cache over the back-end server, cloning its catalog as the
@@ -82,6 +87,7 @@ func New(clock vclock.Clock, back *backend.Server) *Cache {
 		agents:    map[int]*repl.Agent{},
 		hb:        storage.NewTable(hbDef),
 		planCache: map[string]*opt.Plan{},
+		obs:       newCacheObs(obs.NewRegistry()),
 	}
 }
 
@@ -211,6 +217,7 @@ func (c *Cache) AddRegion(r *catalog.Region) (*repl.Agent, error) {
 		return nil, err
 	}
 	agent := repl.NewAgent(&rc, c.back.Log(), backend.HeartbeatTable, c)
+	agent.Instrument(c.obs.reg)
 	c.mu.Lock()
 	c.agents[r.ID] = agent
 	c.mu.Unlock()
@@ -354,11 +361,22 @@ type QueryResult struct {
 	// answered (query start time when everything came from the master).
 	// Zero only for statements that read nothing.
 	AsOf time.Time
+	// Trace is the annotated execution trace, set only for EXPLAIN ANALYZE.
+	Trace *obs.TraceNode
+	// Explained is set for plain EXPLAIN: the statement was planned but not
+	// executed (Rows is empty, Plan describes the choice).
+	Explained bool
 }
 
 // Query runs one SELECT outside any session (default options and actions).
 func (c *Cache) Query(sql string) (*QueryResult, error) {
 	return c.NewSession().Query(sql)
+}
+
+// ExplainAnalyze runs one SELECT outside any session with per-operator
+// tracing enabled; the result carries the execution trace.
+func (c *Cache) ExplainAnalyze(sql string) (*QueryResult, error) {
+	return c.NewSession().ExplainAnalyze(sql)
 }
 
 // Exec forwards a DML statement transparently to the back-end server (the
@@ -405,6 +423,11 @@ type Session struct {
 // NewSession opens a session.
 func (c *Cache) NewSession() *Session { return &Session{cache: c} }
 
+// Obs returns the metrics registry of the cache this session talks to, so
+// layers above the session (e.g. qcache) can register their instruments
+// alongside the cache's.
+func (s *Session) Obs() *obs.Registry { return s.cache.obs.reg }
+
 // TimeOrdered reports whether the session is inside a TIMEORDERED bracket.
 func (s *Session) TimeOrdered() bool {
 	s.mu.Lock()
@@ -441,7 +464,12 @@ func (s *Session) Execute(sql string) (*QueryResult, error) {
 		s.mu.Unlock()
 		return &QueryResult{Result: &exec.Result{}}, nil
 	case *sqlparser.SelectStmt:
-		return s.query(stmt)
+		return s.query(stmt, false)
+	case *sqlparser.ExplainStmt:
+		if stmt.Analyze {
+			return s.query(stmt.Stmt, true)
+		}
+		return s.explain(stmt.Stmt)
 	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
 		n, err := s.cache.back.ExecStmt(stmt)
 		if err != nil {
@@ -460,10 +488,37 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.query(sel)
+	return s.query(sel, false)
 }
 
-func (s *Session) query(sel *sqlparser.SelectStmt) (*QueryResult, error) {
+// ExplainAnalyze parses and runs one SELECT with execution tracing: the
+// result carries the annotated plan tree (per-node time, rows, guard
+// verdicts) in Trace, and the trace is retained in the cache's TraceStore
+// for /trace/last.
+func (s *Session) ExplainAnalyze(sql string) (*QueryResult, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.query(sel, true)
+}
+
+// explain plans the SELECT without executing it (plain EXPLAIN).
+func (s *Session) explain(sel *sqlparser.SelectStmt) (*QueryResult, error) {
+	opts := opt.Options{}
+	s.mu.Lock()
+	if s.timeOrdered {
+		opts.MinSync = s.floor
+	}
+	s.mu.Unlock()
+	plan, _, err := s.cache.Plan(sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Result: &exec.Result{}, Plan: plan, Explained: true}, nil
+}
+
+func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, error) {
 	opts := opt.Options{}
 	s.mu.Lock()
 	if s.timeOrdered {
@@ -483,6 +538,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt) (*QueryResult, error) {
 		plan = s.cache.cachedPlan(key)
 	}
 	if plan == nil {
+		s.cache.obs.planMisses.Inc()
 		plan, _, err = s.cache.Plan(sel, opts)
 		if err != nil {
 			return nil, err
@@ -491,6 +547,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt) (*QueryResult, error) {
 			s.cache.storePlan(key, plan)
 		}
 	} else {
+		s.cache.obs.planHits.Inc()
 		// Re-instantiate a fresh operator tree from the cached plan.
 		root, buildErr := plan.Build()
 		if buildErr != nil {
@@ -501,7 +558,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt) (*QueryResult, error) {
 		reused.Setup = 0
 		plan = &reused
 	}
-	qr, err := s.run(plan)
+	qr, err := s.run(plan, analyze, key)
 	if err != nil {
 		if s.Action == ActionServeStale && strings.Contains(err.Error(), "remote:") {
 			return s.serveStale(sel)
@@ -512,17 +569,32 @@ func (s *Session) query(sel *sqlparser.SelectStmt) (*QueryResult, error) {
 }
 
 // run executes a plan and updates the session's timeline floor from the
-// sources actually used.
-func (s *Session) run(plan *opt.Plan) (*QueryResult, error) {
+// sources actually used. With analyze set, the tree is instrumented and the
+// result carries the annotated trace (retained in the cache's TraceStore
+// under sql).
+func (s *Session) run(plan *opt.Plan, analyze bool, sql string) (*QueryResult, error) {
 	now := s.cache.clock.Now()
-	res, err := exec.Run(plan.Root, &exec.EvalContext{Now: now}, plan.Setup)
+	o := s.cache.obs
+	o.queries.Inc()
+	root := plan.Root
+	var trace *obs.TraceNode
+	if analyze {
+		root, trace = exec.Instrument(root)
+	}
+	res, err := exec.Run(root, &exec.EvalContext{Now: now, OnGuard: o.onGuard}, plan.Setup)
 	if err != nil {
 		return nil, err
 	}
-	qr := &QueryResult{Result: res, Plan: plan}
+	qr := &QueryResult{Result: res, Plan: plan, Trace: trace}
+	if trace != nil {
+		o.traces.Set(sql, trace)
+	}
 	observed := time.Time{} // newest source: the timeline floor
 	oldest := time.Time{}   // oldest source: the conservative AsOf
-	s.walkUsed(plan.Root, qr, &observed, &oldest, now)
+	s.walkUsed(root, qr, &observed, &oldest, now)
+	if qr.RemoteQueries > 0 {
+		o.remoteQueries.Add(int64(qr.RemoteQueries))
+	}
 	qr.AsOf = oldest
 	s.mu.Lock()
 	if s.timeOrdered && observed.After(s.floor) {
@@ -545,14 +617,17 @@ func (s *Session) walkUsed(op exec.Operator, qr *QueryResult, observed, oldest *
 		}
 	}
 	switch op := op.(type) {
+	case *exec.Traced:
+		s.walkUsed(op.Unwrap(), qr, observed, oldest, now)
 	case *exec.SwitchUnion:
-		if op.ChosenIndex == 0 {
+		chosen := op.ChosenIndex()
+		if chosen == 0 {
 			qr.LocalViews = append(qr.LocalViews, op.Label)
 			if ts, ok := s.cache.LastSync(op.Region); ok {
 				note(ts)
 			}
 		}
-		s.walkUsed(op.Children[op.ChosenIndex], qr, observed, oldest, now)
+		s.walkUsed(op.Children[chosen], qr, observed, oldest, now)
 	case *exec.Remote:
 		qr.RemoteQueries++
 		note(now)
@@ -589,11 +664,12 @@ func (s *Session) serveStale(sel *sqlparser.SelectStmt) (*QueryResult, error) {
 	if !plan.UsesLocal {
 		return nil, fmt.Errorf("mtcache: remote unavailable and no matching local view")
 	}
-	qr, err := s.run(plan)
+	qr, err := s.run(plan, false, "")
 	if err != nil {
 		return nil, err
 	}
 	qr.ServedStale = true
+	s.cache.obs.servedStale.Inc()
 	qr.AsOf = time.Time{} // staleness unknown: no guard vouched for it
 	return qr, nil
 }

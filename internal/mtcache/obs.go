@@ -1,0 +1,115 @@
+package mtcache
+
+import (
+	"strconv"
+	"sync"
+
+	"relaxedcc/internal/exec"
+	"relaxedcc/internal/obs"
+)
+
+// cacheObs bundles the cache's metric instruments, resolved once at cache
+// creation so per-query recording is atomic increments only.
+//
+// Metric names (see DESIGN.md "Observability"):
+//
+//	mtcache_queries_total             SELECTs executed through sessions
+//	mtcache_remote_queries_total      remote fall-back queries actually run
+//	mtcache_served_stale_total        results downgraded by ActionServeStale
+//	mtcache_plan_cache_hits_total     plan-cache hits
+//	mtcache_plan_cache_misses_total   plan-cache misses (fresh optimizations)
+//	guard_local_total{region}         guard decisions that took the local branch
+//	guard_remote_total{region}        guard decisions that fell back remote
+//	guard_latency_ns                  selector evaluation time (the paper's c_cg)
+//	guard_staleness_ns                region staleness observed at decision time
+//	region_staleness_ns{region}       current staleness gauge per region
+type cacheObs struct {
+	reg    *obs.Registry
+	traces *obs.TraceStore
+
+	queries       *obs.Counter
+	remoteQueries *obs.Counter
+	servedStale   *obs.Counter
+	planHits      *obs.Counter
+	planMisses    *obs.Counter
+
+	guardLocal      *obs.CounterVec
+	guardRemote     *obs.CounterVec
+	guardLatency    *obs.Histogram
+	guardStaleness  *obs.Histogram
+	regionStaleness *obs.GaugeVec
+
+	// regionLabels caches strconv results so the per-query guard hook does
+	// not allocate a label string per decision.
+	mu           sync.RWMutex
+	regionLabels map[int]string
+}
+
+func newCacheObs(reg *obs.Registry) *cacheObs {
+	return &cacheObs{
+		reg:             reg,
+		traces:          &obs.TraceStore{},
+		queries:         reg.Counter("mtcache_queries_total"),
+		remoteQueries:   reg.Counter("mtcache_remote_queries_total"),
+		servedStale:     reg.Counter("mtcache_served_stale_total"),
+		planHits:        reg.Counter("mtcache_plan_cache_hits_total"),
+		planMisses:      reg.Counter("mtcache_plan_cache_misses_total"),
+		guardLocal:      reg.CounterVec("guard_local_total", "region"),
+		guardRemote:     reg.CounterVec("guard_remote_total", "region"),
+		guardLatency:    reg.Histogram("guard_latency_ns"),
+		guardStaleness:  reg.Histogram("guard_staleness_ns"),
+		regionStaleness: reg.GaugeVec("region_staleness_ns", "region"),
+		regionLabels:    map[int]string{},
+	}
+}
+
+func (o *cacheObs) regionLabel(id int) string {
+	o.mu.RLock()
+	l, ok := o.regionLabels[id]
+	o.mu.RUnlock()
+	if ok {
+		return l
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if l, ok := o.regionLabels[id]; ok {
+		return l
+	}
+	l = strconv.Itoa(id)
+	o.regionLabels[id] = l
+	return l
+}
+
+// onGuard records one SwitchUnion guard decision (EvalContext.OnGuard).
+func (o *cacheObs) onGuard(d exec.GuardDecision) {
+	label := o.regionLabel(d.Region)
+	if d.Chosen == 0 {
+		o.guardLocal.With(label).Inc()
+	} else {
+		o.guardRemote.With(label).Inc()
+	}
+	o.guardLatency.ObserveDuration(d.GuardTime)
+	if d.StalenessKnown {
+		o.guardStaleness.ObserveDuration(d.Staleness)
+		o.regionStaleness.With(label).SetDuration(d.Staleness)
+	}
+}
+
+// Obs returns the cache's metrics registry. Every cache has one; all
+// session, guard, replication and plan-cache instruments register here.
+func (c *Cache) Obs() *obs.Registry { return c.obs.reg }
+
+// Traces returns the cache's last-trace store (filled by EXPLAIN ANALYZE).
+func (c *Cache) Traces() *obs.TraceStore { return c.obs.traces }
+
+// RefreshStalenessGauges recomputes every region's staleness gauge
+// (region_staleness_ns) from the clock and the local heartbeat table, so a
+// metrics snapshot reflects current staleness even between queries.
+func (c *Cache) RefreshStalenessGauges() {
+	now := c.clock.Now()
+	for _, r := range c.cat.Regions() {
+		if ts, ok := c.LastSync(r.ID); ok {
+			c.obs.regionStaleness.With(c.obs.regionLabel(r.ID)).SetDuration(now.Sub(ts))
+		}
+	}
+}

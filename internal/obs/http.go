@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler serves the registry and trace store over HTTP:
+//
+//	/metrics        text snapshot (one "name value" line per metric);
+//	                ?format=json returns the JSON encoding instead
+//	/trace/last     the most recent EXPLAIN ANALYZE trace tree
+//
+// refresh, when non-nil, runs before each /metrics snapshot so callers can
+// update derived gauges (e.g. per-region staleness computed from the clock).
+func Handler(reg *Registry, traces *TraceStore, refresh func()) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if refresh != nil {
+			refresh()
+		}
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+	mux.HandleFunc("/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if traces == nil {
+			http.Error(w, "no trace store", http.StatusNotFound)
+			return
+		}
+		sql, root := traces.Last()
+		if root == nil {
+			fmt.Fprintln(w, "no trace recorded; run EXPLAIN ANALYZE <query>")
+			return
+		}
+		fmt.Fprintf(w, "-- %s\n", sql)
+		root.Render(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the handler on addr in a background
+// goroutine and returns the server plus its bound address (useful with
+// ":0"). The caller owns shutdown via srv.Close.
+func Serve(addr string, h http.Handler) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// GuardTrace records one SwitchUnion currency-guard decision: which branch
+// the guard picked, how long the check took, and the region's observed
+// staleness at decision time (query Now minus the local heartbeat).
+type GuardTrace struct {
+	Label  string        `json:"label"`
+	Region int           `json:"region"`
+	Chosen int           `json:"chosen"`
+	Time   time.Duration `json:"guard_time_ns"`
+	// Staleness is meaningful only when Known is true (a region that never
+	// synchronized has unknown staleness).
+	Staleness time.Duration `json:"staleness_ns"`
+	Known     bool          `json:"staleness_known"`
+}
+
+// Branch names the chosen branch: by convention child 0 is the local
+// materialized view and child 1 the remote fall-back.
+func (g *GuardTrace) Branch() string {
+	if g.Chosen == 0 {
+		return "local"
+	}
+	return "remote"
+}
+
+// TraceNode is one operator's record in a plan-shaped execution trace:
+// inclusive wall time per iterator phase (a parent's Next time includes its
+// children's), rows and batches produced, and the guard decision for
+// SwitchUnion nodes. Children mirror the plan tree, including branches that
+// were never opened (Opens == 0).
+type TraceNode struct {
+	Name     string        `json:"name"`
+	Opens    int64         `json:"opens"`
+	Open     time.Duration `json:"open_ns"`
+	Next     time.Duration `json:"next_ns"`
+	Close    time.Duration `json:"close_ns"`
+	Rows     int64         `json:"rows"`
+	Batches  int64         `json:"batches"`
+	Guard    *GuardTrace   `json:"guard,omitempty"`
+	Children []*TraceNode  `json:"children,omitempty"`
+}
+
+// Total returns the node's inclusive wall time across all phases.
+func (n *TraceNode) Total() time.Duration { return n.Open + n.Next + n.Close }
+
+// Render writes the trace as an indented plan tree with per-node timings —
+// the EXPLAIN ANALYZE output.
+func (n *TraceNode) Render(w io.Writer) {
+	n.render(w, "", "", true)
+}
+
+// String renders the trace to a string.
+func (n *TraceNode) String() string {
+	var sb strings.Builder
+	n.Render(&sb)
+	return sb.String()
+}
+
+func (n *TraceNode) render(w io.Writer, prefix, childPrefix string, timings bool) {
+	fmt.Fprintf(w, "%s%s", prefix, n.Name)
+	if n.Opens == 0 {
+		fmt.Fprintf(w, "  (not executed)")
+	} else if timings {
+		fmt.Fprintf(w, "  time=%s rows=%d", fmtDur(n.Total()), n.Rows)
+		if n.Batches > 0 {
+			fmt.Fprintf(w, " batches=%d", n.Batches)
+		}
+	} else {
+		fmt.Fprintf(w, "  rows=%d", n.Rows)
+	}
+	if g := n.Guard; g != nil && n.Opens > 0 {
+		stale := "unknown"
+		if g.Known {
+			stale = g.Staleness.String()
+		}
+		if timings {
+			fmt.Fprintf(w, " [guard %s -> %s branch, region %d, staleness %s]",
+				fmtDur(g.Time), g.Branch(), g.Region, stale)
+		} else {
+			fmt.Fprintf(w, " [guard -> %s branch, region %d, staleness %s]",
+				g.Branch(), g.Region, stale)
+		}
+	}
+	fmt.Fprintln(w)
+	for i, c := range n.Children {
+		connector, indent := "├─ ", "│  "
+		if i == len(n.Children)-1 {
+			connector, indent = "└─ ", "   "
+		}
+		c.render(w, childPrefix+connector, childPrefix+indent, timings)
+	}
+}
+
+// RenderShape writes the trace without wall-clock timings: node names, row
+// counts and guard verdicts only. Under a virtual clock this rendering is
+// fully deterministic, which is what the golden-output tests assert.
+func (n *TraceNode) RenderShape(w io.Writer) {
+	n.render(w, "", "", false)
+}
+
+// ShapeString returns the deterministic rendering as a string.
+func (n *TraceNode) ShapeString() string {
+	var sb strings.Builder
+	n.RenderShape(&sb)
+	return sb.String()
+}
+
+// fmtDur rounds a duration for display so trees stay readable.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// TraceStore retains the most recent execution trace, for the /trace/last
+// endpoint and the shell's \trace meta command.
+type TraceStore struct {
+	mu   sync.Mutex
+	sql  string
+	root *TraceNode
+}
+
+// Set stores the latest trace with the statement that produced it.
+func (t *TraceStore) Set(sql string, root *TraceNode) {
+	t.mu.Lock()
+	t.sql, t.root = sql, root
+	t.mu.Unlock()
+}
+
+// Last returns the most recent trace, or nil if none was recorded.
+func (t *TraceStore) Last() (string, *TraceNode) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sql, t.root
+}

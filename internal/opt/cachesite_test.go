@@ -134,7 +134,7 @@ func TestCacheGuardedPlanExecutesLocally(t *testing.T) {
 		t.Fatalf("rows = %v", rows)
 	}
 	sus := exec.CollectSwitchUnions(p.Root)
-	if len(sus) != 1 || sus[0].ChosenIndex != 0 {
+	if len(sus) != 1 || sus[0].ChosenIndex() != 0 {
 		t.Fatalf("guard decision = %+v", sus)
 	}
 }
@@ -148,7 +148,7 @@ func TestCacheGuardFallsBackWhenStale(t *testing.T) {
 		t.Fatalf("rows = %v", rows)
 	}
 	sus := exec.CollectSwitchUnions(p.Root)
-	if len(sus) != 1 || sus[0].ChosenIndex != 1 {
+	if len(sus) != 1 || sus[0].ChosenIndex() != 1 {
 		t.Fatal("guard should have fallen back to remote")
 	}
 }

@@ -699,7 +699,7 @@ func (p *Planner) viewCand(q *Query, leaf *Leaf, view *catalog.View, remote *can
 			if err != nil {
 				return nil, err
 			}
-			return &exec.SwitchUnion{Children: []exec.Operator{local, rem}, Selector: guard, Label: label, Region: view.RegionID}, nil
+			return &exec.SwitchUnion{Children: []exec.Operator{local, rem}, Selector: guard, Label: label, Region: view.RegionID, Staleness: p.stalenessProbe(view.RegionID)}, nil
 		},
 		schema: schema,
 		rows:   outRows,
@@ -831,6 +831,23 @@ func rangeImplies(lit sqltypes.Value, qOp sqlparser.BinOp, vp catalog.SimplePred
 		}
 	}
 	return false
+}
+
+// stalenessProbe builds the SwitchUnion's staleness observer: the region's
+// age at decision time (query Now minus last replicated heartbeat), reported
+// into guard traces and metrics.
+func (p *Planner) stalenessProbe(regionID int) func(*exec.EvalContext) (time.Duration, bool) {
+	regions := p.Site.Regions
+	if regions == nil {
+		return nil
+	}
+	return func(ctx *exec.EvalContext) (time.Duration, bool) {
+		ts, ok := regions.LastSync(regionID)
+		if !ok {
+			return 0, false
+		}
+		return ctx.Now.Sub(ts), true
+	}
 }
 
 // currencyGuard builds the SwitchUnion selector that checks the region's
@@ -1540,7 +1557,7 @@ func (p *Planner) indexLoopCand(q *Query, left *cand, leaf *Leaf, edges []joinEd
 				if err != nil {
 					return nil, err
 				}
-				return &exec.SwitchUnion{Children: []exec.Operator{localOp, remOp}, Selector: guard, Label: label, Region: view.RegionID}, nil
+				return &exec.SwitchUnion{Children: []exec.Operator{localOp, remOp}, Selector: guard, Label: label, Region: view.RegionID, Staleness: p.stalenessProbe(view.RegionID)}, nil
 			},
 			schema:       outSchema,
 			cost:         prob*localCost + (1-prob)*hj.cost + costGuard,

@@ -18,6 +18,7 @@ import (
 
 	"relaxedcc/internal/exec"
 	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/sqlparser"
 	"relaxedcc/internal/sqltypes"
 	"relaxedcc/internal/vclock"
@@ -67,6 +68,11 @@ type ResultCache struct {
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
 	stats   Stats
+
+	// Built-in instrumentation on the session's cache registry (qcache_*
+	// counters). Multiple result caches over the same DBMS cache share
+	// counters — they aggregate.
+	mHits, mMisses, mRefreshes, mEvictions *obs.Counter
 }
 
 type entry struct {
@@ -82,12 +88,17 @@ func New(clock vclock.Clock, session *mtcache.Session, capacity int) *ResultCach
 	if capacity < 1 {
 		capacity = 1
 	}
+	reg := session.Obs()
 	return &ResultCache{
-		clock:    clock,
-		session:  session,
-		capacity: capacity,
-		entries:  map[string]*list.Element{},
-		lru:      list.New(),
+		clock:      clock,
+		session:    session,
+		capacity:   capacity,
+		entries:    map[string]*list.Element{},
+		lru:        list.New(),
+		mHits:      reg.Counter("qcache_hits_total"),
+		mMisses:    reg.Counter("qcache_misses_total"),
+		mRefreshes: reg.Counter("qcache_refreshes_total"),
+		mEvictions: reg.Counter("qcache_evictions_total"),
 	}
 }
 
@@ -109,6 +120,7 @@ func (c *ResultCache) Query(sql string) (*exec.Result, Outcome, error) {
 		if hasBound && !e.asOf.Before(now.Add(-bound)) {
 			c.lru.MoveToFront(el)
 			c.stats.Hits++
+			c.mHits.Inc()
 			res := &exec.Result{Schema: e.schema, Rows: e.rows}
 			c.mu.Unlock()
 			return res, Hit, nil
@@ -121,6 +133,7 @@ func (c *ResultCache) Query(sql string) (*exec.Result, Outcome, error) {
 		}
 		c.mu.Lock()
 		c.stats.Refreshes++
+		c.mRefreshes.Inc()
 		c.mu.Unlock()
 		return res, Refresh, nil
 	}
@@ -131,6 +144,7 @@ func (c *ResultCache) Query(sql string) (*exec.Result, Outcome, error) {
 	}
 	c.mu.Lock()
 	c.stats.Misses++
+	c.mMisses.Inc()
 	c.mu.Unlock()
 	return res, Miss, nil
 }
@@ -161,6 +175,7 @@ func (c *ResultCache) recompute(sql, key string) (*exec.Result, error) {
 			c.lru.Remove(oldest)
 			delete(c.entries, oldest.Value.(*entry).key)
 			c.stats.Evictions++
+			c.mEvictions.Inc()
 		}
 	}
 	return qr.Result, nil

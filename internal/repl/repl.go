@@ -19,10 +19,12 @@ package repl
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/sqltypes"
 	"relaxedcc/internal/storage"
 	"relaxedcc/internal/txn"
@@ -176,12 +178,32 @@ type Agent struct {
 	lastSeq    int64
 	applied    int64 // transactions applied, for stats
 	lastSynced time.Time
+
+	// Built-in instrumentation, bound by Instrument; nil fields mean the
+	// agent runs unmetered.
+	mTxns  *obs.Counter   // repl_txns_applied_total{region}
+	mRows  *obs.Counter   // repl_rows_applied_total{region}
+	mApply *obs.Histogram // repl_apply_latency_ns
+	mHbAge *obs.Gauge     // repl_heartbeat_age_ns{region}
 }
 
 // NewAgent creates an agent reading the given commit log. hbTable names the
 // back-end heartbeat table whose rows for this region are routed to sink.
 func NewAgent(region *catalog.Region, log *txn.Log, hbTable string, sink HeartbeatSink) *Agent {
 	return &Agent{Region: region, log: log, hbTable: hbTable, hbSink: sink}
+}
+
+// Instrument binds the agent's built-in metrics to a registry: per-region
+// transactions/rows applied, apply latency, and heartbeat age at apply time
+// (the propagation delay the region actually experienced).
+func (a *Agent) Instrument(reg *obs.Registry) {
+	label := strconv.Itoa(a.Region.ID)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mTxns = reg.CounterVec("repl_txns_applied_total", "region").With(label)
+	a.mRows = reg.CounterVec("repl_rows_applied_total", "region").With(label)
+	a.mApply = reg.Histogram("repl_apply_latency_ns")
+	a.mHbAge = reg.GaugeVec("repl_heartbeat_age_ns", "region").With(label)
 }
 
 // Subscribe adds a view to the region. The caller must populate the target
@@ -223,12 +245,17 @@ func (a *Agent) InitialSync(sub *Subscription, baseData *storage.Table) error {
 func (a *Agent) Step(now time.Time) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	var applyStart time.Time
+	if a.mApply != nil {
+		applyStart = time.Now()
+	}
 	cutoff := now.Add(-a.Region.UpdateDelay)
 	records := a.log.SinceUntil(a.lastSeq, cutoff)
+	var rowsApplied int64
 	for _, rec := range records {
 		for _, ch := range rec.Changes {
 			if ch.Table == a.hbTable {
-				a.applyHeartbeat(ch)
+				a.applyHeartbeat(ch, now)
 				continue
 			}
 			for _, sub := range a.subs {
@@ -238,15 +265,21 @@ func (a *Agent) Step(now time.Time) error {
 				if err := sub.apply(ch); err != nil {
 					return fmt.Errorf("repl: region %d applying seq %d: %w", a.Region.ID, rec.TS.Seq, err)
 				}
+				rowsApplied++
 			}
 		}
 		a.lastSeq = rec.TS.Seq
 		a.applied++
 	}
+	if a.mApply != nil && len(records) > 0 {
+		a.mApply.ObserveDuration(time.Since(applyStart))
+		a.mTxns.Add(int64(len(records)))
+		a.mRows.Add(rowsApplied)
+	}
 	return nil
 }
 
-func (a *Agent) applyHeartbeat(ch txn.Change) {
+func (a *Agent) applyHeartbeat(ch txn.Change, now time.Time) {
 	row := ch.New
 	if row == nil {
 		return
@@ -257,6 +290,11 @@ func (a *Agent) applyHeartbeat(ch txn.Change) {
 	}
 	ts := row[1].Time()
 	a.lastSynced = ts
+	if a.mHbAge != nil {
+		// Heartbeat age at apply time: how long the beat spent in flight
+		// (simulated clock), i.e. the propagation delay the region saw.
+		a.mHbAge.SetDuration(now.Sub(ts))
+	}
 	if a.hbSink != nil {
 		a.hbSink.SetLastSync(cid, ts)
 	}

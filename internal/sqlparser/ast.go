@@ -223,6 +223,17 @@ type EndTimeOrderedStmt struct{}
 
 func (*EndTimeOrderedStmt) stmt() {}
 
+// ExplainStmt wraps a SELECT for plan inspection. EXPLAIN shows the chosen
+// plan without executing; EXPLAIN ANALYZE (Analyze true) runs the statement
+// and reports the annotated trace — per-node time, rows, and currency-guard
+// verdicts.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
 // ---- Expressions ----
 
 // ColumnRef names a column, optionally qualified by table or alias.

@@ -1,0 +1,46 @@
+package sqlparser
+
+import "testing"
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT c_name FROM Customer WHERE c_custkey = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+	if ex.Analyze {
+		t.Fatal("plain EXPLAIN must not set Analyze")
+	}
+	if ex.Stmt == nil || len(ex.Stmt.Items) != 1 {
+		t.Fatalf("inner select = %+v", ex.Stmt)
+	}
+}
+
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse("EXPLAIN ANALYZE SELECT c_name FROM Customer WHERE c_custkey = 1 CURRENCY 60 ON (Customer)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", stmt)
+	}
+	if !ex.Analyze {
+		t.Fatal("EXPLAIN ANALYZE must set Analyze")
+	}
+	if ex.Stmt.Currency == nil {
+		t.Fatal("currency clause must survive")
+	}
+}
+
+func TestParseExplainErrors(t *testing.T) {
+	if _, err := Parse("EXPLAIN"); err == nil {
+		t.Fatal("bare EXPLAIN must fail")
+	}
+	if _, err := Parse("EXPLAIN UPDATE Customer SET c_acctbal = 0"); err == nil {
+		t.Fatal("EXPLAIN of non-SELECT must fail")
+	}
+}

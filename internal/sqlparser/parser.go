@@ -114,6 +114,14 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case t.isKeyword("CREATE"):
 		return p.parseCreate()
+	case t.isKeyword("EXPLAIN"):
+		p.next()
+		analyze := p.acceptKeyword("ANALYZE")
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Analyze: analyze, Stmt: sel}, nil
 	case t.isKeyword("BEGIN"):
 		p.next()
 		if err := p.expectKeyword("TIMEORDERED"); err != nil {

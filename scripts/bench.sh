@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Runs the executor benchmarks (row vs batch vs morsel-parallel) and writes
-# BENCH_exec.json in the repo root with ns/op, rows/sec, B/op and allocs/op
-# per benchmark. Usage: scripts/bench.sh [benchtime], default 2s.
+# Runs the executor benchmarks (row vs batch vs morsel-parallel, plus the
+# guarded SwitchUnion benchmark) and writes BENCH_exec.json in the repo root
+# with ns/op, rows/sec, B/op and allocs/op per benchmark, and — where the
+# benchmark reports them — the guard-branch pick ratio and the staleness
+# percentiles observed at guard time. Usage: scripts/bench.sh [benchtime],
+# default 2s.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,17 +22,24 @@ BEGIN { print "["; first = 1 }
     # are indistinguishable from it.
     name = $1
     ns = ""; rps = ""; bop = ""; aop = ""
+    ratio = ""; p50 = ""; p95 = ""; p99 = ""
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")    ns  = $i
-        if ($(i+1) == "rows/sec") rps = $i
-        if ($(i+1) == "B/op")     bop = $i
-        if ($(i+1) == "allocs/op") aop = $i
+        if ($(i+1) == "ns/op")        ns    = $i
+        if ($(i+1) == "rows/sec")     rps   = $i
+        if ($(i+1) == "B/op")         bop   = $i
+        if ($(i+1) == "allocs/op")    aop   = $i
+        if ($(i+1) == "local_ratio")  ratio = $i
+        if ($(i+1) == "stale_p50_ms") p50   = $i
+        if ($(i+1) == "stale_p95_ms") p95   = $i
+        if ($(i+1) == "stale_p99_ms") p99   = $i
     }
     if (!first) print ","
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"rows_per_sec\": %s, \"B_op\": %s, \"allocs_op\": %s}", \
+    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"rows_per_sec\": %s, \"B_op\": %s, \"allocs_op\": %s, \"guard_local_ratio\": %s, \"stale_p50_ms\": %s, \"stale_p95_ms\": %s, \"stale_p99_ms\": %s}", \
         name, ns == "" ? "null" : ns, rps == "" ? "null" : rps, \
-        bop == "" ? "null" : bop, aop == "" ? "null" : aop
+        bop == "" ? "null" : bop, aop == "" ? "null" : aop, \
+        ratio == "" ? "null" : ratio, p50 == "" ? "null" : p50, \
+        p95 == "" ? "null" : p95, p99 == "" ? "null" : p99
 }
 END { print "\n]" }
 ' > "$out"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Lints metric names: every metric registered in non-test Go sources (string
+# literals passed to Registry.Counter/Gauge/Histogram/CounterVec/GaugeVec/
+# HistogramVec) must be lowercase_snake ([a-z][a-z0-9_]*) and registered
+# under a single spelling per kind-call site (duplicate literals usually mean
+# two subsystems fighting over one name). Shared get-or-create registration
+# inside one package is fine; this check flags the same literal appearing in
+# more than one file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# file:name pairs for every registration literal.
+pairs=$(grep -rhoE '\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\("[^"]+"' \
+    --include='*.go' --exclude='*_test.go' internal cmd 2>/dev/null |
+    sed -E 's/.*\("([^"]+)"/\1/' | sort) || true
+
+if [ -z "$pairs" ]; then
+    echo "metrics-lint: no metric registrations found" >&2
+    exit 1
+fi
+
+# 1. Naming: lowercase_snake only.
+bad=$(echo "$pairs" | grep -vE '^[a-z][a-z0-9_]*$' || true)
+if [ -n "$bad" ]; then
+    echo "metrics-lint: metric names must match ^[a-z][a-z0-9_]*\$:" >&2
+    echo "$bad" | sed 's/^/  /' >&2
+    fail=1
+fi
+
+# 2. Uniqueness: a name may be registered from only one source file.
+dups=$(grep -rloE '\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\("[^"]+"' \
+    --include='*.go' --exclude='*_test.go' internal cmd 2>/dev/null | while read -r f; do
+    grep -hoE '\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec)\("[^"]+"' "$f" |
+        sed -E 's/.*\("([^"]+)"/\1/' | sort -u | sed "s|^|$f |"
+done | awk '{ seen[$2] = seen[$2] ? seen[$2] "," $1 : $1; n[$2]++ }
+    END { for (m in n) if (n[m] > 1) print m " registered in " seen[m] }')
+if [ -n "$dups" ]; then
+    echo "metrics-lint: metric names registered from multiple files:" >&2
+    echo "$dups" | sed 's/^/  /' >&2
+    fail=1
+fi
+
+count=$(echo "$pairs" | sort -u | wc -l)
+if [ "$fail" -eq 0 ]; then
+    echo "metrics-lint: $count metric names ok"
+fi
+exit "$fail"
