@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench metrics-lint verify
+.PHONY: build test vet race lint bench metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,21 @@ vet:
 
 # Race-check the packages that exercise concurrent execution paths.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/core/...
+	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/mtcache/... ./internal/repl/...
+
+# Run the full in-repo static-analysis suite (cmd/rcclint): operator Close
+# propagation, lock pairing and ordering, atomic/plain mixed access, and
+# metric-name hygiene.
+lint:
+	$(GO) run ./cmd/rcclint
 
 # Check that all registered metric names are lowercase_snake and unique.
+# Kept as a named target for the tier-1 line; now a subset of `make lint`.
 metrics-lint:
-	./scripts/metrics_lint.sh
+	$(GO) run ./cmd/rcclint -only metricnames
 
 # Tier-1 verification line (see ROADMAP.md).
-verify: build vet metrics-lint test race
+verify: build vet lint test race
 
 # Executor benchmarks: row-at-a-time vs batch vs morsel-parallel.
 # Emits BENCH_exec.json with rows/sec per benchmark.

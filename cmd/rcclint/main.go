@@ -1,0 +1,135 @@
+// Command rcclint runs the repo's static-analysis suite (internal/analysis)
+// over the module source tree and exits non-zero on any finding, so CI
+// fails closed.
+//
+// Usage:
+//
+//	rcclint [-root dir] [-only a,b] [-json] [dir ...]
+//
+// With no directory arguments it analyzes internal and cmd under the module
+// root. -only restricts the run to a comma-separated subset of analyzers
+// (operatorclose, lockorder, atomicmix, metricnames); -json emits the
+// findings as a JSON array for tooling instead of file:line text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"relaxedcc/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+	only := flag.String("only", "", "comma-separated analyzer subset to run")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rcclint [-root dir] [-only a,b] [-json] [dir ...]\nanalyzers: %s\n",
+			strings.Join(analysis.AnalyzerNames(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *root == "" {
+		r, err := findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+		*root = r
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		known := map[string]bool{}
+		for _, name := range analysis.AnalyzerNames() {
+			known[name] = true
+		}
+		var subset []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fatal(fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(analysis.AnalyzerNames(), ", ")))
+			}
+			for _, a := range analyzers {
+				if a.Name == name {
+					subset = append(subset, a)
+				}
+			}
+		}
+		analyzers = subset
+	}
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"internal", "cmd"}
+	}
+
+	start := time.Now()
+	loader, err := analysis.NewLoader(*root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadDirs(dirs...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+
+	// Report positions relative to the module root for stable output.
+	for i := range diags {
+		if rel, err := filepath.Rel(*root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	fmt.Fprintf(os.Stderr, "rcclint: %d finding(s) from %d package(s) in %v [%s]\n",
+		len(diags), len(pkgs), time.Since(start).Round(time.Millisecond), strings.Join(names, ","))
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("rcclint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcclint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// NewAtomicMix builds the atomicmix analyzer.
+//
+// Bug class (PR 2): a struct field written with plain stores in one place
+// and read through sync/atomic (or vice versa) elsewhere — mixed access
+// gives none of the atomicity the atomic side was after, and is exactly the
+// GuardTime/ChosenIndex race the guard-decision refactor fixed.
+//
+// The check: any field that appears as &x.f in a sync/atomic call is an
+// "atomic field"; every other plain selector access to the same
+// (struct, field) in the package is flagged. A plain access on a value
+// freshly constructed in the same function (composite literal not yet
+// shared) is exempt, since initialization before publication is safe.
+func NewAtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "struct fields accessed through sync/atomic must not also be accessed plainly",
+		Run:  runAtomicMix,
+	}
+}
+
+// atomicFns is the set of sync/atomic functions whose first argument is the
+// address of the protected word.
+func isAtomicFnName(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+type fieldRef struct {
+	typeName string
+	field    string
+}
+
+type fieldSite struct {
+	ref fieldRef
+	pos token.Pos
+}
+
+func runAtomicMix(pass *Pass) {
+	// Name(s) the sync/atomic import goes by in each file.
+	atomicNames := func(f *ast.File) map[string]bool {
+		names := map[string]bool{}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "sync/atomic" {
+				continue
+			}
+			if imp.Name != nil {
+				names[imp.Name.Name] = true
+			} else {
+				names["atomic"] = true
+			}
+		}
+		return names
+	}
+
+	atomicFields := map[fieldRef]token.Pos{} // first atomic site per field
+	var atomicArgs []ast.Expr                // the &x.f operands themselves (excluded from plain sites)
+
+	resolveRef := func(fd *ast.FuncDecl, sel *ast.SelectorExpr) (fieldRef, bool) {
+		return fieldRefOf(pass, fd, sel)
+	}
+
+	// Pass 1: atomic call sites.
+	for _, f := range pass.Pkg.Files {
+		names := atomicNames(f)
+		if len(names) == 0 {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fun, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !isAtomicFnName(fun.Sel.Name) {
+					return true
+				}
+				pkgID, ok := fun.X.(*ast.Ident)
+				if !ok || !names[pkgID.Name] {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if ref, ok := resolveRef(fd, sel); ok {
+						if _, seen := atomicFields[ref]; !seen {
+							atomicFields[ref] = sel.Pos()
+						}
+						atomicArgs = append(atomicArgs, sel)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	isAtomicArg := func(sel ast.Expr) bool {
+		for _, a := range atomicArgs {
+			if a == sel {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: plain accesses to the same fields.
+	var sites []fieldSite
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fresh := freshlyConstructed(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || isAtomicArg(sel) {
+					return true
+				}
+				ref, ok := resolveRef(fd, sel)
+				if !ok {
+					return true
+				}
+				if _, hot := atomicFields[ref]; !hot {
+					return true
+				}
+				if base, ok := sel.X.(*ast.Ident); ok && fresh[base.Name] {
+					return true // init before publication
+				}
+				sites = append(sites, fieldSite{ref: ref, pos: sel.Pos()})
+				return true
+			})
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	for _, s := range sites {
+		ap := pass.Pkg.Fset.Position(atomicFields[s.ref])
+		pass.Reportf(s.pos, "field %s.%s is accessed with sync/atomic (%s) but plainly here; mixed access races",
+			s.ref.typeName, s.ref.field, fmt.Sprintf("%s:%d", filepath.Base(ap.Filename), ap.Line))
+	}
+}
+
+// fieldRefOf resolves a selector x.f to (struct type in this package, f).
+// Type information is preferred; the syntactic fallback handles method
+// receivers when the checker could not resolve the expression.
+func fieldRefOf(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr) (fieldRef, bool) {
+	if pass.Pkg.Info != nil {
+		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pass.Pkg.ImportPath {
+					return fieldRef{typeName: named.Obj().Name(), field: sel.Sel.Name}, true
+				}
+			}
+			return fieldRef{}, false
+		}
+	}
+	// Fallback: receiver selector in a method.
+	if id, ok := sel.X.(*ast.Ident); ok && fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if len(fd.Recv.List[0].Names) > 0 && fd.Recv.List[0].Names[0].Name == id.Name {
+			if tn := recvTypeName(fd.Recv.List[0].Type); tn != "" {
+				return fieldRef{typeName: tn, field: sel.Sel.Name}, true
+			}
+		}
+	}
+	return fieldRef{}, false
+}
+
+// freshlyConstructed returns local variable names assigned from a composite
+// literal in this function — values not yet visible to other goroutines,
+// whose plain initialization is safe.
+func freshlyConstructed(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				rhs = un.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockOrder builds the lockorder analyzer.
+//
+// Per function it pairs Lock/Unlock (and RLock/RUnlock) calls on the same
+// lock and flags: a lock with no unlock on any path, a non-deferred unlock
+// with an early return between it and the lock, and a re-lock of a plain
+// mutex already held. Across the module it builds a lock-acquisition graph
+// — an edge A→B when some function acquires B (directly or through a call
+// chain, including interface calls resolved by method name) while holding A
+// — and flags cycles, the deadlock candidates between mtcache, repl and
+// obs.
+func NewLockOrder() *Analyzer {
+	lo := &lockOrder{
+		funcs:  map[string]*funcSummary{},
+		byName: map[string][]string{},
+	}
+	return &Analyzer{
+		Name:   "lockorder",
+		Doc:    "locks must be released on every path and acquired in a cycle-free order",
+		Run:    lo.run,
+		Finish: lo.finish,
+	}
+}
+
+const (
+	opLock = iota
+	opUnlock
+)
+
+const (
+	classWrite = iota
+	classRead
+)
+
+// lockEv is one Lock/Unlock call in a function body, in source order.
+type lockEv struct {
+	key      string
+	class    int
+	op       int
+	pos      token.Pos
+	deferred bool
+}
+
+// callEv is one function/method call with the set of locks held at it.
+type callEv struct {
+	held []string
+	// callees lists candidate summary keys; a leading "?" entry means an
+	// unresolved method call matched by bare name against every method in
+	// the module (how interface calls like HeartbeatSink.SetLastSync reach
+	// their implementations).
+	callees []string
+	pos     token.Pos
+}
+
+type funcSummary struct {
+	id       string
+	pkg      string
+	acquires map[string]token.Pos // keys locked directly in this function
+	calls    []callEv
+	edges    []lockEdge // direct nesting: lock B taken while A held
+	// may is the fixpoint "may acquire" set (filled during finish).
+	may map[string]token.Pos
+}
+
+// lockEdge is one lock-acquisition-order edge: from is held while to is
+// acquired; via describes the function (or call chain) responsible.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string
+}
+
+type lockOrder struct {
+	funcs  map[string]*funcSummary
+	byName map[string][]string // bare method/func name -> summary ids
+}
+
+func (lo *lockOrder) run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			id := funcID(pass.Pkg, fd)
+			lo.analyzeFunc(pass, id, fd.Name.Name, fd, fd.Body)
+			// Function literals get their own intra-function checks; they do
+			// not join the call graph (nobody calls them by name).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					pos := pass.Pkg.Fset.Position(lit.Pos())
+					litID := fmt.Sprintf("%s.funclit@%d", id, pos.Line)
+					lo.analyzeFunc(pass, litID, "", fd, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+func funcID(pkg *Package, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if tn := recvTypeName(fd.Recv.List[0].Type); tn != "" {
+			return pkg.ImportPath + ".(" + tn + ")." + fd.Name.Name
+		}
+	}
+	return pkg.ImportPath + "." + fd.Name.Name
+}
+
+// analyzeFunc collects lock events and calls for one body, runs the
+// intra-function checks, and records the summary for the cross-package
+// phase.
+func (lo *lockOrder) analyzeFunc(pass *Pass, id, bareName string, fd *ast.FuncDecl, body *ast.BlockStmt) {
+	recvName := ""
+	recvType := ""
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recvType = recvTypeName(fd.Recv.List[0].Type)
+		if len(fd.Recv.List[0].Names) > 0 {
+			recvName = fd.Recv.List[0].Names[0].Name
+		}
+	}
+	sum := &funcSummary{id: id, pkg: pass.Pkg.ImportPath, acquires: map[string]token.Pos{}}
+	var events []lockEv
+
+	held := func() []string {
+		counts := map[string]int{}
+		for _, ev := range events {
+			if ev.op == opLock {
+				counts[ev.key]++
+			} else if !ev.deferred {
+				counts[ev.key]--
+			}
+		}
+		var out []string
+		for k, c := range counts {
+			if c > 0 {
+				out = append(out, k)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // analyzed separately
+			case *ast.DeferStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+					return false
+				}
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					// Plain function call f(...): same-package candidate
+					// (builtins and locals simply resolve to no summary).
+					if fid, ok := n.Fun.(*ast.Ident); ok {
+						sum.calls = append(sum.calls, callEv{
+							held:    held(),
+							callees: []string{pass.Pkg.ImportPath + "." + fid.Name},
+							pos:     n.Pos(),
+						})
+					}
+					return true
+				}
+				name := sel.Sel.Name
+				if name == "Lock" || name == "Unlock" || name == "RLock" || name == "RUnlock" {
+					key := lockKey(pass, sel.X, recvName, recvType)
+					ev := lockEv{key: key, pos: n.Pos(), deferred: deferred}
+					if name == "RLock" || name == "RUnlock" {
+						ev.class = classRead
+					}
+					if name == "Lock" || name == "RLock" {
+						ev.op = opLock
+						if _, ok := sum.acquires[key]; !ok {
+							sum.acquires[key] = n.Pos()
+						}
+						for _, h := range held() {
+							if h == key {
+								// Re-locking a plain mutex already held on
+								// this path deadlocks immediately.
+								if ev.class == classWrite {
+									pass.Reportf(n.Pos(), "%s is locked again while already held on this path (self-deadlock)", key)
+								}
+							} else {
+								sum.edges = append(sum.edges, lockEdge{from: h, to: key, pos: n.Pos(), via: id})
+							}
+						}
+					} else {
+						ev.op = opUnlock
+					}
+					events = append(events, ev)
+					return true
+				}
+				// Method call x.M(...): resolve the receiver type when the
+				// checker managed to, else match by bare method name.
+				sum.calls = append(sum.calls, callEv{
+					held:    held(),
+					callees: calleeCandidates(pass, sel),
+					pos:     n.Pos(),
+				})
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	lo.checkPairs(pass, body, events)
+
+	if bareName != "" {
+		lo.funcs[id] = sum
+		lo.byName[bareName] = append(lo.byName[bareName], id)
+	}
+}
+
+// calleeCandidates resolves x.M() to summary keys. With type information
+// the receiver's named type gives an exact key; otherwise (or for interface
+// receivers) the call is matched by bare method name across the module.
+func calleeCandidates(pass *Pass, sel *ast.SelectorExpr) []string {
+	name := sel.Sel.Name
+	// Package-qualified call pkg.F().
+	if id, ok := sel.X.(*ast.Ident); ok && pass.Pkg.Info != nil {
+		if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok {
+			return []string{pn.Imported().Path() + "." + name}
+		}
+	}
+	if pass.Pkg.Info != nil {
+		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && tv.Type != nil {
+			t := tv.Type
+			for {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				// A named interface has no method bodies of its own; match
+				// its calls by bare name against every implementation.
+				if _, isIface := named.Underlying().(*types.Interface); isIface {
+					return []string{"?" + name}
+				}
+				return []string{named.Obj().Pkg().Path() + ".(" + named.Obj().Name() + ")." + name}
+			}
+			if _, ok := t.(*types.Interface); ok {
+				return []string{"?" + name}
+			}
+		}
+	}
+	return []string{"?" + name}
+}
+
+// lockKey names the lock a .Lock()/.Unlock() call targets, as stably as the
+// available information allows: owning named type plus field path when the
+// checker resolved it, else a receiver-type-qualified or package-qualified
+// rendering of the expression.
+func lockKey(pass *Pass, x ast.Expr, recvName, recvType string) string {
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		if pass.Pkg.Info != nil {
+			if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && tv.Type != nil {
+				t := tv.Type
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Path() + ".(" + named.Obj().Name() + ")." + sel.Sel.Name
+				}
+			}
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvName && recvType != "" {
+			return pass.Pkg.ImportPath + ".(" + recvType + ")." + sel.Sel.Name
+		}
+		return pass.Pkg.ImportPath + "." + renderExpr(x)
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		return pass.Pkg.ImportPath + "." + id.Name
+	}
+	return pass.Pkg.ImportPath + "." + renderExpr(x)
+}
+
+// renderExpr renders simple expressions (idents, selectors, index exprs)
+// for lock keys.
+func renderExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderExpr(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return renderExpr(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return renderExpr(e.X)
+	case *ast.StarExpr:
+		return renderExpr(e.X)
+	case *ast.CallExpr:
+		return renderExpr(e.Fun) + "()"
+	}
+	return "?"
+}
+
+// checkPairs runs the intra-function lock/unlock pairing checks.
+func (lo *lockOrder) checkPairs(pass *Pass, body *ast.BlockStmt, events []lockEv) {
+	// Collect return positions outside nested function literals.
+	var returns []token.Pos
+	var skip []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			skip = append(skip, lit)
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r.Pos())
+		}
+		return true
+	})
+
+	type pairClass struct {
+		key   string
+		class int
+	}
+	byKey := map[pairClass][]lockEv{}
+	for _, ev := range events {
+		pc := pairClass{ev.key, ev.class}
+		byKey[pc] = append(byKey[pc], ev)
+	}
+	var keys []pairClass
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key < keys[j].key
+		}
+		return keys[i].class < keys[j].class
+	})
+	for _, pc := range keys {
+		evs := byKey[pc]
+		deferredUnlock := false
+		for _, ev := range evs {
+			if ev.op == opUnlock && ev.deferred {
+				deferredUnlock = true
+			}
+		}
+		usedUnlocks := map[int]bool{}
+		verb := "Lock"
+		if pc.class == classRead {
+			verb = "RLock"
+		}
+		for _, ev := range evs {
+			if ev.op != opLock {
+				continue
+			}
+			if deferredUnlock {
+				continue // defer covers every path after the Lock
+			}
+			// Match the nearest later, unused, non-deferred unlock.
+			matched := -1
+			for i, u := range evs {
+				if u.op == opUnlock && !u.deferred && u.pos > ev.pos && !usedUnlocks[i] {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				pass.Reportf(ev.pos, "%s.%s() has no matching unlock in this function; every path out leaks the lock", pc.key, verb)
+				continue
+			}
+			usedUnlocks[matched] = true
+			for _, rpos := range returns {
+				if ev.pos < rpos && rpos < evs[matched].pos {
+					pass.Reportf(rpos, "return between %s.%s() and its non-deferred unlock leaks the lock on this path (use defer)", pc.key, verb)
+				}
+			}
+		}
+	}
+}
+
+// finish builds the module-wide lock-acquisition graph and reports cycles.
+func (lo *lockOrder) finish(r *Reporter) {
+	// Fixpoint: may-acquire sets through the call graph.
+	for _, s := range lo.funcs {
+		s.may = map[string]token.Pos{}
+		for k, p := range s.acquires {
+			s.may[k] = p
+		}
+	}
+	resolve := func(c string) []*funcSummary {
+		if rest, ok := strings.CutPrefix(c, "?"); ok {
+			var out []*funcSummary
+			for _, id := range lo.byName[rest] {
+				out = append(out, lo.funcs[id])
+			}
+			return out
+		}
+		if s, ok := lo.funcs[c]; ok {
+			return []*funcSummary{s}
+		}
+		return nil
+	}
+	for changed, rounds := true, 0; changed && rounds < 20; rounds++ {
+		changed = false
+		for _, s := range lo.funcs {
+			for _, call := range s.calls {
+				for _, c := range call.callees {
+					for _, callee := range resolve(c) {
+						for k := range callee.may {
+							if _, ok := s.may[k]; !ok {
+								s.may[k] = call.pos
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Edges: held lock -> acquired lock (direct nesting plus call chains).
+	edgeSet := map[string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return // re-lock through a call chain; too imprecise to flag here
+		}
+		k := e.from + "\x00" + e.to
+		if _, ok := edgeSet[k]; !ok {
+			edgeSet[k] = e
+		}
+	}
+	for _, s := range lo.funcs {
+		for _, e := range s.edges {
+			addEdge(e)
+		}
+		for _, call := range s.calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			for _, c := range call.callees {
+				for _, callee := range resolve(c) {
+					for k2 := range callee.may {
+						for _, h := range call.held {
+							addEdge(lockEdge{from: h, to: k2, pos: call.pos, via: s.id + " -> " + callee.id})
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the edge graph.
+	adj := map[string][]lockEdge{}
+	var nodes []string
+	seen := map[string]bool{}
+	for _, e := range edgeSet {
+		adj[e.from] = append(adj[e.from], e)
+		for _, n := range []string{e.from, e.to} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	reported := map[string]bool{}
+	var path []lockEdge
+	onStack := map[string]bool{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		onStack[n] = true
+		for _, e := range adj[n] {
+			if onStack[e.to] {
+				// Found a cycle: slice the path from e.to onward.
+				var cyc []lockEdge
+				start := 0
+				for i, pe := range path {
+					if pe.from == e.to {
+						start = i
+						break
+					}
+				}
+				cyc = append(cyc, path[start:]...)
+				cyc = append(cyc, e)
+				lo.reportCycle(r, cyc, reported)
+				continue
+			}
+			path = append(path, e)
+			dfs(e.to)
+			path = path[:len(path)-1]
+		}
+		onStack[n] = false
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+}
+
+func (lo *lockOrder) reportCycle(r *Reporter, cyc []lockEdge, reported map[string]bool) {
+	if len(cyc) == 0 {
+		return
+	}
+	names := make([]string, 0, len(cyc))
+	for _, e := range cyc {
+		names = append(names, e.from)
+	}
+	canon := append([]string(nil), names...)
+	sort.Strings(canon)
+	sig := strings.Join(canon, "|")
+	if reported[sig] {
+		return
+	}
+	reported[sig] = true
+	var desc strings.Builder
+	for i, e := range cyc {
+		if i > 0 {
+			desc.WriteString(", then ")
+		}
+		fmt.Fprintf(&desc, "%s is held while acquiring %s (%s)", shortLock(e.from), shortLock(e.to), e.via)
+	}
+	r.Reportf(cyc[0].pos, "lock-order cycle (deadlock candidate): %s", desc.String())
+}
+
+// shortLock trims the module prefix from a lock key for readability.
+func shortLock(k string) string {
+	if i := strings.LastIndexByte(k, '/'); i >= 0 {
+		return k[i+1:]
+	}
+	return k
+}

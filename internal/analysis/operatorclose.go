@@ -1,0 +1,465 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NewOperatorClose builds the operatorclose analyzer.
+//
+// Bug class (PR 1): an operator that stores child operators opened some of
+// them and its Close released only the currently active one, leaking
+// iterators when a guard re-evaluation switched branches or an error struck
+// mid-open.
+//
+// The check: for every struct that stores exec.Operator/BatchOperator
+// fields and calls Open on one of them, the struct's Close method must
+// release that field on its default path — directly (field.Close()), by
+// ranging over the field and closing elements, or by passing the field to a
+// helper. Two escapes are recognized: a field whose value is also stored in
+// another operator field (an alias, e.g. bchild = AsBatch(Child)) is
+// covered by closing the alias; and a field handed to a method on the same
+// receiver (e.g. s.track(s.active)) is treated as tracked elsewhere. A
+// close that only happens under a conditional other than a nil-guard of the
+// field itself is flagged as conditional.
+func NewOperatorClose() *Analyzer {
+	return &Analyzer{
+		Name: "operatorclose",
+		Doc:  "operator structs must propagate Close to every opened child operator field",
+		Run:  runOperatorClose,
+	}
+}
+
+// isOperatorType reports whether a field type expression names the operator
+// interfaces (Operator/BatchOperator, possibly package-qualified, possibly
+// a slice/array/pointer of them).
+func isOperatorType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "Operator" || t.Name == "BatchOperator"
+	case *ast.SelectorExpr:
+		return isOperatorType(t.Sel)
+	case *ast.ArrayType:
+		return isOperatorType(t.Elt)
+	case *ast.StarExpr:
+		return isOperatorType(t.X)
+	}
+	return false
+}
+
+// opStruct is one struct type with operator-typed fields.
+type opStruct struct {
+	name    string
+	pos     token.Pos
+	fields  map[string]token.Pos // operator-typed field name -> decl pos
+	opened  map[string]token.Pos // field -> first Open call position
+	aliases map[string][]string  // field -> operator fields its value also flows into
+	handed  map[string]bool      // field passed to a method on the same receiver
+	closeFn *ast.FuncDecl
+	closeRx string // receiver name inside Close
+}
+
+func runOperatorClose(pass *Pass) {
+	structs := map[string]*opStruct{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				fields := map[string]token.Pos{}
+				for _, fld := range st.Fields.List {
+					if !isOperatorType(fld.Type) {
+						continue
+					}
+					for _, name := range fld.Names {
+						fields[name.Name] = name.Pos()
+					}
+				}
+				if len(fields) > 0 {
+					structs[ts.Name.Name] = &opStruct{
+						name:    ts.Name.Name,
+						pos:     ts.Name.Pos(),
+						fields:  fields,
+						opened:  map[string]token.Pos{},
+						aliases: map[string][]string{},
+						handed:  map[string]bool{},
+					}
+				}
+			}
+		}
+	}
+	if len(structs) == 0 {
+		return
+	}
+
+	// Scan every method of each tracked struct for opens, aliases, hand-offs
+	// and the Close declaration.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tname := recvTypeName(fd.Recv.List[0].Type)
+			os, ok := structs[tname]
+			if !ok {
+				continue
+			}
+			rx := ""
+			if len(fd.Recv.List[0].Names) > 0 {
+				rx = fd.Recv.List[0].Names[0].Name
+			}
+			if fd.Name.Name == "Close" {
+				os.closeFn, os.closeRx = fd, rx
+			}
+			if fd.Body == nil || rx == "" {
+				continue
+			}
+			scanOpMethod(os, rx, fd.Body)
+		}
+	}
+
+	for _, os := range sortedStructs(structs) {
+		checkOpStruct(pass, os)
+	}
+}
+
+func sortedStructs(m map[string]*opStruct) []*opStruct {
+	var out []*opStruct
+	for _, v := range m {
+		out = append(out, v)
+	}
+	// Report in declaration order for deterministic output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].pos < out[j-1].pos; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// mentionsField reports whether expr contains the selector rx.field (or an
+// index/slice of it).
+func mentionsField(e ast.Expr, rx, field string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == field {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == rx {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// scanOpMethod records Open calls, field-to-field aliases, and hand-offs to
+// receiver methods for one method body.
+func scanOpMethod(os *opStruct, rx string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Open" {
+				for fld := range os.fields {
+					if mentionsField(sel.X, rx, fld) {
+						if _, seen := os.opened[fld]; !seen {
+							os.opened[fld] = n.Pos()
+						}
+					}
+				}
+			}
+			// s.helper(... s.F ...) hands F to another method of the same
+			// receiver, which is trusted to track it for Close.
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == rx {
+				for _, arg := range n.Args {
+					for fld := range os.fields {
+						if mentionsField(arg, rx, fld) {
+							os.handed[fld] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				for dst := range os.fields {
+					if !mentionsField(lhs, rx, dst) {
+						continue
+					}
+					for src := range os.fields {
+						if src != dst && mentionsField(rhs, rx, src) {
+							os.aliases[src] = append(os.aliases[src], dst)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// closeKind classifies how a field shows up in Close.
+type closeKind int
+
+const (
+	closeNone closeKind = iota
+	closeConditional
+	closeUnconditional
+)
+
+func checkOpStruct(pass *Pass, os *opStruct) {
+	if len(os.opened) == 0 {
+		return
+	}
+	if os.closeFn == nil {
+		pass.Reportf(os.pos, "%s opens child operator fields but declares no Close method", os.name)
+		return
+	}
+	kinds := map[string]closeKind{}
+	for fld := range os.fields {
+		kinds[fld] = closeOccurrence(os.closeFn.Body, os.closeRx, fld)
+	}
+	for _, fld := range sortedFields(os.opened) {
+		group := aliasGroup(os, fld)
+		best := closeNone
+		handed := false
+		for _, g := range group {
+			if k := kinds[g]; k > best {
+				best = k
+			}
+			if os.handed[g] {
+				handed = true
+			}
+		}
+		if handed || best == closeUnconditional {
+			continue
+		}
+		pos := os.opened[fld]
+		if best == closeConditional {
+			pass.Reportf(pos, "(%s).Close closes child operator field %s only under a condition that is not a nil-guard; an early-exit path can leak the opened child", os.name, fld)
+		} else {
+			pass.Reportf(pos, "(%s).Close never closes child operator field %s, which this method opens; the child leaks on every execution", os.name, fld)
+		}
+	}
+}
+
+// aliasGroup returns fld plus every operator field its value flows into,
+// transitively.
+func aliasGroup(os *opStruct, fld string) []string {
+	seen := map[string]bool{fld: true}
+	queue := []string{fld}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range os.aliases[cur] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	return out
+}
+
+func sortedFields(m map[string]token.Pos) []string {
+	var out []string
+	for f := range m {
+		out = append(out, f)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && m[out[j]] < m[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// closeOccurrence finds the strongest way Close releases the field: an
+// unconditional close (top level, inside a loop, inside a defer, or inside
+// an if that nil-guards the field itself) beats a conditional one.
+func closeOccurrence(body *ast.BlockStmt, rx, fld string) closeKind {
+	if body == nil || rx == "" {
+		return closeNone
+	}
+	// Local aliases of the field inside Close (c := s.fld, including
+	// if-statement init clauses) count as the field.
+	aliasVars := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if mentionsField(as.Rhs[i], rx, fld) {
+				aliasVars[id.Name] = true
+			}
+		}
+		return true
+	})
+	mentions := func(e ast.Expr) bool {
+		if mentionsField(e, rx, fld) {
+			return true
+		}
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && aliasVars[id.Name] {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+
+	best := closeNone
+	var stack []ast.Node
+	record := func(n ast.Node) {
+		if guardedByForeignCondition(stack, n, mentions) {
+			if best < closeConditional {
+				best = closeConditional
+			}
+		} else {
+			best = closeUnconditional
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" && mentions(sel.X) {
+				record(n)
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentions(arg) {
+					record(n) // field handed to a closing helper
+					return true
+				}
+			}
+		case *ast.RangeStmt:
+			if mentions(n.X) && containsCloseCall(n.Body) {
+				record(n)
+				return false // don't double-count the inner Close call
+			}
+		}
+		return true
+	})
+	return best
+}
+
+func containsCloseCall(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// guardedByForeignCondition reports whether node sits inside an if/switch/
+// select arm whose condition is unrelated to the field (mentions reports
+// field relation). A nil-guard of the field itself (`if s.f != nil` or
+// `if c := s.f; c != nil`) does not count as foreign.
+func guardedByForeignCondition(stack []ast.Node, node ast.Node, mentions func(ast.Expr) bool) bool {
+	for _, anc := range stack {
+		switch s := anc.(type) {
+		case *ast.IfStmt:
+			if !within(s.Body, node) && (s.Else == nil || !within(s.Else, node)) {
+				continue
+			}
+			if isNilGuard(s.Cond, mentions) {
+				continue
+			}
+			return true
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if s.Pos() <= node.Pos() && node.End() <= s.End() && s != node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func within(outer ast.Node, inner ast.Node) bool {
+	if outer == nil {
+		return false
+	}
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// isNilGuard matches `X != nil` (or `nil != X`) where X relates to the
+// field being checked.
+func isNilGuard(cond ast.Expr, mentions func(ast.Expr) bool) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	switch {
+	case isNil(be.X):
+		return mentions(be.Y)
+	case isNil(be.Y):
+		return mentions(be.X)
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

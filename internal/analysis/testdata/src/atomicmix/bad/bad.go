@@ -1,0 +1,24 @@
+// Package bad holds the atomicmix regression fixture for the PR 2 bug
+// class: GuardDecision fields read through sync/atomic on the hot path but
+// written plainly during re-evaluation.
+package bad
+
+import "sync/atomic"
+
+type GuardDecision struct {
+	GuardTime   int64
+	ChosenIndex int64
+}
+
+func (g *GuardDecision) Fresh(now int64) bool {
+	return atomic.LoadInt64(&g.GuardTime) >= now
+}
+
+func (g *GuardDecision) Chosen() int64 {
+	return atomic.LoadInt64(&g.ChosenIndex)
+}
+
+func (g *GuardDecision) Reeval(now, idx int64) {
+	g.GuardTime = now   // want:atomicmix
+	g.ChosenIndex = idx // want:atomicmix
+}

@@ -1,0 +1,21 @@
+// Package good holds atomic access patterns that are safe; atomicmix must
+// report nothing here.
+package good
+
+import "sync/atomic"
+
+type Counter struct {
+	hits int64
+}
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *Counter) Get() int64 { return atomic.LoadInt64(&c.hits) }
+
+// NewCounter writes the field plainly, but on a freshly constructed value
+// not yet visible to other goroutines (initialization before publication).
+func NewCounter(seed int64) *Counter {
+	c := &Counter{}
+	c.hits = seed
+	return c
+}

@@ -1,0 +1,27 @@
+// Package ignore exercises the //rcclint:ignore directive machinery: a
+// valid directive suppresses exactly the finding on the next line, an
+// identical finding elsewhere survives, and an unknown-analyzer directive
+// is itself a finding.
+package ignore
+
+import "sync/atomic"
+
+type Gauge struct {
+	val int64
+}
+
+func (g *Gauge) Load() int64 { return atomic.LoadInt64(&g.val) }
+
+func (g *Gauge) SetSuppressed(v int64) {
+	//rcclint:ignore atomicmix single-goroutine benchmark writer
+	g.val = v
+}
+
+func (g *Gauge) SetFlagged(v int64) {
+	g.val = v // want:atomicmix
+}
+
+func (g *Gauge) SetBadDirective(v int64) {
+	//rcclint:ignore nosuchanalyzer bogus target; want:rcclint
+	g.val = v // want:atomicmix
+}

@@ -1,0 +1,36 @@
+// Package bad holds lockorder fixtures for the intra-function checks: a
+// lock with no unlock, an early return spanning a non-deferred unlock, and
+// a self-deadlocking re-lock.
+package bad
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Leak never releases the mutex.
+func (b *Box) Leak() {
+	b.mu.Lock() // want:lockorder
+	b.n++
+}
+
+// Early returns between Lock and a non-deferred Unlock.
+func (b *Box) Early(fail bool) int {
+	b.mu.Lock()
+	if fail {
+		return -1 // want:lockorder
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// Relock takes a plain mutex it already holds.
+func (b *Box) Relock() {
+	b.mu.Lock()
+	b.mu.Lock() // want:lockorder
+	b.mu.Unlock()
+	b.mu.Unlock()
+}

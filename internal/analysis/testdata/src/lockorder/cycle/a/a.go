@@ -1,0 +1,34 @@
+// Package a is half of a cross-package lock-order cycle: Hub.mu is held
+// while an interface callback reaches package b, which locks Sink.mu and
+// calls back into Hub.Ack.
+package a
+
+import "sync"
+
+type Notifier interface {
+	Notify()
+}
+
+type Hub struct {
+	mu   sync.Mutex
+	subs []Notifier
+}
+
+func (h *Hub) Subscribe(n Notifier) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(h.subs, n)
+}
+
+func (h *Hub) Publish() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		s.Notify() // want:lockorder
+	}
+}
+
+func (h *Hub) Ack() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}

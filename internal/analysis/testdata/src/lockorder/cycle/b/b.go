@@ -1,0 +1,21 @@
+// Package b completes the cycle started in package a: Notify runs under
+// Sink.mu and re-enters a.Hub, whose Publish holds Hub.mu across the
+// Notify callback.
+package b
+
+import (
+	"sync"
+
+	a "relaxedcc/internal/analysis/testdata/src/lockorder/cycle/a"
+)
+
+type Sink struct {
+	mu  sync.Mutex
+	hub *a.Hub
+}
+
+func (s *Sink) Notify() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hub.Ack()
+}

@@ -1,0 +1,50 @@
+// Package good holds lock patterns the repo uses correctly; lockorder must
+// report nothing here.
+package good
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) Deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *Box) Paired() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// RBox uses the read-then-upgrade double-check idiom from mtcache.
+type RBox struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (b *RBox) Get() int {
+	b.mu.RLock()
+	n := b.n
+	b.mu.RUnlock()
+	if n == 0 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.n = 1
+		return b.n
+	}
+	return n
+}
+
+// DeferredLit releases inside a deferred function literal.
+func (b *Box) DeferredLit() int {
+	b.mu.Lock()
+	defer func() {
+		b.mu.Unlock()
+	}()
+	return b.n
+}

@@ -1,0 +1,23 @@
+// Package bad holds metricnames fixtures: bad casing, a constant that
+// folds to a bad name, a kind conflict, a dynamic name, a bad label key,
+// and (with bad2.go) a name registered from two files.
+package bad
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int           { return new(int) }
+func (r *Registry) Gauge(name string) *int             { return new(int) }
+func (r *Registry) Histogram(name string) *int         { return new(int) }
+func (r *Registry) CounterVec(name, label string) *int { return new(int) }
+
+const badPrefix = "Query_"
+
+func register(r *Registry, suffix string) {
+	r.Counter("BadCamelCase")      // want:metricnames
+	r.Counter(badPrefix + "total") // want:metricnames
+	r.Gauge("dup_kind")
+	r.Counter("dup_kind")               // want:metricnames
+	r.Counter("dyn_" + suffix)          // want:metricnames
+	r.CounterVec("ok_name", "BadLabel") // want:metricnames
+	r.Counter("cross_file")
+}

@@ -1,0 +1,5 @@
+package bad
+
+func registerMore(r *Registry) {
+	r.Counter("cross_file") // want:metricnames
+}

@@ -1,0 +1,56 @@
+// Package bad holds operatorclose regression fixtures. SwitchUnion is the
+// PR 1 bug shape: Open opens children that Close never releases.
+package bad
+
+// Operator mirrors exec.Operator for the fixture; operatorclose matches the
+// interface by name.
+type Operator interface {
+	Open() error
+	Next() (int, bool)
+	Close() error
+}
+
+// SwitchUnion opens every child up front but its Close forgets them all —
+// the exact leak the real SwitchUnion shipped with before PR 1 fixed it.
+type SwitchUnion struct {
+	Children []Operator
+	idx      int
+}
+
+func (s *SwitchUnion) Open() error {
+	for i := range s.Children {
+		if err := s.Children[i].Open(); err != nil { // want:operatorclose
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *SwitchUnion) Next() (int, bool) { return s.Children[s.idx].Next() }
+
+func (s *SwitchUnion) Close() error { return nil }
+
+// CondClose releases its child only under a state flag, so an early-exit
+// path (done still false) leaks the opened child.
+type CondClose struct {
+	Child Operator
+	done  bool
+}
+
+func (c *CondClose) Open() error { return c.Child.Open() } // want:operatorclose
+
+func (c *CondClose) Next() (int, bool) { return c.Child.Next() }
+
+func (c *CondClose) Close() error {
+	if c.done {
+		return c.Child.Close()
+	}
+	return nil
+}
+
+// NoClose opens a child but declares no Close method at all.
+type NoClose struct { // want:operatorclose
+	Child Operator
+}
+
+func (n *NoClose) Open() error { return n.Child.Open() }

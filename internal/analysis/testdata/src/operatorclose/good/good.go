@@ -1,0 +1,74 @@
+// Package good holds operator shapes that close correctly; operatorclose
+// must report nothing here.
+package good
+
+type Operator interface {
+	Open() error
+	Close() error
+}
+
+type BatchOperator interface {
+	Open() error
+	Close() error
+}
+
+func AsBatch(op Operator) BatchOperator { return nil }
+
+// Filter wraps its child in a batch adapter; closing the alias releases the
+// underlying child too.
+type Filter struct {
+	Child  Operator
+	bchild BatchOperator
+}
+
+func (f *Filter) Open() error {
+	f.bchild = AsBatch(f.Child)
+	return f.bchild.Open()
+}
+
+func (f *Filter) Close() error { return f.bchild.Close() }
+
+// Union hands each opened child to a tracking method on the same receiver,
+// and Close drains the tracked set.
+type Union struct {
+	Children []Operator
+	active   Operator
+	opened   []Operator
+}
+
+func (u *Union) track(op Operator) { u.opened = append(u.opened, op) }
+
+func (u *Union) Open() error {
+	u.active = u.Children[0]
+	if err := u.active.Open(); err != nil {
+		return err
+	}
+	u.track(u.active)
+	return nil
+}
+
+func (u *Union) Close() error {
+	var first error
+	for _, op := range u.opened {
+		if err := op.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	u.opened = u.opened[:0]
+	return nil
+}
+
+// Guarded closes under a nil-guard of the field itself, which is not a
+// foreign condition.
+type Guarded struct {
+	Child Operator
+}
+
+func (g *Guarded) Open() error { return g.Child.Open() }
+
+func (g *Guarded) Close() error {
+	if g.Child != nil {
+		return g.Child.Close()
+	}
+	return nil
+}

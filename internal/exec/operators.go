@@ -678,17 +678,27 @@ func (h *HashJoin) NextBatch() (sqltypes.Batch, bool, error) {
 	return out, true, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. The build side is normally closed at the end
+// of Open's build phase; closing it again here is a no-op on that path but
+// releases it when Open failed mid-build (Close is idempotent per the
+// Operator contract).
 func (h *HashJoin) Close() error {
 	h.table = nil
 	h.probe = nil
 	putBatchBuf(h.out)
 	h.out = nil
+	errR := h.Right.Close()
+	var errL error
 	if c := h.bleft; c != nil {
 		h.bleft = nil
-		return c.Close()
+		errL = c.Close()
+	} else {
+		errL = h.Left.Close()
 	}
-	return h.Left.Close()
+	if errR != nil {
+		return errR
+	}
+	return errL
 }
 
 func evalKey(keys []Compiled, ctx *EvalContext, row sqltypes.Row) (string, bool, error) {
