@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench metrics-lint verify
+.PHONY: build test vet race lint bench metrics-lint verify cover chaos
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-check the packages that exercise concurrent execution paths.
+# Race-check the packages that exercise concurrent execution paths,
+# including the resilient link, fault injector and chaos workload.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/mtcache/... ./internal/repl/...
+	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/mtcache/... ./internal/repl/... ./internal/remote/... ./internal/fault/... ./internal/vclock/... ./internal/harness/...
 
 # Run the full in-repo static-analysis suite (cmd/rcclint): operator Close
 # propagation, lock pairing and ordering, atomic/plain mixed access, and
@@ -33,3 +34,13 @@ verify: build vet lint test race
 # Emits BENCH_exec.json with rows/sec per benchmark.
 bench:
 	./scripts/bench.sh
+
+# Coverage with a minimum-total gate (MIN_COVER, default 70%). CI runs the
+# same script, so the gate is identical locally and in the workflow.
+cover:
+	./scripts/cover.sh
+
+# Deterministic fault-injection run: availability and served-staleness
+# percentiles under link faults (same as `rccbench -chaos`).
+chaos:
+	$(GO) run ./cmd/rccbench -chaos

@@ -28,8 +28,20 @@ func main() {
 	flag.BoolVar(&cfg.Metrics, "metrics", false,
 		"append a metrics-registry snapshot (guard picks, staleness gauges) to the report")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "data generation seed")
+	chaos := flag.Bool("chaos", false,
+		"run the fault-injection workload instead: availability and served-staleness under link faults")
 	flag.Parse()
 	cfg.ScaleStatsToPaper = !*rawStats
+
+	if *chaos {
+		ccfg := harness.DefaultChaosConfig()
+		ccfg.Seed = cfg.Seed
+		if err := harness.RunChaosReport(os.Stdout, ccfg); err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := harness.RunAll(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rccbench:", err)

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"relaxedcc/internal/fault"
+	"relaxedcc/internal/remote"
+	"relaxedcc/internal/repl"
+)
+
+// EnableResilience hardens the system's cache↔back-end link and replication
+// fabric against the failures the chaos harness injects:
+//
+//   - the remote link gets the retry/backoff/deadline/circuit-breaker policy
+//     (the zero Policy selects remote.DefaultPolicy, with the breaker
+//     cooldown defaulted to the slowest region's heartbeat cadence so a
+//     half-open probe lines up with the next freshness signal);
+//   - link backoff and blocking-session guard waits drive the replication
+//     coordinator, so heartbeats and agents keep firing while a query waits;
+//   - every distribution agent gets a watchdog that restarts it on stall,
+//     scheduled on the agent's own propagation cadence.
+//
+// Call it after regions are registered; regions added later are adopted
+// automatically.
+func (s *System) EnableResilience(p remote.Policy) {
+	if p == (remote.Policy{}) {
+		p = remote.DefaultPolicy()
+	}
+	if p.BreakerCooldown == 0 {
+		p.BreakerCooldown = s.heartbeatCadence()
+	}
+	link := s.Cache.Link()
+	link.Configure(s.Clock, p)
+	link.SetWait(func(d time.Duration) { _ = s.Coord.Advance(d) })
+	s.Cache.SetWait(func(d time.Duration) { _ = s.Coord.Advance(d) })
+	s.resilient = true
+	for _, a := range s.Cache.Agents() {
+		s.watch(a)
+	}
+}
+
+// InjectFaults points the link and every distribution agent at the fault
+// injector: the link consults it per attempt (latency, transient errors,
+// partitions) and agents consult it per propagation step (stalls). Call it
+// after regions are registered; regions added later are adopted
+// automatically.
+func (s *System) InjectFaults(f *fault.Injector) {
+	s.faults = f
+	s.Cache.Link().SetFault(f)
+	for _, a := range s.Cache.Agents() {
+		a.SetStallProbe(f)
+	}
+}
+
+// Faults returns the injector installed by InjectFaults, or nil.
+func (s *System) Faults() *fault.Injector { return s.faults }
+
+// watch puts one agent under watchdog supervision (idempotent per region).
+func (s *System) watch(a *repl.Agent) {
+	if s.watched == nil {
+		s.watched = map[int]bool{}
+	}
+	if s.watched[a.Region.ID] {
+		return
+	}
+	s.watched[a.Region.ID] = true
+	wd := repl.NewWatchdog(a, 0)
+	wd.Instrument(s.Cache.Obs())
+	s.Watchdogs = append(s.Watchdogs, wd)
+	// Check on the agent's own cadence: the default stall threshold is
+	// three update intervals, so a wedged agent is caught on the third
+	// missed propagation.
+	iv := a.Region.UpdateInterval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	s.Coord.AddPeriodic(iv, wd.Check)
+}
+
+// heartbeatCadence is the slowest heartbeat interval across the cache's
+// regions — the natural pace for breaker half-open probes, since no fresher
+// currency signal arrives sooner.
+func (s *System) heartbeatCadence() time.Duration {
+	cadence := time.Second
+	for _, r := range s.Cache.Catalog().Regions() {
+		if r.HeartbeatInterval > cadence {
+			cadence = r.HeartbeatInterval
+		}
+	}
+	return cadence
+}

@@ -12,6 +12,7 @@ import (
 	"relaxedcc/internal/backend"
 	"relaxedcc/internal/catalog"
 	"relaxedcc/internal/exec"
+	"relaxedcc/internal/fault"
 	"relaxedcc/internal/mtcache"
 	"relaxedcc/internal/repl"
 	"relaxedcc/internal/vclock"
@@ -23,6 +24,14 @@ type System struct {
 	Backend *backend.Server
 	Cache   *mtcache.Cache
 	Coord   *repl.Coordinator
+
+	// Watchdogs supervise the primary cache's distribution agents once
+	// EnableResilience has run (see resilience.go).
+	Watchdogs []*repl.Watchdog
+
+	resilient bool
+	watched   map[int]bool
+	faults    *fault.Injector
 }
 
 // NewSystem creates an empty system on a fresh virtual clock.
@@ -75,6 +84,12 @@ func (s *System) AddRegion(r *catalog.Region) error {
 	}
 	s.Coord.AddHeartbeat(r.ID, s.Cache.Catalog().Region(r.ID).HeartbeatInterval, s.Backend.Beat)
 	s.Coord.AddAgent(agent)
+	if s.faults != nil {
+		agent.SetStallProbe(s.faults)
+	}
+	if s.resilient {
+		s.watch(agent)
+	}
 	return nil
 }
 

@@ -183,16 +183,21 @@ func TestScanReopenAfterClose(t *testing.T) {
 	}
 }
 
-// closeProbe counts Open/Close calls, optionally failing Open.
+// closeProbe counts Open/Close calls, optionally failing Open (with openErr
+// when set, so tests can model classified failures).
 type closeProbe struct {
 	*Values
 	opens, closes int
 	failOpen      bool
+	openErr       error
 }
 
 func (c *closeProbe) Open(ctx *EvalContext) error {
 	c.opens++
 	if c.failOpen {
+		if c.openErr != nil {
+			return c.openErr
+		}
 		return errors.New("open failed")
 	}
 	return c.Values.Open(ctx)

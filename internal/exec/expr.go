@@ -23,6 +23,24 @@ type EvalContext struct {
 	// during this execution — the hook metrics and tracing layers use to
 	// observe branch picks and staleness without touching operator state.
 	OnGuard func(GuardDecision)
+	// Degrade selects the SwitchUnion behavior when the remote branch it
+	// picked turns out to be unavailable (the paper's violation actions):
+	// fail fast, serve the local branch with a staleness warning, or block
+	// until the currency guard can pass.
+	Degrade DegradeMode
+	// Unavailable classifies an error as link-level unavailability (the
+	// condition degraded modes react to). Sessions wire it to
+	// remote.IsUnavailable; nil disables degraded handling.
+	Unavailable func(error) bool
+	// OnViolation, when non-nil, receives every degraded-mode event — a
+	// remote failure absorbed by the local branch, a blocked guard, or a
+	// fail-fast — so sessions can surface warnings and count metrics.
+	OnViolation func(Violation)
+	// GuardRetry paces DegradeBlock: called before the attempt-th guard
+	// re-evaluation for the given region, it waits for replication to make
+	// progress and reports whether to keep blocking. Returning false gives
+	// up and proceeds with the guard's last choice.
+	GuardRetry func(region, attempt int) bool
 }
 
 // Compiled is an expression compiled against a schema: it evaluates on one

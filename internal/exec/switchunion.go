@@ -12,6 +12,48 @@ import (
 // when the operator is opened and must return an index in [0, n).
 type Selector func(ctx *EvalContext) (int, error)
 
+// DegradeMode is the session's violation action applied inside SwitchUnion
+// when the remote branch it picked is unavailable (Section 1 of the paper
+// lists the options a system could take when a currency constraint cannot
+// be met).
+type DegradeMode int
+
+// Degraded modes.
+const (
+	// DegradeFail propagates the remote failure (default: the query errors).
+	DegradeFail DegradeMode = iota
+	// DegradeServeLocal answers from the local branch, surfacing an explicit
+	// staleness-violation warning instead of an error.
+	DegradeServeLocal
+	// DegradeBlock re-evaluates a failed currency guard on the replication
+	// cadence (paced by EvalContext.GuardRetry) until it passes or the wait
+	// budget runs out, trading latency for currency.
+	DegradeBlock
+)
+
+// Violation records one degraded-mode event: the paper's violation-action
+// table made observable. Sessions collect them as per-query warnings and
+// feed them to metrics.
+type Violation struct {
+	// Label is the guard's diagnostic name.
+	Label string
+	// Region is the currency region of the guarded local branch.
+	Region int
+	// Action is what the operator did: "serve-local" (answered from the
+	// local branch despite the guard's remote choice), "block" (waited for
+	// the guard to pass), or "fail" (propagated the failure).
+	Action string
+	// Err is the remote failure that triggered the violation (nil for
+	// "block", which is triggered by the guard itself).
+	Err error
+	// Staleness is the region's staleness when the violation was recorded;
+	// valid only when StalenessKnown is true.
+	Staleness      time.Duration
+	StalenessKnown bool
+	// Waits is how many guard re-evaluations a "block" performed.
+	Waits int
+}
+
 // GuardDecision records one SwitchUnion guard evaluation: the decision, its
 // cost, and the guarded region's observed staleness at decision time. It is
 // published atomically per Open (replacing the old mutable GuardTime/
@@ -24,12 +66,19 @@ type GuardDecision struct {
 	Region int
 	// Chosen is the selected branch: 0 is the local branch, by convention.
 	Chosen int
-	// GuardTime is how long the selector evaluation took.
+	// GuardTime is how long the selector evaluation took (summed across
+	// re-evaluations in block mode).
 	GuardTime time.Duration
 	// Staleness is the region's staleness at decision time (query Now minus
 	// the last replicated heartbeat); valid only when StalenessKnown is true.
 	Staleness      time.Duration
 	StalenessKnown bool
+	// Degraded is set when the guard picked the remote branch but the local
+	// branch answered because the remote was unavailable (DegradeServeLocal).
+	Degraded bool
+	// BlockWaits is how many guard re-evaluations DegradeBlock performed
+	// before this decision settled.
+	BlockWaits int
 }
 
 // SwitchUnion is the paper's dynamic-plan operator (Section 3): it has N
@@ -69,7 +118,11 @@ type SwitchUnion struct {
 func (s *SwitchUnion) Schema() *Schema { return s.Children[0].Schema() }
 
 // Open implements Operator: it evaluates the selector, then opens only the
-// chosen child.
+// chosen child. Degraded modes (EvalContext.Degrade) apply when the chosen
+// branch is not the local one: DegradeBlock re-evaluates a failed guard on
+// the replication cadence before opening anything, and DegradeServeLocal
+// falls back to the local branch — recording a Violation warning — when the
+// remote branch's Open reports link unavailability.
 func (s *SwitchUnion) Open(ctx *EvalContext) error {
 	start := time.Now()
 	idx, err := s.Selector(ctx)
@@ -80,22 +133,88 @@ func (s *SwitchUnion) Open(ctx *EvalContext) error {
 	if idx < 0 || idx >= len(s.Children) {
 		return fmt.Errorf("exec: SwitchUnion selector returned %d of %d", idx, len(s.Children))
 	}
-	d := &GuardDecision{Label: s.Label, Region: s.Region, Chosen: idx, GuardTime: guardTime}
+
+	// Block mode: the guard rejected the local branch; wait for replication
+	// to catch up and re-check, bounded by the session's GuardRetry pacing.
+	waits := 0
+	if ctx.Degrade == DegradeBlock && idx != 0 && ctx.GuardRetry != nil {
+		for attempt := 1; idx != 0; attempt++ {
+			if !ctx.GuardRetry(s.Region, attempt) {
+				break
+			}
+			waits++
+			st := time.Now()
+			idx, err = s.Selector(ctx)
+			guardTime += time.Since(st)
+			if err != nil {
+				return err
+			}
+			if idx < 0 || idx >= len(s.Children) {
+				return fmt.Errorf("exec: SwitchUnion selector returned %d of %d", idx, len(s.Children))
+			}
+		}
+	}
+
+	d := &GuardDecision{Label: s.Label, Region: s.Region, Chosen: idx, GuardTime: guardTime, BlockWaits: waits}
 	if s.Staleness != nil {
 		if st, ok := s.Staleness(ctx); ok {
 			d.Staleness, d.StalenessKnown = st, true
 		}
 	}
 	s.decision.Store(d)
-	if ctx.OnGuard != nil {
-		ctx.OnGuard(*d)
+	if waits > 0 && ctx.OnViolation != nil {
+		ctx.OnViolation(Violation{
+			Label: s.Label, Region: s.Region, Action: "block",
+			Staleness: d.Staleness, StalenessKnown: d.StalenessKnown, Waits: waits,
+		})
 	}
+
 	s.active = s.Children[idx]
 	s.bactive = nil
 	// Record the child before opening it: a failed Open may still have
 	// acquired resources that only Close releases.
 	s.track(s.active)
-	return s.active.Open(ctx)
+	err = s.active.Open(ctx)
+	if err != nil && idx != 0 && ctx.Unavailable != nil && ctx.Unavailable(err) {
+		v := Violation{
+			Label: s.Label, Region: s.Region, Err: err,
+			Staleness: d.Staleness, StalenessKnown: d.StalenessKnown, Waits: waits,
+		}
+		if ctx.Degrade == DegradeServeLocal {
+			// The remote branch is down: serve the guarded local branch and
+			// surface the currency violation as a warning, not an error.
+			v.Action = "serve-local"
+			dd := *d
+			dd.Chosen = 0
+			dd.Degraded = true
+			s.decision.Store(&dd)
+			s.active = s.Children[0]
+			s.bactive = nil
+			s.track(s.active)
+			if e := s.active.Open(ctx); e != nil {
+				// The local branch failed too; report the original failure.
+				if ctx.OnGuard != nil {
+					ctx.OnGuard(dd)
+				}
+				return err
+			}
+			if ctx.OnViolation != nil {
+				ctx.OnViolation(v)
+			}
+			if ctx.OnGuard != nil {
+				ctx.OnGuard(dd)
+			}
+			return nil
+		}
+		v.Action = "fail"
+		if ctx.OnViolation != nil {
+			ctx.OnViolation(v)
+		}
+	}
+	if ctx.OnGuard != nil {
+		ctx.OnGuard(*d)
+	}
+	return err
 }
 
 // LastDecision returns the guard outcome of the most recent Open; ok is

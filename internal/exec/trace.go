@@ -150,12 +150,14 @@ func (t *Traced) Open(ctx *EvalContext) error {
 	if t.su != nil {
 		if d, ok := t.su.LastDecision(); ok {
 			t.node.Guard = &obs.GuardTrace{
-				Label:     d.Label,
-				Region:    d.Region,
-				Chosen:    d.Chosen,
-				Time:      d.GuardTime,
-				Staleness: d.Staleness,
-				Known:     d.StalenessKnown,
+				Label:      d.Label,
+				Region:     d.Region,
+				Chosen:     d.Chosen,
+				Time:       d.GuardTime,
+				Staleness:  d.Staleness,
+				Known:      d.StalenessKnown,
+				Degraded:   d.Degraded,
+				BlockWaits: d.BlockWaits,
 			}
 		}
 	}

@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"relaxedcc/internal/vclock"
+)
+
+func TestSameSeedSameFaults(t *testing.T) {
+	a, b := New(7), New(7)
+	for _, i := range []*Injector{a, b} {
+		i.SetLatency(time.Millisecond, 10*time.Millisecond)
+		i.SetErrorRate(0.3)
+	}
+	now := vclock.Epoch
+	for k := 0; k < 200; k++ {
+		latA, errA := a.Inject(now)
+		latB, errB := b.Inject(now)
+		if latA != latB || (errA == nil) != (errB == nil) {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", k, latA, errA, latB, errB)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("stats diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Transients == 0 || sa.Transients == 200 {
+		t.Fatalf("error rate 0.3 gave %d/200 transients", sa.Transients)
+	}
+}
+
+func TestPartitionWindowHealsOnClock(t *testing.T) {
+	i := New(1)
+	heal := vclock.Epoch.Add(time.Minute)
+	i.PartitionUntil(heal)
+	if _, err := i.Inject(vclock.Epoch); !errors.Is(err, ErrPartition) {
+		t.Fatalf("inside window: err = %v", err)
+	}
+	if !i.Partitioned(heal.Add(-time.Nanosecond)) {
+		t.Fatal("healed early")
+	}
+	if _, err := i.Inject(heal); err != nil {
+		t.Fatalf("at heal time: err = %v", err)
+	}
+	if i.Partitioned(vclock.Epoch) {
+		t.Fatal("partition did not clear")
+	}
+}
+
+func TestInjectedErrorsShareBaseClass(t *testing.T) {
+	i := New(1)
+	i.SetErrorRate(1)
+	if _, err := i.Inject(vclock.Epoch); !errors.Is(err, ErrInjected) || !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	i.SetErrorRate(0)
+	i.SetPartitioned(true)
+	if _, err := i.Inject(vclock.Epoch); !errors.Is(err, ErrInjected) || !errors.Is(err, ErrPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStallClearsOnRestartByDefault(t *testing.T) {
+	i := New(1)
+	i.StallAgent(3, true)
+	if !i.AgentStalled(3) {
+		t.Fatal("not stalled")
+	}
+	if i.AgentStalled(4) {
+		t.Fatal("wrong region stalled")
+	}
+	i.AgentRestarted(3)
+	if i.AgentStalled(3) {
+		t.Fatal("soft stall survived restart")
+	}
+	if got := i.Stats().Stalls; got != 1 {
+		t.Fatalf("stalls = %d", got)
+	}
+}
+
+func TestHardStallSurvivesRestart(t *testing.T) {
+	i := New(1)
+	i.SetStallSurvivesRestart(true)
+	i.StallAgent(3, true)
+	i.AgentRestarted(3)
+	if !i.AgentStalled(3) {
+		t.Fatal("hard stall cleared by restart")
+	}
+	i.StallAgent(3, false)
+	if i.AgentStalled(3) {
+		t.Fatal("explicit clear ignored")
+	}
+}
+
+func TestZeroValueInjectsNothing(t *testing.T) {
+	var i Injector
+	lat, err := i.Inject(time.Time{})
+	if lat != 0 || err != nil {
+		t.Fatalf("zero injector imposed (%v, %v)", lat, err)
+	}
+}
+
+func TestLatencyOnlyInjection(t *testing.T) {
+	i := New(9)
+	i.SetLatency(5*time.Millisecond, 0)
+	lat, err := i.Inject(vclock.Epoch)
+	if err != nil || lat != 5*time.Millisecond {
+		t.Fatalf("lat=%v err=%v", lat, err)
+	}
+	if got := i.Stats().Latency; got != 5*time.Millisecond {
+		t.Fatalf("latency total = %v", got)
+	}
+}

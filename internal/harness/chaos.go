@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/fault"
+	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/remote"
+	"relaxedcc/internal/sqltypes"
+)
+
+// ChaosConfig scripts one deterministic chaos run: a single-region cache
+// under a currency-bounded point-query workload while the injector imposes
+// link latency, transient errors, a hard partition window, and a wedged
+// distribution agent. Everything is driven by the virtual clock and one
+// seed, so the same config replays the same run.
+type ChaosConfig struct {
+	Seed int64
+	// Duration is the total virtual time of the run.
+	Duration time.Duration
+	// QueryInterval is the virtual time between queries.
+	QueryInterval time.Duration
+
+	// Region cadence.
+	UpdateInterval    time.Duration
+	UpdateDelay       time.Duration
+	HeartbeatInterval time.Duration
+	// Bound is the queries' currency bound. With a bound between delay and
+	// delay+interval the guard's choice oscillates across the propagation
+	// cycle, exercising both branches.
+	Bound time.Duration
+
+	// Link faults: base latency plus jitter on every call, transient-error
+	// probability per call, and one hard partition window.
+	Latency        time.Duration
+	LatencyJitter  time.Duration
+	ErrorRate      float64
+	PartitionStart time.Duration
+	PartitionDur   time.Duration
+
+	// StallStart wedges the region's agent at that offset (zero disables);
+	// the watchdog is expected to catch and restart it.
+	StallStart time.Duration
+
+	// Policy is the link's resilience policy; zero selects the system
+	// default (retry/backoff, deadline, breaker on heartbeat cadence).
+	Policy remote.Policy
+}
+
+// DefaultChaosConfig is a two-virtual-minute run sized so every fault class
+// fires: ~1/3 of the timeline partitioned, a mid-run agent stall, and
+// enough queries on both sides of the guard's oscillation.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:              2004,
+		Duration:          120 * time.Second,
+		QueryInterval:     500 * time.Millisecond,
+		UpdateInterval:    10 * time.Second,
+		UpdateDelay:       2 * time.Second,
+		HeartbeatInterval: 1 * time.Second,
+		Bound:             5 * time.Second,
+		Latency:           2 * time.Millisecond,
+		LatencyJitter:     3 * time.Millisecond,
+		ErrorRate:         0.10,
+		PartitionStart:    40 * time.Second,
+		PartitionDur:      25 * time.Second,
+		StallStart:        80 * time.Second,
+	}
+}
+
+// ChaosReport is the outcome of one chaos run.
+type ChaosReport struct {
+	Queries  int
+	Answered int
+	Failed   int
+	// Local counts answers served from the local view with the guard's
+	// blessing; Degraded counts local answers served because the remote
+	// fall-back was unavailable (each carries a violation warning); Remote
+	// counts answers fetched from the back end.
+	Local    int
+	Degraded int
+	Remote   int
+
+	// Availability is Answered/Queries.
+	Availability float64
+	// ServedStaleness aggregates the staleness of every locally served
+	// answer (guard-approved and degraded alike), percentiles over the run.
+	StalenessP50 time.Duration
+	StalenessP95 time.Duration
+	StalenessP99 time.Duration
+	StalenessMax time.Duration
+
+	// Link and fabric counters.
+	Retries       int64
+	LinkFailures  int64
+	BreakerTrips  int64
+	AgentRestarts int64
+	Injected      fault.Stats
+}
+
+// RunChaos executes the scripted chaos run and reports availability and
+// served-staleness percentiles. The session uses ActionServeLocal, so the
+// expected availability under partitions is 100%: every query the guard
+// would have sent remote degrades to the local view with a warning.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	sys := core.NewSystem()
+	sys.MustExec("CREATE TABLE T (id BIGINT NOT NULL PRIMARY KEY, v BIGINT)")
+	if err := sys.AddRegion(&catalog.Region{
+		ID: 1, Name: "R",
+		UpdateInterval:    cfg.UpdateInterval,
+		UpdateDelay:       cfg.UpdateDelay,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+	}); err != nil {
+		return nil, err
+	}
+	if err := sys.CreateView(&catalog.View{
+		Name: "t_prj", BaseTable: "T", Columns: []string{"id", "v"}, RegionID: 1,
+	}); err != nil {
+		return nil, err
+	}
+	if err := sys.Backend.LoadRows("T", []sqltypes.Row{{sqltypes.NewInt(1), sqltypes.NewInt(1)}}); err != nil {
+		return nil, err
+	}
+	sys.Analyze()
+
+	inj := fault.New(cfg.Seed)
+	inj.SetLatency(cfg.Latency, cfg.LatencyJitter)
+	inj.SetErrorRate(cfg.ErrorRate)
+	sys.InjectFaults(inj)
+	sys.EnableResilience(cfg.Policy)
+
+	// Warm up one full propagation cycle before faults matter, so the
+	// region has synchronized at least once.
+	if err := sys.Run(cfg.UpdateInterval + cfg.UpdateDelay + 2*cfg.HeartbeatInterval); err != nil {
+		return nil, err
+	}
+
+	sess := sys.Cache.NewSession()
+	sess.Action = mtcache.ActionServeLocal
+	q := fmt.Sprintf("SELECT v FROM T WHERE id = 1 CURRENCY %d MS ON (T)", cfg.Bound.Milliseconds())
+
+	start := sys.Clock.Now()
+	partitionOn := false
+	stallOn := cfg.StallStart <= 0
+	rep := &ChaosReport{}
+	var served []time.Duration
+
+	for off := time.Duration(0); off < cfg.Duration; off += cfg.QueryInterval {
+		if err := sys.RunTo(start.Add(off)); err != nil {
+			return nil, err
+		}
+		if !partitionOn && cfg.PartitionDur > 0 && off >= cfg.PartitionStart {
+			partitionOn = true
+			inj.PartitionUntil(start.Add(cfg.PartitionStart + cfg.PartitionDur))
+		}
+		if !stallOn && off >= cfg.StallStart {
+			stallOn = true
+			inj.StallAgent(1, true)
+		}
+
+		rep.Queries++
+		res, err := sess.Query(q)
+		if err != nil {
+			rep.Failed++
+			continue
+		}
+		rep.Answered++
+		switch {
+		case res.Degraded:
+			rep.Degraded++
+		case len(res.LocalViews) > 0:
+			rep.Local++
+		default:
+			rep.Remote++
+		}
+		if res.Degraded || len(res.LocalViews) > 0 {
+			if ts, ok := sys.Cache.LastSync(1); ok {
+				served = append(served, sys.Clock.Now().Sub(ts))
+			}
+		}
+	}
+
+	if rep.Queries > 0 {
+		rep.Availability = float64(rep.Answered) / float64(rep.Queries)
+	}
+	rep.StalenessP50 = percentileDur(served, 0.50)
+	rep.StalenessP95 = percentileDur(served, 0.95)
+	rep.StalenessP99 = percentileDur(served, 0.99)
+	rep.StalenessMax = percentileDur(served, 1.00)
+
+	stats := sys.Cache.Link().Stats()
+	rep.Retries = stats.Retries
+	rep.LinkFailures = stats.Failures
+	rep.BreakerTrips = sys.Cache.Link().Breaker().Trips()
+	for _, wd := range sys.Watchdogs {
+		rep.AgentRestarts += wd.Agent().Restarts()
+	}
+	rep.Injected = inj.Stats()
+	return rep, nil
+}
+
+// percentileDur returns the p-quantile (nearest-rank) of samples; zero for
+// an empty set.
+func percentileDur(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// RunChaosReport runs the default chaos workload and prints the report.
+func RunChaosReport(w io.Writer, cfg ChaosConfig) error {
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	section(w, "Chaos: availability under link faults (serve-local degradation)")
+	fmt.Fprintf(w, "queries                 %d\n", rep.Queries)
+	fmt.Fprintf(w, "availability            %.2f%% (%d answered, %d failed)\n",
+		rep.Availability*100, rep.Answered, rep.Failed)
+	fmt.Fprintf(w, "answered local/degraded/remote   %d / %d / %d\n",
+		rep.Local, rep.Degraded, rep.Remote)
+	fmt.Fprintf(w, "served staleness p50/p95/p99/max %s / %s / %s / %s\n",
+		rep.StalenessP50, rep.StalenessP95, rep.StalenessP99, rep.StalenessMax)
+	fmt.Fprintf(w, "link retries/failures   %d / %d\n", rep.Retries, rep.LinkFailures)
+	fmt.Fprintf(w, "breaker trips           %d\n", rep.BreakerTrips)
+	fmt.Fprintf(w, "agent restarts          %d\n", rep.AgentRestarts)
+	fmt.Fprintf(w, "injected                %d transient, %d partition denial(s), %d stalled wake-up(s)\n",
+		rep.Injected.Transients, rep.Injected.PartitionDenials, rep.Injected.Stalls)
+	return nil
+}

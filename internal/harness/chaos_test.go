@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosAvailability is the headline chaos property: with serve-local
+// degradation the cache answers every query of a run whose timeline is one
+// third partition, 10% transient errors, and a wedged agent — and the
+// fault machinery (retries, breaker, watchdog) all actually fired.
+func TestChaosAvailability(t *testing.T) {
+	rep, err := RunChaos(DefaultChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("chaos run issued no queries")
+	}
+	if rep.Availability != 1.0 {
+		t.Errorf("availability = %.4f (%d/%d answered), want 1.0",
+			rep.Availability, rep.Answered, rep.Queries)
+	}
+	if rep.Degraded == 0 {
+		t.Error("no degraded reads: the partition never forced serve-local")
+	}
+	if rep.Remote == 0 {
+		t.Error("no remote reads: the guard never chose the remote branch")
+	}
+	if rep.Retries == 0 {
+		t.Error("no link retries despite a 10% transient error rate")
+	}
+	if rep.BreakerTrips == 0 {
+		t.Error("breaker never tripped despite a 25s partition")
+	}
+	if rep.AgentRestarts == 0 {
+		t.Error("watchdog never restarted the wedged agent")
+	}
+	if rep.Injected.PartitionDenials == 0 || rep.Injected.Transients == 0 || rep.Injected.Stalls == 0 {
+		t.Errorf("injector idle: %+v", rep.Injected)
+	}
+	if rep.StalenessMax <= 0 {
+		t.Error("served-staleness percentiles empty: no local answers recorded")
+	}
+	if rep.StalenessP50 > rep.StalenessP95 || rep.StalenessP95 > rep.StalenessMax {
+		t.Errorf("percentiles not monotone: p50=%s p95=%s max=%s",
+			rep.StalenessP50, rep.StalenessP95, rep.StalenessMax)
+	}
+}
+
+// TestChaosDeterministic replays the same config twice and expects
+// identical reports — the property that makes chaos tests CI-safe.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Duration = 60 * time.Second
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestPercentileDur(t *testing.T) {
+	s := []time.Duration{4, 1, 3, 2}
+	if got := percentileDur(s, 0.5); got != 2 {
+		t.Errorf("p50 = %d, want 2", got)
+	}
+	if got := percentileDur(s, 1.0); got != 4 {
+		t.Errorf("max = %d, want 4", got)
+	}
+	if got := percentileDur(nil, 0.5); got != 0 {
+		t.Errorf("empty = %d, want 0", got)
+	}
+}

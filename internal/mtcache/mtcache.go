@@ -18,7 +18,7 @@ package mtcache
 
 import (
 	"fmt"
-	"strings"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,6 +62,14 @@ type Cache struct {
 	// obs holds the cache's metrics registry, instruments and trace store
 	// (see obs.go). Always non-nil; each cache owns its registry.
 	obs *cacheObs
+
+	// waitMu guards wait, the hook blocking sessions use to let replication
+	// catch up between guard re-evaluations. Nil means advance the cache's
+	// own clock (virtual) or sleep on it (wall); core.System installs a hook
+	// that drives the replication coordinator so heartbeats and agents
+	// actually fire during the wait.
+	waitMu sync.Mutex
+	wait   func(d time.Duration)
 }
 
 // New creates a cache over the back-end server, cloning its catalog as the
@@ -78,16 +86,24 @@ func New(clock vclock.Clock, back *backend.Server) *Cache {
 	if err := catalog.New().AddTable(hbDef); err != nil {
 		panic(err) // static definition cannot fail
 	}
+	co := newCacheObs(obs.NewRegistry())
+	link := remote.NewClient(back)
+	// The link starts in passthrough mode (single attempt, no breaker) so
+	// plain caches behave exactly like a direct connection; callers opt into
+	// resilience with link.Configure(clock, remote.DefaultPolicy()) or
+	// core.System.EnableResilience.
+	link.Configure(clock, remote.PassthroughPolicy())
+	link.Instrument(co.reg)
 	return &Cache{
 		clock:     clock,
 		back:      back,
-		link:      remote.NewClient(back),
+		link:      link,
 		cat:       back.Catalog().Clone(),
 		views:     map[string]*storage.Table{},
 		agents:    map[int]*repl.Agent{},
 		hb:        storage.NewTable(hbDef),
 		planCache: map[string]*opt.Plan{},
-		obs:       newCacheObs(obs.NewRegistry()),
+		obs:       co,
 	}
 }
 
@@ -126,6 +142,32 @@ func (c *Cache) Catalog() *catalog.Catalog { return c.cat }
 
 // Link returns the remote link (for stats and failure injection).
 func (c *Cache) Link() *remote.Client { return c.link }
+
+// SetWait installs the hook blocking sessions (ActionBlock) use to pass
+// time between guard re-evaluations. core.System points it at the
+// replication coordinator so heartbeats and agents run during the wait.
+func (c *Cache) SetWait(fn func(d time.Duration)) {
+	c.waitMu.Lock()
+	c.wait = fn
+	c.waitMu.Unlock()
+}
+
+// waitFor passes d of time through the configured wait hook, falling back
+// to advancing a virtual clock directly or sleeping on a wall clock.
+func (c *Cache) waitFor(d time.Duration) {
+	c.waitMu.Lock()
+	fn := c.wait
+	c.waitMu.Unlock()
+	if fn != nil {
+		fn(d)
+		return
+	}
+	if v, ok := c.clock.(*vclock.Virtual); ok {
+		v.Advance(d)
+		return
+	}
+	<-c.clock.After(d)
+}
 
 // Clock returns the cache's time source.
 func (c *Cache) Clock() vclock.Clock { return c.clock }
@@ -229,6 +271,22 @@ func (c *Cache) Agent(regionID int) *repl.Agent {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.agents[regionID]
+}
+
+// Agents returns all distribution agents, ordered by region id.
+func (c *Cache) Agents() []*repl.Agent {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]int, 0, len(c.agents))
+	for id := range c.agents {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*repl.Agent, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.agents[id])
+	}
+	return out
 }
 
 // SetLastSync implements repl.HeartbeatSink: the region's row in the local
@@ -356,6 +414,12 @@ type QueryResult struct {
 	// ServedStale is set when the violation action downgraded to stale
 	// local data after a remote failure.
 	ServedStale bool
+	// Degraded is set when any guard served its local branch because the
+	// remote fall-back was unavailable (ActionServeLocal).
+	Degraded bool
+	// Violations lists the degraded-mode warnings recorded during execution
+	// — the paper's violation actions made visible to the client.
+	Violations []exec.Violation
 	// AsOf is a conservative bound on the snapshot time of the data used:
 	// the minimum last-synchronized timestamp across the local sources that
 	// answered (query start time when everything came from the master).
@@ -404,16 +468,36 @@ type ViolationAction int
 const (
 	// ActionError fails the query (default).
 	ActionError ViolationAction = iota
-	// ActionServeStale answers from local data regardless of currency,
-	// marking the result ServedStale.
+	// ActionServeStale re-plans the whole query against local views with
+	// currency checking disabled, marking the result ServedStale. It is the
+	// coarsest degradation: staleness becomes unknown.
 	ActionServeStale
+	// ActionServeLocal degrades per guard: a SwitchUnion whose remote branch
+	// is unavailable answers from its guarded local branch and records an
+	// explicit staleness-violation warning (QueryResult.Violations). Unlike
+	// ActionServeStale the result's staleness is still observed and bounded
+	// by the heartbeat.
+	ActionServeLocal
+	// ActionBlock re-evaluates a failed currency guard on the region's
+	// replication cadence until it passes or the session's wait budget
+	// (MaxBlockWaits) runs out, trading latency for currency.
+	ActionBlock
 )
+
+// DefaultBlockWaits bounds ActionBlock's guard re-evaluations when the
+// session does not set MaxBlockWaits: enough for one full heartbeat →
+// propagation cycle plus scheduling slack, small enough that an unhealable
+// region fails the query rather than hanging the session.
+const DefaultBlockWaits = 4
 
 // Session is one client session: it carries timeline-consistency state and
 // the violation action.
 type Session struct {
 	cache  *Cache
 	Action ViolationAction
+	// MaxBlockWaits bounds guard re-evaluations under ActionBlock; zero
+	// means DefaultBlockWaits.
+	MaxBlockWaits int
 
 	mu          sync.Mutex
 	timeOrdered bool
@@ -560,12 +644,44 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, 
 	}
 	qr, err := s.run(plan, analyze, key)
 	if err != nil {
-		if s.Action == ActionServeStale && strings.Contains(err.Error(), "remote:") {
+		if s.Action == ActionServeStale && remote.IsUnavailable(err) {
 			return s.serveStale(sel)
 		}
 		return nil, err
 	}
 	return qr, nil
+}
+
+// degradeMode maps the session's violation action onto the operator-level
+// degraded mode applied inside SwitchUnion.
+func (s *Session) degradeMode() exec.DegradeMode {
+	switch s.Action {
+	case ActionServeLocal:
+		return exec.DegradeServeLocal
+	case ActionBlock:
+		return exec.DegradeBlock
+	default:
+		return exec.DegradeFail
+	}
+}
+
+// guardRetry paces one blocked guard re-evaluation (EvalContext.GuardRetry):
+// it waits one replication interval of the stale region so the next check
+// sees fresher data, and cuts off at the session's wait budget.
+func (s *Session) guardRetry(region, attempt int) bool {
+	max := s.MaxBlockWaits
+	if max <= 0 {
+		max = DefaultBlockWaits
+	}
+	if attempt > max {
+		return false
+	}
+	iv := time.Second
+	if r := s.cache.cat.Region(region); r != nil && r.UpdateInterval > 0 {
+		iv = r.UpdateInterval
+	}
+	s.cache.waitFor(iv)
+	return true
 }
 
 // run executes a plan and updates the session's timeline floor from the
@@ -581,11 +697,32 @@ func (s *Session) run(plan *opt.Plan, analyze bool, sql string) (*QueryResult, e
 	if analyze {
 		root, trace = exec.Instrument(root)
 	}
-	res, err := exec.Run(root, &exec.EvalContext{Now: now, OnGuard: o.onGuard}, plan.Setup)
+	// Violations recorded by degraded guards during execution surface on the
+	// result as warnings and feed the degraded-read metrics.
+	var violations []exec.Violation
+	ctx := &exec.EvalContext{
+		Now:         now,
+		OnGuard:     o.onGuard,
+		Degrade:     s.degradeMode(),
+		Unavailable: remote.IsUnavailable,
+		OnViolation: func(v exec.Violation) {
+			violations = append(violations, v)
+			o.onViolation(v)
+		},
+	}
+	if ctx.Degrade == exec.DegradeBlock {
+		ctx.GuardRetry = s.guardRetry
+	}
+	res, err := exec.Run(root, ctx, plan.Setup)
 	if err != nil {
 		return nil, err
 	}
-	qr := &QueryResult{Result: res, Plan: plan, Trace: trace}
+	qr := &QueryResult{Result: res, Plan: plan, Trace: trace, Violations: violations}
+	for _, v := range violations {
+		if v.Action == "serve-local" {
+			qr.Degraded = true
+		}
+	}
 	if trace != nil {
 		o.traces.Set(sql, trace)
 	}

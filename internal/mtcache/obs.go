@@ -23,6 +23,8 @@ import (
 //	guard_latency_ns                  selector evaluation time (the paper's c_cg)
 //	guard_staleness_ns                region staleness observed at decision time
 //	region_staleness_ns{region}       current staleness gauge per region
+//	degraded_reads_total{region}      local branches served on remote failure
+//	guard_block_waits_total           guard re-evaluations performed by blocking sessions
 type cacheObs struct {
 	reg    *obs.Registry
 	traces *obs.TraceStore
@@ -38,6 +40,8 @@ type cacheObs struct {
 	guardLatency    *obs.Histogram
 	guardStaleness  *obs.Histogram
 	regionStaleness *obs.GaugeVec
+	degradedReads   *obs.CounterVec
+	blockWaits      *obs.Counter
 
 	// regionLabels caches strconv results so the per-query guard hook does
 	// not allocate a label string per decision.
@@ -59,6 +63,8 @@ func newCacheObs(reg *obs.Registry) *cacheObs {
 		guardLatency:    reg.Histogram("guard_latency_ns"),
 		guardStaleness:  reg.Histogram("guard_staleness_ns"),
 		regionStaleness: reg.GaugeVec("region_staleness_ns", "region"),
+		degradedReads:   reg.CounterVec("degraded_reads_total", "region"),
+		blockWaits:      reg.Counter("guard_block_waits_total"),
 		regionLabels:    map[int]string{},
 	}
 }
@@ -92,6 +98,18 @@ func (o *cacheObs) onGuard(d exec.GuardDecision) {
 	if d.StalenessKnown {
 		o.guardStaleness.ObserveDuration(d.Staleness)
 		o.regionStaleness.With(label).SetDuration(d.Staleness)
+	}
+}
+
+// onViolation records one degraded-mode event (EvalContext.OnViolation):
+// local branches served despite a remote guard choice count as degraded
+// reads per region, and blocking sessions account their guard waits.
+func (o *cacheObs) onViolation(v exec.Violation) {
+	switch v.Action {
+	case "serve-local":
+		o.degradedReads.With(o.regionLabel(v.Region)).Inc()
+	case "block":
+		o.blockWaits.Add(int64(v.Waits))
 	}
 }
 

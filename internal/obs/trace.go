@@ -20,6 +20,13 @@ type GuardTrace struct {
 	// synchronized has unknown staleness).
 	Staleness time.Duration `json:"staleness_ns"`
 	Known     bool          `json:"staleness_known"`
+	// Degraded is set when the guard picked the remote branch but the local
+	// branch answered because the remote was unavailable (a recorded
+	// staleness-violation warning).
+	Degraded bool `json:"degraded,omitempty"`
+	// BlockWaits is how many times a blocking session re-evaluated this
+	// guard before it passed.
+	BlockWaits int `json:"block_waits,omitempty"`
 }
 
 // Branch names the chosen branch: by convention child 0 is the local
@@ -87,6 +94,12 @@ func (n *TraceNode) render(w io.Writer, prefix, childPrefix string, timings bool
 		} else {
 			fmt.Fprintf(w, " [guard -> %s branch, region %d, staleness %s]",
 				g.Branch(), g.Region, stale)
+		}
+		if g.Degraded {
+			fmt.Fprintf(w, " [DEGRADED: remote unavailable, served local]")
+		}
+		if g.BlockWaits > 0 {
+			fmt.Fprintf(w, " [blocked %d wait(s)]", g.BlockWaits)
 		}
 	}
 	fmt.Fprintln(w)

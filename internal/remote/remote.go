@@ -1,37 +1,166 @@
 // Package remote is the cache-to-back-end link: the boundary a remote query
 // crosses in the paper's two-server setup. It executes shipped SQL on the
 // back-end server in process, while accounting for queries sent, rows and
-// bytes shipped — the quantities the optimizer's cost model trades off —
-// and supporting failure injection for testing violation actions.
+// bytes shipped — the quantities the optimizer's cost model trades off.
+//
+// The link is where network reality intrudes on the paper's model, so it
+// carries the fault-tolerance layer: deterministic fault injection
+// (internal/fault), per-query deadlines, bounded retries with exponential
+// backoff and jitter, and a circuit breaker that fails fast after a run of
+// consecutive failures and half-opens on the heartbeat cadence. Callers
+// classify failures with IsUnavailable and apply the paper's violation
+// actions (serve stale locally, block, or error).
 package remote
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"relaxedcc/internal/backend"
 	"relaxedcc/internal/exec"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/vclock"
 )
 
-// Stats counts traffic across the link.
+// Stats counts traffic and failures across the link.
 type Stats struct {
 	Queries int64
 	Rows    int64
 	Bytes   int64
+	// Retries is how many retry attempts the link made after failures.
+	Retries int64
+	// Failures is how many link-level failures were observed (per attempt).
+	Failures int64
+}
+
+// Fault injects synthetic failures into the link; fault.Injector implements
+// it. Inject is consulted once per attempt with the link's current time and
+// returns the synthetic latency to impose plus the injected error, if any.
+type Fault interface {
+	Inject(now time.Time) (time.Duration, error)
 }
 
 // Client is the cache's connection to the back end.
 type Client struct {
 	backend *backend.Server
 
-	mu    sync.Mutex
-	stats Stats
-	down  bool
+	mu     sync.Mutex
+	stats  Stats
+	down   bool
+	clock  vclock.Clock
+	policy Policy
+	rng    *rand.Rand
+	sleep  func(time.Duration)
+	fault  Fault
+
+	breaker *Breaker
+	// seenTrips is how many breaker trips have been exported to the
+	// remote_breaker_trips_total counter.
+	seenTrips int64
+
+	// Metrics, bound by Instrument; nil fields mean the link runs
+	// unmetered.
+	mRetries      *obs.Counter // remote_retries_total
+	mFailures     *obs.Counter // remote_failures_total
+	mDeadline     *obs.Counter // remote_deadline_exceeded_total
+	mBreakerTrips *obs.Counter // remote_breaker_trips_total
+	mBreakerState *obs.Gauge   // remote_breaker_state
 }
 
-// NewClient connects a cache to its back-end server.
-func NewClient(b *backend.Server) *Client { return &Client{backend: b} }
+// NewClient connects a cache to its back-end server with the legacy
+// single-shot behavior (no deadline, no retries, no breaker); call
+// Configure to enable resilience.
+func NewClient(b *backend.Server) *Client { return &Client{backend: b, policy: PassthroughPolicy()} }
+
+// Configure binds the link to a clock and a resilience policy. The clock
+// drives deadlines, backoff waits and breaker cooldowns; under a virtual
+// clock every wait advances simulated time deterministically (no real
+// sleeping ever happens), under a wall clock waits block on clock.After.
+func (c *Client) Configure(clock vclock.Clock, p Policy) {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+	c.policy = p
+	c.rng = rand.New(rand.NewSource(p.Seed))
+	if p.BreakerThreshold > 0 {
+		c.breaker = NewBreaker(p.BreakerThreshold, p.BreakerCooldown)
+	} else {
+		c.breaker = nil
+	}
+	if v, ok := clock.(*vclock.Virtual); ok {
+		c.sleep = func(d time.Duration) { v.Advance(d) }
+	} else if clock != nil {
+		c.sleep = func(d time.Duration) { <-clock.After(d) }
+	}
+	c.publishBreakerStateLocked()
+}
+
+// SetWait overrides how the link spends backoff and injected-latency time
+// (after Configure). The simulation driver points this at the replication
+// coordinator so simulated time advanced by link waits also fires due
+// heartbeats and agent propagations.
+func (c *Client) SetWait(wait func(time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleep = wait
+}
+
+// SetFault installs (or clears, with nil) a fault injector on the link.
+func (c *Client) SetFault(f Fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fault = f
+}
+
+// Breaker returns the link's circuit breaker, or nil when disabled.
+func (c *Client) Breaker() *Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breaker
+}
+
+// Instrument binds the link's metrics to a registry: retry and failure
+// counters, deadline expirations, breaker trips and the breaker-state
+// gauge (0 closed, 1 half-open, 2 open).
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mRetries = reg.Counter("remote_retries_total")
+	c.mFailures = reg.Counter("remote_failures_total")
+	c.mDeadline = reg.Counter("remote_deadline_exceeded_total")
+	c.mBreakerTrips = reg.Counter("remote_breaker_trips_total")
+	c.mBreakerState = reg.Gauge("remote_breaker_state")
+	c.publishBreakerStateLocked()
+}
+
+func (c *Client) publishBreakerStateLocked() {
+	if c.mBreakerState == nil {
+		return
+	}
+	if c.breaker == nil {
+		c.mBreakerState.Set(int64(BreakerClosed))
+		return
+	}
+	c.mBreakerState.Set(int64(c.breaker.State()))
+	if trips := c.breaker.Trips(); trips > c.seenTrips {
+		if c.mBreakerTrips != nil {
+			c.mBreakerTrips.Add(trips - c.seenTrips)
+		}
+		c.seenTrips = trips
+	}
+}
+
+func (c *Client) publishBreakerState() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.publishBreakerStateLocked()
+}
 
 // Query ships sql to the back end and returns all result rows. It
 // implements opt.RemoteExecutor.
@@ -43,13 +172,109 @@ func (c *Client) Query(sql string) ([]sqltypes.Row, error) {
 	return res.Rows, nil
 }
 
-// QueryResult is Query with the full result (schema and timings).
+// QueryResult is Query with the full result (schema and timings). It runs
+// the resilient path: breaker check, bounded retries with backoff under the
+// per-query deadline. SQL-level errors from the back end return immediately
+// and never count against the breaker.
 func (c *Client) QueryResult(sql string) (*exec.Result, error) {
 	c.mu.Lock()
-	if c.down {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("remote: link to back-end server is down")
+	pol := c.policy
+	clock := c.clock
+	sleep := c.sleep
+	rng := c.rng
+	br := c.breaker
+	c.mu.Unlock()
+
+	now := func() time.Time {
+		if clock != nil {
+			return clock.Now()
+		}
+		return time.Time{}
 	}
+	var deadline time.Time
+	if clock != nil && pol.Deadline > 0 {
+		deadline = now().Add(pol.Deadline)
+	}
+
+	if br != nil && !br.Allow(now()) {
+		c.noteFailure()
+		return nil, ErrBreakerOpen
+	}
+
+	attempts := pol.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		res, err := c.attempt(sql, now(), sleep, deadline)
+		if err == nil {
+			if br != nil {
+				br.Record(now(), true)
+				c.publishBreakerState()
+			}
+			return res, nil
+		}
+		if !IsUnavailable(err) {
+			// The link delivered the query; the back end rejected it.
+			return nil, err
+		}
+		lastErr = err
+		c.noteFailure()
+		if br != nil {
+			br.Record(now(), false)
+			c.publishBreakerState()
+		}
+		if attempt >= attempts {
+			break
+		}
+		if br != nil && br.State() == BreakerOpen {
+			// The breaker tripped mid-query: stop hammering the link.
+			break
+		}
+		wait := pol.backoff(attempt, rng)
+		if !deadline.IsZero() && now().Add(wait).After(deadline) {
+			c.noteDeadline()
+			return nil, fmt.Errorf("%w after %d attempt(s): %v", ErrDeadlineExceeded, attempt, lastErr)
+		}
+		if wait > 0 && sleep != nil {
+			sleep(wait)
+		}
+		c.noteRetry()
+	}
+	if attempts > 1 {
+		return nil, fmt.Errorf("remote: %d attempt(s) failed: %w", attempts, lastErr)
+	}
+	return nil, lastErr
+}
+
+// attempt performs one try: fault injection (paying its latency), the
+// deadline check, then the in-process back-end call.
+func (c *Client) attempt(sql string, now time.Time, sleep func(time.Duration), deadline time.Time) (*exec.Result, error) {
+	c.mu.Lock()
+	f := c.fault
+	down := c.down
+	c.mu.Unlock()
+
+	if f != nil {
+		lat, err := f.Inject(now)
+		if lat > 0 && sleep != nil {
+			sleep(lat)
+			now = now.Add(lat)
+		}
+		if !deadline.IsZero() && now.After(deadline) {
+			c.noteDeadline()
+			return nil, fmt.Errorf("%w (reply after deadline)", ErrDeadlineExceeded)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("remote: injected: %w", err)
+		}
+	}
+	if down {
+		return nil, ErrLinkDown
+	}
+
+	c.mu.Lock()
 	c.stats.Queries++
 	c.mu.Unlock()
 
@@ -68,6 +293,35 @@ func (c *Client) QueryResult(sql string) (*exec.Result, error) {
 	return res, nil
 }
 
+func (c *Client) noteFailure() {
+	c.mu.Lock()
+	c.stats.Failures++
+	m := c.mFailures
+	c.mu.Unlock()
+	if m != nil {
+		m.Inc()
+	}
+}
+
+func (c *Client) noteRetry() {
+	c.mu.Lock()
+	c.stats.Retries++
+	m := c.mRetries
+	c.mu.Unlock()
+	if m != nil {
+		m.Inc()
+	}
+}
+
+func (c *Client) noteDeadline() {
+	c.mu.Lock()
+	m := c.mDeadline
+	c.mu.Unlock()
+	if m != nil {
+		m.Inc()
+	}
+}
+
 // Stats returns a snapshot of link traffic counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
@@ -83,7 +337,8 @@ func (c *Client) ResetStats() {
 }
 
 // SetDown injects (or clears) a link failure: subsequent queries fail until
-// cleared.
+// cleared. Prefer a fault.Injector for richer scenarios; SetDown remains
+// the simplest hard-partition switch.
 func (c *Client) SetDown(down bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -19,6 +19,11 @@ type Beater func(regionID int) error
 type Coordinator struct {
 	clock  *vclock.Virtual
 	events []*event
+	// advancing guards against reentrant AdvanceTo: an event handler (or a
+	// link backoff wired to Advance) that tries to drive the coordinator
+	// while it is already draining events would corrupt the drain loop, so
+	// nested calls fall through to a plain clock advance instead.
+	advancing bool
 }
 
 type event struct {
@@ -84,12 +89,26 @@ func (c *Coordinator) AddPeriodic(interval time.Duration, run func(now time.Time
 // among ties), advancing the virtual clock through each event time and
 // finally to target.
 func (c *Coordinator) AdvanceTo(target time.Time) error {
+	if c.advancing {
+		// Reentrant call from inside an event handler or a wait hook: just
+		// move the clock; the outer drain loop keeps running due events.
+		if target.After(c.clock.Now()) {
+			c.clock.AdvanceTo(target)
+		}
+		return nil
+	}
+	c.advancing = true
+	defer func() { c.advancing = false }()
 	for {
 		ev := c.nextDue(target)
 		if ev == nil {
 			break
 		}
-		c.clock.AdvanceTo(ev.at)
+		// An event handler may itself have advanced the clock (a resilient
+		// link paying backoff in virtual time does); never move it backwards.
+		if ev.at.After(c.clock.Now()) {
+			c.clock.AdvanceTo(ev.at)
+		}
 		if err := ev.run(ev.at); err != nil {
 			return err
 		}

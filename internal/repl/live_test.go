@@ -22,17 +22,20 @@ func TestAgentRunLiveClock(t *testing.T) {
 	defer close(stop)
 
 	f.commit(t, t0.Add(time.Second), txn.Change{Table: "T", Op: txn.OpInsert, New: baseRow(1, 1, "a")})
-	// Let the goroutine register its After, then advance past one interval.
-	deadline := time.Now().Add(5 * time.Second)
-	for f.viewTbl.Len() == 0 {
-		if time.Now().After(deadline) {
+	// Each round: wait (race-free) for the agent to arm its timer, fire it,
+	// then wait for the re-arm — which the agent only does after its Step
+	// completed, so checking the view between rounds never races.
+	for rounds := 0; f.viewTbl.Len() == 0; rounds++ {
+		if rounds > 10 {
 			t.Fatal("agent never applied the commit")
 		}
-		for clock.PendingWaiters() == 0 {
-			time.Sleep(time.Millisecond)
+		if !clock.AwaitWaiters(1, 5*time.Second) {
+			t.Fatal("agent never armed its wake-up")
 		}
 		clock.Advance(f.agent.Region.UpdateInterval)
-		time.Sleep(2 * time.Millisecond)
+		if !clock.AwaitWaiters(1, 5*time.Second) {
+			t.Fatal("agent never completed its step")
+		}
 	}
 	select {
 	case err := <-errs:
@@ -64,12 +67,8 @@ func TestAgentRunReportsErrors(t *testing.T) {
 		close(done)
 	}()
 	defer close(stop)
-	deadline := time.Now().Add(5 * time.Second)
-	for clock.PendingWaiters() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("agent never armed its timer")
-		}
-		time.Sleep(time.Millisecond)
+	if !clock.AwaitWaiters(1, 5*time.Second) {
+		t.Fatal("agent never armed its timer")
 	}
 	clock.Advance(f.agent.Region.UpdateInterval)
 	select {

@@ -166,6 +166,18 @@ type HeartbeatSink interface {
 	SetLastSync(regionID int, ts time.Time)
 }
 
+// StallProbe lets a fault injector wedge an agent: a stalled agent's
+// wake-ups run but make no progress, so region staleness grows silently —
+// the failure mode the Watchdog exists to catch. fault.Injector implements
+// it.
+type StallProbe interface {
+	// AgentStalled reports whether the region's agent is currently wedged.
+	AgentStalled(regionID int) bool
+	// AgentRestarted notifies the injector that a supervisor restarted the
+	// agent (soft wedges clear; hard ones persist).
+	AgentRestarted(regionID int)
+}
+
 // Agent is the distribution agent for one currency region.
 type Agent struct {
 	Region *catalog.Region
@@ -178,6 +190,13 @@ type Agent struct {
 	lastSeq    int64
 	applied    int64 // transactions applied, for stats
 	lastSynced time.Time
+	// stall is the fault hook that can wedge this agent; nil means healthy.
+	stall StallProbe
+	// lastProgress is when the agent last completed a propagation step
+	// (stalled wake-ups do not count); the Watchdog's staleness signal.
+	lastProgress time.Time
+	// restarts counts supervisor-initiated restarts.
+	restarts int64
 
 	// Built-in instrumentation, bound by Instrument; nil fields mean the
 	// agent runs unmetered.
@@ -240,11 +259,55 @@ func (a *Agent) InitialSync(sub *Subscription, baseData *storage.Table) error {
 	return nil
 }
 
+// SetStallProbe installs (or clears, with nil) the fault hook that can
+// wedge this agent.
+func (a *Agent) SetStallProbe(p StallProbe) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stall = p
+}
+
+// LastProgress returns when the agent last completed a propagation step;
+// zero if it never has.
+func (a *Agent) LastProgress() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastProgress
+}
+
+// Restarts returns how many times a supervisor has restarted the agent.
+func (a *Agent) Restarts() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.restarts
+}
+
+// Restart simulates killing and re-execing the agent process at time now:
+// progress is re-based so the watchdog does not re-fire immediately, and
+// the fault injector is told so soft wedges (a stuck process) clear while
+// hard ones persist. Replication state (the applied log position) survives,
+// exactly as it would in a process restart.
+func (a *Agent) Restart(now time.Time) {
+	a.mu.Lock()
+	a.lastProgress = now
+	a.restarts++
+	probe := a.stall
+	a.mu.Unlock()
+	if probe != nil {
+		probe.AgentRestarted(a.Region.ID)
+	}
+}
+
 // Step performs one propagation wake-up at time now: it applies, in commit
-// order, every transaction that committed at or before now - delay.
+// order, every transaction that committed at or before now - delay. A
+// wake-up while the agent is wedged (StallProbe) returns immediately
+// without progress.
 func (a *Agent) Step(now time.Time) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.stall != nil && a.stall.AgentStalled(a.Region.ID) {
+		return nil
+	}
 	var applyStart time.Time
 	if a.mApply != nil {
 		applyStart = time.Now()
@@ -276,6 +339,7 @@ func (a *Agent) Step(now time.Time) error {
 		a.mTxns.Add(int64(len(records)))
 		a.mRows.Add(rowsApplied)
 	}
+	a.lastProgress = now
 	return nil
 }
 

@@ -1,0 +1,106 @@
+package repl
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"relaxedcc/internal/obs"
+)
+
+// Watchdog supervises one distribution agent: scheduled on the coordinator
+// (or any periodic driver), it measures how long the agent has gone without
+// completing a propagation step, exports that lag, and restarts the agent
+// when the lag crosses the stall threshold. Without it a wedged agent lets
+// region staleness grow silently until every currency guard falls back to
+// the remote server — the failure mode the paper's bounded-staleness
+// promise cannot tolerate.
+type Watchdog struct {
+	agent *Agent
+	// threshold is the no-progress duration that triggers a restart; zero
+	// means DefaultStallFactor times the region's update interval, re-read
+	// every check so reconfiguration takes effect live.
+	threshold time.Duration
+
+	mu       sync.Mutex
+	baseline time.Time // first-check fallback when the agent never stepped
+
+	// Metrics, bound by Instrument; nil means the watchdog runs unmetered.
+	mRestarts *obs.Counter // repl_agent_restarts_total{region}
+	mLag      *obs.Gauge   // repl_agent_lag_ns{region}
+}
+
+// DefaultStallFactor is how many update intervals of silence count as a
+// stall when no explicit threshold is configured: one missed wake-up is
+// scheduling noise, three is a wedged agent.
+const DefaultStallFactor = 3
+
+// NewWatchdog supervises agent. threshold zero selects the default
+// (DefaultStallFactor × the region's update interval).
+func NewWatchdog(agent *Agent, threshold time.Duration) *Watchdog {
+	return &Watchdog{agent: agent, threshold: threshold}
+}
+
+// Instrument binds the watchdog's metrics to a registry: per-region restart
+// counter and propagation-lag gauge.
+func (w *Watchdog) Instrument(reg *obs.Registry) {
+	label := strconv.Itoa(w.agent.Region.ID)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mRestarts = reg.CounterVec("repl_agent_restarts_total", "region").With(label)
+	w.mLag = reg.GaugeVec("repl_agent_lag_ns", "region").With(label)
+}
+
+// Agent returns the supervised agent.
+func (w *Watchdog) Agent() *Agent { return w.agent }
+
+// stallThreshold resolves the restart threshold at check time.
+func (w *Watchdog) stallThreshold() time.Duration {
+	if w.threshold > 0 {
+		return w.threshold
+	}
+	if iv := w.agent.Region.UpdateInterval; iv > 0 {
+		return DefaultStallFactor * iv
+	}
+	return DefaultStallFactor * time.Second
+}
+
+// Check is one supervision wake-up at time now: it updates the lag gauge
+// and, when the agent has made no progress for the stall threshold,
+// restarts it and immediately runs a catch-up propagation step. Schedule it
+// on the coordinator with Coordinator.AddPeriodic(interval, w.Check).
+func (w *Watchdog) Check(now time.Time) error {
+	last := w.agent.LastProgress()
+	w.mu.Lock()
+	if last.IsZero() {
+		// The agent has never stepped; measure from the first check so a
+		// freshly wired system is not declared stalled at t=0.
+		if w.baseline.IsZero() {
+			w.baseline = now
+		}
+		last = w.baseline
+	}
+	mLag, mRestarts := w.mLag, w.mRestarts
+	w.mu.Unlock()
+
+	lag := now.Sub(last)
+	if mLag != nil {
+		mLag.SetDuration(lag)
+	}
+	if lag < w.stallThreshold() {
+		return nil
+	}
+	w.agent.Restart(now)
+	if mRestarts != nil {
+		mRestarts.Inc()
+	}
+	// Catch up immediately: a restarted agent's first act is a propagation
+	// step, which also resets the lag signal.
+	if err := w.agent.Step(now); err != nil {
+		return err
+	}
+	if mLag != nil {
+		mLag.SetDuration(now.Sub(w.agent.LastProgress()))
+	}
+	return nil
+}

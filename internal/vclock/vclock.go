@@ -45,6 +45,9 @@ type Virtual struct {
 	now     time.Time
 	waiters waiterHeap
 	seq     int64 // tie-break counter for waiters
+	// arrived signals AwaitWaiters when After registers a waiter; created
+	// lazily under mu.
+	arrived *sync.Cond
 }
 
 type waiter struct {
@@ -101,6 +104,9 @@ func (v *Virtual) After(d time.Duration) <-chan time.Time {
 	}
 	v.seq++
 	heap.Push(&v.waiters, &waiter{deadline: v.now.Add(d), ch: ch, seq: v.seq})
+	if v.arrived != nil {
+		v.arrived.Broadcast()
+	}
 	return ch
 }
 
@@ -141,4 +147,34 @@ func (v *Virtual) PendingWaiters() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return v.waiters.Len()
+}
+
+// AwaitWaiters blocks until at least n After waiters are pending on the
+// clock, reporting whether that happened before the wall-clock timeout.
+// It is the synchronization primitive for tests that drive goroutines off
+// a Virtual clock: "wait until the goroutine has armed its timer, then
+// Advance" replaces sleep-and-poll loops.
+func (v *Virtual) AwaitWaiters(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.arrived == nil {
+		v.arrived = sync.NewCond(&v.mu)
+	}
+	for v.waiters.Len() < n {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		// Cond has no timed wait; a one-shot timer broadcasts so the loop
+		// re-checks the deadline.
+		wake := time.AfterFunc(remaining, func() {
+			v.mu.Lock()
+			v.arrived.Broadcast()
+			v.mu.Unlock()
+		})
+		v.arrived.Wait()
+		wake.Stop()
+	}
+	return true
 }

@@ -122,3 +122,23 @@ func TestWallClock(t *testing.T) {
 		t.Fatal("Wall.After never fired")
 	}
 }
+
+func TestAwaitWaiters(t *testing.T) {
+	v := NewVirtual()
+	// Already satisfied: returns immediately.
+	_ = v.After(time.Second)
+	if !v.AwaitWaiters(1, time.Second) {
+		t.Fatal("AwaitWaiters false with a waiter already pending")
+	}
+	// Not satisfiable: times out.
+	if v.AwaitWaiters(2, 10*time.Millisecond) {
+		t.Fatal("AwaitWaiters true without a second waiter")
+	}
+	// Satisfied by a concurrent After.
+	done := make(chan bool, 1)
+	go func() { done <- v.AwaitWaiters(2, 5*time.Second) }()
+	_ = v.After(time.Second)
+	if !<-done {
+		t.Fatal("AwaitWaiters never saw the concurrent waiter")
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Validates the schema of BENCH_exec.json (written by scripts/bench.sh) so
+# CI fails loudly when the bench output drifts instead of silently uploading
+# garbage. Usage: scripts/check_bench.sh [file], default BENCH_exec.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+file="${1:-BENCH_exec.json}"
+
+[ -f "$file" ] || { echo "check_bench: $file not found" >&2; exit 1; }
+
+jq -e '
+  # A non-empty array of benchmark entries...
+  (type == "array" and length > 0)
+  # ...each with a name and a numeric ns/op...
+  and all(.[];
+    (.name | type == "string" and startswith("BenchmarkExec"))
+    and (.ns_op | type == "number")
+    and (.rows_per_sec | type == "number" or . == null)
+    and (.B_op | type == "number" or . == null)
+    and (.allocs_op | type == "number" or . == null)
+    # ...a guard-branch pick ratio in [0, 1] where reported...
+    and (.guard_local_ratio | (type == "number" and . >= 0 and . <= 1) or . == null)
+    # ...and monotone staleness percentiles where reported.
+    and (.stale_p50_ms | type == "number" or . == null)
+    and (.stale_p95_ms | type == "number" or . == null)
+    and (.stale_p99_ms | type == "number" or . == null)
+    and (if (.stale_p50_ms != null and .stale_p95_ms != null and .stale_p99_ms != null)
+         then .stale_p50_ms <= .stale_p95_ms and .stale_p95_ms <= .stale_p99_ms
+         else true end)
+  )
+  # The guarded SwitchUnion benchmark must be present with its C&C columns.
+  and any(.[]; .guard_local_ratio != null and .stale_p95_ms != null)
+' "$file" > /dev/null
+
+echo "check_bench: $file ok ($(jq length "$file") benchmark(s))"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the full test suite with coverage and enforces a minimum total
+# statement coverage. Writes cover.out (profile) and prints the per-function
+# tail. Usage: scripts/cover.sh [min-percent], default ${MIN_COVER:-70}.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+min="${1:-${MIN_COVER:-70}}"
+profile="cover.out"
+
+go test -coverprofile "$profile" -covermode atomic ./...
+total=$(go tool cover -func "$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total statement coverage: ${total}% (minimum ${min}%)"
+
+# Integer-free comparison via awk so fractional percentages work.
+if awk -v t="$total" -v m="$min" 'BEGIN { exit !(t < m) }'; then
+    echo "coverage ${total}% is below the ${min}% gate" >&2
+    exit 1
+fi
