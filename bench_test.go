@@ -537,9 +537,11 @@ func BenchmarkExecHashJoin(b *testing.B) {
 }
 
 // BenchmarkExecScanMetered re-runs the batch Orders scan with the metrics
-// hot path engaged — one counter increment and one histogram observation per
-// batch — to show instrumentation costs < 5% of rows/sec versus
-// BenchmarkExecScan/batch. Compare the two in BENCH_exec.json.
+// and lifecycle-tracing hot paths engaged — one counter increment and one
+// histogram observation per batch, plus a sampled tracer Begin/Finish per
+// scan (1 in 8, the production default) — to show instrumentation costs
+// < 5% of rows/sec versus BenchmarkExecScan/batch. Compare the two in
+// BENCH_exec.json.
 func BenchmarkExecScanMetered(b *testing.B) {
 	sys := execBenchSystem(b)
 	tbl := sys.Backend.Table("Orders")
@@ -547,11 +549,17 @@ func BenchmarkExecScanMetered(b *testing.B) {
 	reg := obs.NewRegistry()
 	batches := reg.Counter("bench_scan_batches_total")
 	sizes := reg.Histogram("bench_scan_batch_rows")
+	tracer := obs.NewTracer(reg, obs.DefaultSampleEvery, 256)
 	ctx := &exec.EvalContext{Now: time.Unix(0, 0)}
 	b.ReportAllocs()
 	b.ResetTimer()
 	rows := 0
 	for i := 0; i < b.N; i++ {
+		qt := tracer.Begin("SELECT * FROM Orders")
+		var execStart time.Time
+		if qt != nil {
+			execStart = time.Now()
+		}
 		op := exec.NewScan(tbl, schema)
 		if err := op.Open(ctx); err != nil {
 			b.Fatal(err)
@@ -572,6 +580,10 @@ func BenchmarkExecScanMetered(b *testing.B) {
 		if err := op.Close(); err != nil {
 			b.Fatal(err)
 		}
+		if qt != nil {
+			qt.Exec(time.Since(execStart))
+		}
+		qt.Finish(false)
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(rows)*float64(b.N)/sec, "rows/sec")
@@ -599,9 +611,10 @@ func TestMetricsHotPathZeroAlloc(t *testing.T) {
 
 // BenchmarkExecGuardedSwitch executes a currency-guarded point query down
 // both guard outcomes — a loose bound the local branch satisfies and a tight
-// bound that forces remote fallback — and reports the pick ratio plus the
-// staleness the guard observed, the numbers scripts/bench.sh lifts into
-// BENCH_exec.json.
+// bound that forces remote fallback — and reports the pick ratio, the
+// staleness the guard observed, and the currency-SLO view of the same
+// decisions (within-bound ratio and remaining error budget), the numbers
+// scripts/bench.sh lifts into BENCH_exec.json.
 func BenchmarkExecGuardedSwitch(b *testing.B) {
 	sys := benchSystem(b)
 	q := harness.GuardQueries()[0]
@@ -618,7 +631,9 @@ func BenchmarkExecGuardedSwitch(b *testing.B) {
 		plans[i] = plan
 	}
 	var local, total int64
-	stale := obs.NewRegistry().Histogram("bench_guard_staleness_ns")
+	reg := obs.NewRegistry()
+	stale := reg.Histogram("bench_guard_staleness_ns")
+	slo := obs.NewSLOTracker(reg, obs.DefaultSLOTarget, obs.DefaultSLOWindow)
 	ctx := &exec.EvalContext{
 		Now: sys.Clock.Now(),
 		OnGuard: func(d exec.GuardDecision) {
@@ -629,6 +644,16 @@ func BenchmarkExecGuardedSwitch(b *testing.B) {
 			if d.StalenessKnown {
 				stale.ObserveDuration(d.Staleness)
 			}
+			slo.Observe(obs.GuardObservation{
+				Region:         d.Region,
+				Chosen:         d.Chosen,
+				Bound:          d.Bound,
+				GuardTime:      d.GuardTime,
+				Staleness:      d.Staleness,
+				StalenessKnown: d.StalenessKnown,
+				Degraded:       d.Degraded,
+				BlockWaits:     d.BlockWaits,
+			})
 		},
 	}
 	b.ResetTimer()
@@ -649,6 +674,19 @@ func BenchmarkExecGuardedSwitch(b *testing.B) {
 	b.ReportMetric(float64(stale.Quantile(0.50))/1e6, "stale_p50_ms")
 	b.ReportMetric(float64(stale.Quantile(0.95))/1e6, "stale_p95_ms")
 	b.ReportMetric(float64(stale.Quantile(0.99))/1e6, "stale_p99_ms")
+	if snap := slo.Snapshot(); len(snap.Regions) > 0 {
+		within, budget := 1.0, 1.0
+		for _, r := range snap.Regions {
+			if r.WithinRatio < within {
+				within = r.WithinRatio
+			}
+			if r.ErrorBudget < budget {
+				budget = r.ErrorBudget
+			}
+		}
+		b.ReportMetric(within, "slo_within_ratio")
+		b.ReportMetric(budget, "slo_error_budget")
+	}
 }
 
 // BenchmarkRegionTuner measures the tuner's optimization cost.

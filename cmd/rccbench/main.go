@@ -4,15 +4,23 @@
 //	rccbench [-sf 0.02] [-reps 200] [-raw-stats]
 //
 // Output goes to stdout; see EXPERIMENTS.md for the paper-vs-measured
-// comparison.
+// comparison. With -obs ADDR the run also serves the live ops surface
+// (/metrics, /slo, /queries/recent, /queries/slow, /regions, /trace/last);
+// with -snapshot DIR the /slo and /queries/slow payloads are written as
+// JSON files when the run ends (the bench-smoke CI artifact).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 
+	"relaxedcc/internal/core"
 	"relaxedcc/internal/harness"
+	"relaxedcc/internal/obs"
 )
 
 func main() {
@@ -30,21 +38,79 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "data generation seed")
 	chaos := flag.Bool("chaos", false,
 		"run the fault-injection workload instead: availability and served-staleness under link faults")
+	obsAddr := flag.String("obs", "",
+		"serve the ops HTTP surface (/metrics /slo /queries/... /regions) on this address for the run")
+	snapshotDir := flag.String("snapshot", "",
+		"write /slo and /queries/slow JSON snapshots into this directory when the run ends")
 	flag.Parse()
 	cfg.ScaleStatsToPaper = !*rawStats
+
+	// attach serves the ops endpoints (if requested) and remembers the
+	// system so snapshots can be taken after the run.
+	var sys *core.System
+	attach := func(s *core.System) {
+		sys = s
+		if *obsAddr == "" {
+			return
+		}
+		_, addr, err := obs.Serve(*obsAddr, s.ObsHandler())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench: obs:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving ops endpoints on http://%s/metrics (/slo, /queries/recent, /queries/slow, /regions, /trace/last)\n", addr)
+	}
 
 	if *chaos {
 		ccfg := harness.DefaultChaosConfig()
 		ccfg.Seed = cfg.Seed
+		ccfg.OnSystem = attach
 		if err := harness.RunChaosReport(os.Stdout, ccfg); err != nil {
 			fmt.Fprintln(os.Stderr, "rccbench:", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		s, err := harness.NewSystem(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench:", err)
+			os.Exit(1)
+		}
+		attach(s)
+		if err := harness.RunAllOn(os.Stdout, cfg, s); err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench:", err)
+			os.Exit(1)
+		}
 	}
 
-	if err := harness.RunAll(os.Stdout, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "rccbench:", err)
-		os.Exit(1)
+	if *snapshotDir != "" && sys != nil {
+		if err := writeSnapshots(sys, *snapshotDir); err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench: snapshot:", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// writeSnapshots dumps the post-run /slo and /queries/slow payloads as JSON
+// files, exactly as the HTTP surface would serve them.
+func writeSnapshots(sys *core.System, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	h := sys.ObsHandler()
+	for _, snap := range []struct{ file, url string }{
+		{"slo.json", "/slo"},
+		{"queries_slow.json", "/queries/slow?threshold=0s"},
+	} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, snap.url, nil))
+		if rr.Code != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", snap.url, rr.Code)
+		}
+		path := filepath.Join(dir, snap.file)
+		if err := os.WriteFile(path, rr.Body.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
 }

@@ -16,8 +16,10 @@
 //
 // EXPLAIN <query> prints the chosen plan; EXPLAIN ANALYZE <query> executes
 // it and prints the annotated trace tree (per-node time and rows, guard
-// verdicts, region staleness at decision time). With -metrics ADDR the shell
-// also serves the registry over HTTP at /metrics and /trace/last.
+// verdicts, region staleness at decision time). With -obs ADDR (or the
+// legacy alias -metrics) the shell also serves the full ops surface over
+// HTTP: /metrics, /trace/last, /queries/recent, /queries/slow, /slo and
+// /regions.
 package main
 
 import (
@@ -36,8 +38,13 @@ import (
 
 func main() {
 	sf := flag.Float64("sf", 0.005, "physical TPC-D scale factor")
-	metricsAddr := flag.String("metrics", "", "serve /metrics and /trace/last on this address (e.g. :8080)")
+	obsAddr := flag.String("obs", "",
+		"serve the ops HTTP surface (/metrics /trace/last /queries/... /slo /regions) on this address (e.g. :8080)")
+	metricsAddr := flag.String("metrics", "", "legacy alias for -obs")
 	flag.Parse()
+	if *obsAddr == "" {
+		*obsAddr = *metricsAddr
+	}
 
 	fmt.Printf("loading TPC-D at scale %.3f (%d customers, %d orders)...\n",
 		*sf, int(150000**sf), int(1500000**sf))
@@ -47,14 +54,13 @@ func main() {
 		os.Exit(1)
 	}
 	sess := sys.Cache.NewSession()
-	if *metricsAddr != "" {
-		h := obs.Handler(sys.Cache.Obs(), sys.Cache.Traces(), sys.Cache.RefreshStalenessGauges)
-		_, addr, err := obs.Serve(*metricsAddr, h)
+	if *obsAddr != "" {
+		_, addr, err := obs.Serve(*obsAddr, sys.ObsHandler())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metrics:", err)
+			fmt.Fprintln(os.Stderr, "obs:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("serving metrics on http://%s/metrics (traces at /trace/last)\n", addr)
+		fmt.Printf("serving ops endpoints on http://%s/metrics (/trace/last, /queries/recent, /queries/slow, /slo, /regions)\n", addr)
 	}
 	fmt.Println(`ready. tables: Customer, Orders; views: cust_prj (CR1), orders_prj (CR2).`)
 	fmt.Println(`try: SELECT c_name FROM Customer WHERE c_custkey = 17 CURRENCY 60 ON (Customer)`)

@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // NewMetricNames builds the metricnames analyzer, the AST-accurate
@@ -16,6 +17,8 @@ import (
 // syntactic fallback), and enforces:
 //
 //   - names and *Vec label keys are lowercase_snake ([a-z][a-z0-9_]*)
+//   - Counter/CounterVec names end in _total (the convention every SLO and
+//     span counter follows; a counter without it reads as a gauge)
 //   - a name is registered from a single source file (the same literal in
 //     two files means two subsystems fighting over one name)
 //   - a name keeps a single instrument kind
@@ -75,6 +78,8 @@ func (mn *metricNames) run(pass *Pass) {
 			}
 			if !validMetricName(name) {
 				pass.Reportf(call.Args[0].Pos(), "metric name %q is not lowercase_snake ([a-z][a-z0-9_]*)", name)
+			} else if (sel.Sel.Name == "Counter" || sel.Sel.Name == "CounterVec") && !strings.HasSuffix(name, "_total") {
+				pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total; a counter without the suffix reads as a gauge", name)
 			}
 			if nargs == 2 {
 				if label, ok := stringConstOf(pass, call.Args[1], consts); ok {

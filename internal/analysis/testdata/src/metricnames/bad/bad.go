@@ -1,6 +1,7 @@
 // Package bad holds metricnames fixtures: bad casing, a constant that
 // folds to a bad name, a kind conflict, a dynamic name, a bad label key,
-// and (with bad2.go) a name registered from two files.
+// a counter missing the _total suffix, and (with bad2.go) a name
+// registered from two files.
 package bad
 
 type Registry struct{}
@@ -16,8 +17,9 @@ func register(r *Registry, suffix string) {
 	r.Counter("BadCamelCase")      // want:metricnames
 	r.Counter(badPrefix + "total") // want:metricnames
 	r.Gauge("dup_kind")
-	r.Counter("dup_kind")               // want:metricnames
-	r.Counter("dyn_" + suffix)          // want:metricnames
-	r.CounterVec("ok_name", "BadLabel") // want:metricnames
-	r.Counter("cross_file")
+	r.Histogram("dup_kind")              // want:metricnames
+	r.Counter("dyn_" + suffix)           // want:metricnames
+	r.CounterVec("ok_total", "BadLabel") // want:metricnames
+	r.Counter("queries_served")          // want:metricnames
+	r.Counter("cross_file_total")
 }

@@ -1,5 +1,5 @@
 package bad
 
 func registerMore(r *Registry) {
-	r.Counter("cross_file") // want:metricnames
+	r.Counter("cross_file_total") // want:metricnames
 }

@@ -4,8 +4,10 @@ package good
 
 type Registry struct{}
 
-func (r *Registry) Counter(name string) *int         { return new(int) }
-func (r *Registry) GaugeVec(name, label string) *int { return new(int) }
+func (r *Registry) Counter(name string) *int             { return new(int) }
+func (r *Registry) CounterVec(name, label string) *int   { return new(int) }
+func (r *Registry) GaugeVec(name, label string) *int     { return new(int) }
+func (r *Registry) HistogramVec(name, label string) *int { return new(int) }
 
 const hitPrefix = "cache_"
 
@@ -13,4 +15,9 @@ func register(r *Registry) {
 	r.Counter("cache_hits_total")
 	r.Counter(hitPrefix + "misses_total")
 	r.GaugeVec("cache_bytes", "shard")
+	// The shapes the lifecycle tracer and SLO tracker register.
+	r.Counter("trace_sampled_total")
+	r.CounterVec("span_events_total", "kind")
+	r.GaugeVec("slo_error_budget", "region")
+	r.HistogramVec("slo_served_staleness_ns", "region")
 }

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"net/http"
+
+	"relaxedcc/internal/obs"
+)
+
+// ObsHandler returns the fully wired ops HTTP surface for the system's
+// primary cache: /metrics, /trace/last, /queries/recent, /queries/slow,
+// /slo and /regions. Every endpoint refreshes the staleness gauges first so
+// snapshots reflect current replication state even between queries.
+func (s *System) ObsHandler() http.Handler {
+	return obs.NewHandler(obs.Ops{
+		Registry: s.Cache.Obs(),
+		Traces:   s.Cache.Traces(),
+		Tracer:   s.Cache.Tracer(),
+		SLO:      s.Cache.SLO(),
+		Refresh:  s.Cache.RefreshStalenessGauges,
+		Regions:  s.Cache.RegionStatuses,
+	})
+}

@@ -1,13 +1,19 @@
 package exec
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"relaxedcc/internal/sqltypes"
 	"relaxedcc/internal/storage"
 )
+
+// workerLabels tags parallel-scan worker goroutines so CPU profiles
+// attribute samples to the query phase that spawned them.
+var workerLabels = pprof.Labels("rcc_op", "parallel_scan", "rcc_phase", "exec")
 
 // morselsPerWorker oversubscribes morsels relative to workers so stragglers
 // (skewed key ranges, scheduling hiccups) rebalance: workers claim morsels
@@ -95,7 +101,9 @@ func (p *ParallelScan) Open(ctx *EvalContext) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p.worker(&next, morsels)
+			pprof.Do(context.Background(), workerLabels, func(context.Context) {
+				p.worker(&next, morsels)
+			})
 		}()
 	}
 	go func() {

@@ -66,6 +66,9 @@ type GuardDecision struct {
 	Region int
 	// Chosen is the selected branch: 0 is the local branch, by convention.
 	Chosen int
+	// Bound is the query's currency bound on the guarded region, carried
+	// from the planner for SLO accounting; 0 means unbounded.
+	Bound time.Duration
 	// GuardTime is how long the selector evaluation took (summed across
 	// re-evaluations in block mode).
 	GuardTime time.Duration
@@ -100,6 +103,10 @@ type SwitchUnion struct {
 	// decision time (query Now minus last heartbeat), for tracing and
 	// metrics. Set by the planner; nil means staleness is unknown.
 	Staleness func(ctx *EvalContext) (time.Duration, bool)
+	// Bound is planner metadata: the query's currency bound on the guarded
+	// region, normalized so 0 means unbounded. Carried into GuardDecision
+	// for SLO accounting.
+	Bound time.Duration
 
 	active Operator
 	// opened tracks every child this operator has opened and not yet
@@ -155,7 +162,7 @@ func (s *SwitchUnion) Open(ctx *EvalContext) error {
 		}
 	}
 
-	d := &GuardDecision{Label: s.Label, Region: s.Region, Chosen: idx, GuardTime: guardTime, BlockWaits: waits}
+	d := &GuardDecision{Label: s.Label, Region: s.Region, Chosen: idx, Bound: s.Bound, GuardTime: guardTime, BlockWaits: waits}
 	if s.Staleness != nil {
 		if st, ok := s.Staleness(ctx); ok {
 			d.Staleness, d.StalenessKnown = st, true

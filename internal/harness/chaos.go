@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"relaxedcc/internal/catalog"
 	"relaxedcc/internal/core"
 	"relaxedcc/internal/fault"
 	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/remote"
 	"relaxedcc/internal/sqltypes"
 )
@@ -50,6 +52,13 @@ type ChaosConfig struct {
 	// Policy is the link's resilience policy; zero selects the system
 	// default (retry/backoff, deadline, breaker on heartbeat cadence).
 	Policy remote.Policy
+
+	// OnSystem, if set, receives the fully wired system right after fault
+	// injection and resilience are enabled, before any virtual time passes.
+	// Callers use it to stash the system (e.g. to scrape its ObsHandler
+	// endpoints after the run) or to add extra instrumentation. It must not
+	// advance the clock or run queries, or determinism is lost.
+	OnSystem func(*core.System)
 }
 
 // DefaultChaosConfig is a two-virtual-minute run sized so every fault class
@@ -101,6 +110,13 @@ type ChaosReport struct {
 	BreakerTrips  int64
 	AgentRestarts int64
 	Injected      fault.Stats
+
+	// SLO is the pre-rendered per-region currency-SLO section (within-bound
+	// ratio, remaining error budget, staleness percentiles), taken from the
+	// cache's SLO tracker when the run ends. Storing the rendered text keeps
+	// the report comparable with == (TestChaosDeterministic relies on that)
+	// and makes the byte-identical determinism guarantee directly checkable.
+	SLO string
 }
 
 // RunChaos executes the scripted chaos run and reports availability and
@@ -133,6 +149,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	inj.SetErrorRate(cfg.ErrorRate)
 	sys.InjectFaults(inj)
 	sys.EnableResilience(cfg.Policy)
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
 
 	// Warm up one full propagation cycle before faults matter, so the
 	// region has synchronized at least once.
@@ -201,7 +220,26 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		rep.AgentRestarts += wd.Agent().Restarts()
 	}
 	rep.Injected = inj.Stats()
+	rep.SLO = renderSLO(sys.Cache.SLO().Snapshot())
 	return rep, nil
+}
+
+// renderSLO formats an SLO snapshot as the report's currency-SLO section.
+// The text is fully deterministic for a seeded run: every number derives
+// from the virtual clock and guard-decision counts.
+func renderSLO(snap obs.SLOSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "target %.1f%% within bound over a window of %d serves\n",
+		snap.Target*100, snap.Window)
+	for _, r := range snap.Regions {
+		fmt.Fprintf(&b, "region %d: within bound %.2f%% (%d/%d, %d degraded), error budget %.0f%% left\n",
+			r.Region, r.WithinRatio*100, r.Within, r.Observations, r.Degraded, r.ErrorBudget*100)
+		fmt.Fprintf(&b, "region %d: served staleness p50/p95/p99/max %s / %s / %s / %s\n",
+			r.Region,
+			time.Duration(r.StalenessP50NS), time.Duration(r.StalenessP95NS),
+			time.Duration(r.StalenessP99NS), time.Duration(r.StalenessMaxNS))
+	}
+	return b.String()
 }
 
 // percentileDur returns the p-quantile (nearest-rank) of samples; zero for
@@ -241,5 +279,7 @@ func RunChaosReport(w io.Writer, cfg ChaosConfig) error {
 	fmt.Fprintf(w, "agent restarts          %d\n", rep.AgentRestarts)
 	fmt.Fprintf(w, "injected                %d transient, %d partition denial(s), %d stalled wake-up(s)\n",
 		rep.Injected.Transients, rep.Injected.PartitionDenials, rep.Injected.Stalls)
+	section(w, "Currency SLO (sliding window of guard decisions)")
+	fmt.Fprint(w, rep.SLO)
 	return nil
 }

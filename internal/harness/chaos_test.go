@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"relaxedcc/internal/core"
 )
 
 // TestChaosAvailability is the headline chaos property: with serve-local
@@ -63,6 +67,66 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 	if *a != *b {
 		t.Errorf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+// TestChaosSLOSection asserts the report carries a rendered currency-SLO
+// section that reflects the run: degraded serves must have spent budget.
+func TestChaosSLOSection(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Duration = 60 * time.Second
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLO == "" {
+		t.Fatal("report has no SLO section")
+	}
+	for _, want := range []string{"region 1:", "within bound", "error budget", "degraded"} {
+		if !strings.Contains(rep.SLO, want) {
+			t.Errorf("SLO section missing %q:\n%s", want, rep.SLO)
+		}
+	}
+}
+
+// TestChaosSLOSnapshotDeterministic runs the same seeded chaos config twice,
+// scraping /slo through each run's own ObsHandler (captured via OnSystem),
+// and expects byte-identical JSON — the ops surface inherits the virtual
+// clock's determinism.
+func TestChaosSLOSnapshotDeterministic(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Duration = 60 * time.Second
+	scrape := func() (string, string) {
+		var sys *core.System
+		c := cfg
+		c.OnSystem = func(s *core.System) { sys = s }
+		if _, err := RunChaos(c); err != nil {
+			t.Fatal(err)
+		}
+		if sys == nil {
+			t.Fatal("OnSystem never ran")
+		}
+		h := sys.ObsHandler()
+		get := func(url string) string {
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+			if rr.Code != 200 {
+				t.Fatalf("GET %s = %d", url, rr.Code)
+			}
+			return rr.Body.String()
+		}
+		return get("/slo"), get("/regions")
+	}
+	slo1, regions1 := scrape()
+	slo2, regions2 := scrape()
+	if slo1 != slo2 {
+		t.Errorf("/slo differs across same-seed runs:\n%s\nvs\n%s", slo1, slo2)
+	}
+	if regions1 != regions2 {
+		t.Errorf("/regions differs across same-seed runs:\n%s\nvs\n%s", regions1, regions2)
+	}
+	if !strings.Contains(slo1, `"regions"`) || !strings.Contains(slo1, `"error_budget"`) {
+		t.Errorf("/slo payload missing expected fields:\n%s", slo1)
 	}
 }
 

@@ -94,6 +94,7 @@ func New(clock vclock.Clock, back *backend.Server) *Cache {
 	// core.System.EnableResilience.
 	link.Configure(clock, remote.PassthroughPolicy())
 	link.Instrument(co.reg)
+	link.SetTracer(co.tracer)
 	return &Cache{
 		clock:     clock,
 		back:      back,
@@ -260,6 +261,7 @@ func (c *Cache) AddRegion(r *catalog.Region) (*repl.Agent, error) {
 	}
 	agent := repl.NewAgent(&rc, c.back.Log(), backend.HeartbeatTable, c)
 	agent.Instrument(c.obs.reg)
+	agent.SetTracer(c.obs.tracer)
 	c.mu.Lock()
 	c.agents[r.ID] = agent
 	c.mu.Unlock()
@@ -530,7 +532,9 @@ func (s *Session) Floor() time.Time {
 // with C&C enforcement; DML forwards to the back end (returning an empty
 // result); BEGIN/END TIMEORDERED toggle timeline consistency.
 func (s *Session) Execute(sql string) (*QueryResult, error) {
+	parseStart := time.Now()
 	stmt, err := sqlparser.Parse(sql)
+	parse := time.Since(parseStart)
 	if err != nil {
 		return nil, err
 	}
@@ -548,10 +552,10 @@ func (s *Session) Execute(sql string) (*QueryResult, error) {
 		s.mu.Unlock()
 		return &QueryResult{Result: &exec.Result{}}, nil
 	case *sqlparser.SelectStmt:
-		return s.query(stmt, false)
+		return s.query(stmt, false, parse)
 	case *sqlparser.ExplainStmt:
 		if stmt.Analyze {
-			return s.query(stmt.Stmt, true)
+			return s.query(stmt.Stmt, true, parse)
 		}
 		return s.explain(stmt.Stmt)
 	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
@@ -568,11 +572,13 @@ func (s *Session) Execute(sql string) (*QueryResult, error) {
 
 // Query parses and runs one SELECT in the session.
 func (s *Session) Query(sql string) (*QueryResult, error) {
+	parseStart := time.Now()
 	sel, err := sqlparser.ParseSelect(sql)
+	parse := time.Since(parseStart)
 	if err != nil {
 		return nil, err
 	}
-	return s.query(sel, false)
+	return s.query(sel, false, parse)
 }
 
 // ExplainAnalyze parses and runs one SELECT with execution tracing: the
@@ -580,11 +586,13 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 // verdicts) in Trace, and the trace is retained in the cache's TraceStore
 // for /trace/last.
 func (s *Session) ExplainAnalyze(sql string) (*QueryResult, error) {
+	parseStart := time.Now()
 	sel, err := sqlparser.ParseSelect(sql)
+	parse := time.Since(parseStart)
 	if err != nil {
 		return nil, err
 	}
-	return s.query(sel, true)
+	return s.query(sel, true, parse)
 }
 
 // explain plans the SELECT without executing it (plain EXPLAIN).
@@ -602,7 +610,7 @@ func (s *Session) explain(sel *sqlparser.SelectStmt) (*QueryResult, error) {
 	return &QueryResult{Result: &exec.Result{}, Plan: plan, Explained: true}, nil
 }
 
-func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, error) {
+func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool, parse time.Duration) (*QueryResult, error) {
 	opts := opt.Options{}
 	s.mu.Lock()
 	if s.timeOrdered {
@@ -618,6 +626,14 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, 
 	var err error
 	cacheable := opts == (opt.Options{})
 	key := sqlparser.SelectSQL(sel)
+	// qt is nil on the unsampled path; every QueryTrace method is nil-safe,
+	// so the hot path pays one atomic add and no allocation.
+	qt := s.cache.obs.tracer.Begin(key)
+	qt.Parse(parse)
+	var planStart time.Time
+	if qt != nil {
+		planStart = time.Now()
+	}
 	if cacheable {
 		plan = s.cache.cachedPlan(key)
 	}
@@ -625,6 +641,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, 
 		s.cache.obs.planMisses.Inc()
 		plan, _, err = s.cache.Plan(sel, opts)
 		if err != nil {
+			qt.Finish(true)
 			return nil, err
 		}
 		if cacheable {
@@ -635,6 +652,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, 
 		// Re-instantiate a fresh operator tree from the cached plan.
 		root, buildErr := plan.Build()
 		if buildErr != nil {
+			qt.Finish(true)
 			return nil, buildErr
 		}
 		reused := *plan
@@ -642,13 +660,18 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool) (*QueryResult, 
 		reused.Setup = 0
 		plan = &reused
 	}
-	qr, err := s.run(plan, analyze, key)
+	if qt != nil {
+		qt.Plan(time.Since(planStart))
+	}
+	qr, err := s.run(plan, analyze, key, qt)
 	if err != nil {
 		if s.Action == ActionServeStale && remote.IsUnavailable(err) {
-			return s.serveStale(sel)
+			return s.serveStale(sel, qt)
 		}
+		qt.Finish(true)
 		return nil, err
 	}
+	qt.Finish(false)
 	return qr, nil
 }
 
@@ -688,7 +711,7 @@ func (s *Session) guardRetry(region, attempt int) bool {
 // sources actually used. With analyze set, the tree is instrumented and the
 // result carries the annotated trace (retained in the cache's TraceStore
 // under sql).
-func (s *Session) run(plan *opt.Plan, analyze bool, sql string) (*QueryResult, error) {
+func (s *Session) run(plan *opt.Plan, analyze bool, sql string, qt *obs.QueryTrace) (*QueryResult, error) {
 	now := s.cache.clock.Now()
 	o := s.cache.obs
 	o.queries.Inc()
@@ -710,10 +733,29 @@ func (s *Session) run(plan *opt.Plan, analyze bool, sql string) (*QueryResult, e
 			o.onViolation(v)
 		},
 	}
+	if qt != nil {
+		// Sampled queries also fold the guard outcome into their lifecycle
+		// record. SwitchUnion publishes the final (possibly degraded)
+		// decision last, so the record keeps the decision that answered.
+		ctx.OnGuard = func(d exec.GuardDecision) {
+			o.onGuard(d)
+			qt.Guard(guardObservation(d))
+		}
+	}
 	if ctx.Degrade == exec.DegradeBlock {
 		ctx.GuardRetry = s.guardRetry
 	}
+	var execStart time.Time
+	var retriesBefore int64
+	if qt != nil {
+		retriesBefore = s.cache.link.Stats().Retries
+		execStart = time.Now()
+	}
 	res, err := exec.Run(root, ctx, plan.Setup)
+	if qt != nil {
+		qt.Exec(time.Since(execStart))
+		qt.Retries(s.cache.link.Stats().Retries - retriesBefore)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -792,21 +834,29 @@ func (s *Session) walkUsed(op exec.Operator, qr *QueryResult, observed, oldest *
 }
 
 // serveStale is the ActionServeStale fall-back: answer from local views
-// without currency checking, flagging the result.
-func (s *Session) serveStale(sel *sqlparser.SelectStmt) (*QueryResult, error) {
+// without currency checking, flagging the result. qt is the original query's
+// lifecycle trace (nil on the unsampled path): the rerun executes guardless,
+// so the record is finished here marked degraded instead of via a guard
+// observation, and its staleness stays unknown.
+func (s *Session) serveStale(sel *sqlparser.SelectStmt, qt *obs.QueryTrace) (*QueryResult, error) {
 	plan, _, err := s.cache.Plan(sel, opt.Options{NoGuards: true, ForceLocal: true, IgnoreConstraints: true})
 	if err != nil {
+		qt.Finish(true)
 		return nil, fmt.Errorf("mtcache: remote unavailable and no local data: %w", err)
 	}
 	if !plan.UsesLocal {
+		qt.Finish(true)
 		return nil, fmt.Errorf("mtcache: remote unavailable and no matching local view")
 	}
-	qr, err := s.run(plan, false, "")
+	qr, err := s.run(plan, false, "", nil)
 	if err != nil {
+		qt.Finish(true)
 		return nil, err
 	}
 	qr.ServedStale = true
 	s.cache.obs.servedStale.Inc()
 	qr.AsOf = time.Time{} // staleness unknown: no guard vouched for it
+	qt.MarkDegraded()
+	qt.Finish(false)
 	return qr, nil
 }

@@ -1,6 +1,7 @@
 package mtcache
 
 import (
+	"sort"
 	"strconv"
 	"sync"
 
@@ -25,9 +26,19 @@ import (
 //	region_staleness_ns{region}       current staleness gauge per region
 //	degraded_reads_total{region}      local branches served on remote failure
 //	guard_block_waits_total           guard re-evaluations performed by blocking sessions
+//	trace_sampled_total               queries sampled into the lifecycle ring
+//	span_events_total{kind}           link retries, breaker transitions, repl applies
+//	slo_within_bound_ratio{region}    fraction of serves within the session bound (ppm)
+//	slo_error_budget{region}          remaining error budget in the SLO window (ppm)
+//	slo_served_staleness_ns{region}   staleness of guard-approved local serves
 type cacheObs struct {
 	reg    *obs.Registry
 	traces *obs.TraceStore
+	// tracer samples query lifecycles into the recent-query ring and counts
+	// span events; slo folds every guard decision into per-region currency
+	// SLO windows. Both are always non-nil on a cache's obs.
+	tracer *obs.Tracer
+	slo    *obs.SLOTracker
 
 	queries       *obs.Counter
 	remoteQueries *obs.Counter
@@ -53,6 +64,8 @@ func newCacheObs(reg *obs.Registry) *cacheObs {
 	return &cacheObs{
 		reg:             reg,
 		traces:          &obs.TraceStore{},
+		tracer:          obs.NewTracer(reg, obs.DefaultSampleEvery, obs.DefaultRingSize),
+		slo:             obs.NewSLOTracker(reg, obs.DefaultSLOTarget, obs.DefaultSLOWindow),
 		queries:         reg.Counter("mtcache_queries_total"),
 		remoteQueries:   reg.Counter("mtcache_remote_queries_total"),
 		servedStale:     reg.Counter("mtcache_served_stale_total"),
@@ -86,6 +99,21 @@ func (o *cacheObs) regionLabel(id int) string {
 	return l
 }
 
+// guardObservation converts an operator-level guard decision into the obs
+// package's SLO/tracing observation (obs cannot import exec).
+func guardObservation(d exec.GuardDecision) obs.GuardObservation {
+	return obs.GuardObservation{
+		Region:         d.Region,
+		Chosen:         d.Chosen,
+		Bound:          d.Bound,
+		GuardTime:      d.GuardTime,
+		Staleness:      d.Staleness,
+		StalenessKnown: d.StalenessKnown,
+		Degraded:       d.Degraded,
+		BlockWaits:     d.BlockWaits,
+	}
+}
+
 // onGuard records one SwitchUnion guard decision (EvalContext.OnGuard).
 func (o *cacheObs) onGuard(d exec.GuardDecision) {
 	label := o.regionLabel(d.Region)
@@ -99,6 +127,8 @@ func (o *cacheObs) onGuard(d exec.GuardDecision) {
 		o.guardStaleness.ObserveDuration(d.Staleness)
 		o.regionStaleness.With(label).SetDuration(d.Staleness)
 	}
+	// Every serve — normal or degraded — lands in the region's SLO window.
+	o.slo.Observe(guardObservation(d))
 }
 
 // onViolation records one degraded-mode event (EvalContext.OnViolation):
@@ -119,6 +149,42 @@ func (c *Cache) Obs() *obs.Registry { return c.obs.reg }
 
 // Traces returns the cache's last-trace store (filled by EXPLAIN ANALYZE).
 func (c *Cache) Traces() *obs.TraceStore { return c.obs.traces }
+
+// Tracer returns the cache's query-lifecycle tracer (sampled ring of recent
+// query records plus span-event counters).
+func (c *Cache) Tracer() *obs.Tracer { return c.obs.tracer }
+
+// SLO returns the cache's per-region currency SLO tracker.
+func (c *Cache) SLO() *obs.SLOTracker { return c.obs.slo }
+
+// RegionStatuses reports one row per currency region for the ops surface:
+// the region's replication parameters, its staleness right now (clock minus
+// the local heartbeat), whether a heartbeat has ever arrived, and how many
+// transactions its agent has applied.
+func (c *Cache) RegionStatuses() []obs.RegionStatus {
+	now := c.clock.Now()
+	regions := c.cat.Regions()
+	out := make([]obs.RegionStatus, 0, len(regions))
+	for _, r := range regions {
+		rs := obs.RegionStatus{
+			ID:                  r.ID,
+			Name:                r.Name,
+			UpdateIntervalNS:    int64(r.UpdateInterval),
+			UpdateDelayNS:       int64(r.UpdateDelay),
+			HeartbeatIntervalNS: int64(r.HeartbeatInterval),
+		}
+		if ts, ok := c.LastSync(r.ID); ok {
+			rs.Synced = true
+			rs.StalenessNS = int64(now.Sub(ts))
+		}
+		if a := c.Agent(r.ID); a != nil {
+			rs.TxnsApplied = a.TransactionsApplied()
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // RefreshStalenessGauges recomputes every region's staleness gauge
 // (region_staleness_ns) from the clock and the local heartbeat table, so a

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// QueryRecord is one completed query's lifecycle record, published into the
+// tracer's ring buffer by the sampled tracing path. All durations are
+// nanoseconds so the JSON encoding is stable integers, and the record is
+// immutable once published (readers share the pointer, never the fields).
+type QueryRecord struct {
+	// Seq is the record's global publish sequence (monotone per tracer).
+	Seq uint64 `json:"seq"`
+	// SQLHash is the FNV-1a hash of the canonical query text, the stable
+	// identity for aggregating repeated statements.
+	SQLHash uint64 `json:"sql_hash"`
+	// SQL is the canonical query text.
+	SQL string `json:"sql"`
+	// BoundNS is the session's currency bound on the guarded region in
+	// nanoseconds; 0 means the query carried no (finite) currency bound.
+	BoundNS int64 `json:"bound_ns"`
+	// Region is the currency region of the guarded branch (0 when the plan
+	// had no guard).
+	Region int `json:"region"`
+	// Branch is "local", "remote", or "" for unguarded plans.
+	Branch string `json:"branch"`
+	// Degraded is set when the answer came from the local branch only
+	// because the remote fall-back was unavailable.
+	Degraded bool `json:"degraded"`
+	// BlockWaits counts guard re-evaluations a blocking session performed.
+	BlockWaits int `json:"block_waits"`
+	// Retries is how many link retry attempts the query paid for.
+	Retries int64 `json:"retries"`
+	// StalenessNS is the guarded region's staleness at decision time; valid
+	// only when StalenessKnown.
+	StalenessNS    int64 `json:"staleness_ns"`
+	StalenessKnown bool  `json:"staleness_known"`
+	// Failed is set when execution returned an error.
+	Failed bool `json:"failed"`
+	// Per-phase durations of the lifecycle: parse, plan (cache lookup or
+	// optimization), guard (selector evaluation) and execution. TotalNS is
+	// their sum (guard time is included in exec wall time, so the sum over
+	// parse+plan+exec).
+	ParseNS int64 `json:"parse_ns"`
+	PlanNS  int64 `json:"plan_ns"`
+	GuardNS int64 `json:"guard_ns"`
+	ExecNS  int64 `json:"exec_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// QueryRing is a lock-free ring buffer of recently completed query records.
+// Push is wait-free (one atomic add plus one atomic pointer store) and
+// records are immutable after publication, so Snapshot never observes a
+// half-written record. Capacity is rounded up to a power of two.
+type QueryRing struct {
+	mask  uint64
+	pos   atomic.Uint64
+	slots []atomic.Pointer[QueryRecord]
+}
+
+// NewQueryRing creates a ring holding the most recent `size` records
+// (rounded up to a power of two, minimum 16).
+func NewQueryRing(size int) *QueryRing {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &QueryRing{mask: uint64(n - 1), slots: make([]atomic.Pointer[QueryRecord], n)}
+}
+
+// Push publishes a completed record, assigning its sequence number. The
+// record must not be mutated afterwards.
+func (r *QueryRing) Push(rec *QueryRecord) {
+	seq := r.pos.Add(1)
+	rec.Seq = seq
+	r.slots[(seq-1)&r.mask].Store(rec)
+}
+
+// Len returns how many records have ever been pushed.
+func (r *QueryRing) Len() uint64 { return r.pos.Load() }
+
+// Snapshot copies the ring's current records, newest first. Concurrent
+// pushes may replace slots mid-walk; each observed record is still complete
+// (immutability), just possibly from slightly different instants.
+func (r *QueryRing) Snapshot() []QueryRecord {
+	out := make([]QueryRecord, 0, len(r.slots))
+	for i := range r.slots {
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashSQL returns the FNV-1a 64-bit hash of the query text, allocation-free.
+func HashSQL(sql string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(sql); i++ {
+		h ^= uint64(sql[i])
+		h *= fnvPrime
+	}
+	return h
+}

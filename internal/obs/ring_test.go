@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueryRingRoundsToPowerOfTwo(t *testing.T) {
+	r := NewQueryRing(100)
+	if len(r.slots) != 128 {
+		t.Fatalf("ring size = %d, want 128", len(r.slots))
+	}
+	if NewQueryRing(0).slots == nil || len(NewQueryRing(0).slots) != 16 {
+		t.Fatal("minimum ring size should be 16")
+	}
+}
+
+func TestQueryRingNewestFirstAndEviction(t *testing.T) {
+	r := NewQueryRing(16)
+	for i := 0; i < 40; i++ {
+		r.Push(&QueryRecord{TotalNS: int64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot length = %d, want 16", len(snap))
+	}
+	if snap[0].Seq != 40 || snap[len(snap)-1].Seq != 25 {
+		t.Fatalf("snapshot seq range = [%d, %d], want [40, 25]", snap[0].Seq, snap[len(snap)-1].Seq)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq >= snap[i-1].Seq {
+			t.Fatalf("snapshot not newest-first at %d", i)
+		}
+	}
+	if r.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", r.Len())
+	}
+}
+
+// TestQueryRingConcurrent hammers Push and Snapshot together; run under
+// -race this pins the lock-free publication protocol.
+func TestQueryRingConcurrent(t *testing.T) {
+	r := NewQueryRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Push(&QueryRecord{SQLHash: uint64(i), TotalNS: int64(i)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			if got := r.Len(); got != 8000 {
+				t.Fatalf("Len = %d, want 8000", got)
+			}
+			return
+		default:
+			for _, rec := range r.Snapshot() {
+				if rec.SQLHash != uint64(rec.TotalNS) {
+					t.Fatalf("torn record: hash=%d total=%d", rec.SQLHash, rec.TotalNS)
+				}
+			}
+		}
+	}
+}
+
+func TestHashSQLStable(t *testing.T) {
+	if HashSQL("SELECT 1") != HashSQL("SELECT 1") {
+		t.Fatal("hash not stable")
+	}
+	if HashSQL("SELECT 1") == HashSQL("SELECT 2") {
+		t.Fatal("hash does not discriminate")
+	}
+	if HashSQL("") != fnvOffset {
+		t.Fatal("empty hash must be the FNV offset basis")
+	}
+}

@@ -140,6 +140,29 @@ func fmtDur(d time.Duration) string {
 	}
 }
 
+// Clone deep-copies the trace tree, including guard records. Publication
+// sites clone before sharing so a published tree is immutable: the original
+// nodes stay wired into the instrumented operator tree (exec.Instrument
+// wraps children in place), and any future re-execution of that tree would
+// otherwise mutate counters under a concurrent /trace/last reader.
+func (n *TraceNode) Clone() *TraceNode {
+	if n == nil {
+		return nil
+	}
+	cp := *n
+	if n.Guard != nil {
+		g := *n.Guard
+		cp.Guard = &g
+	}
+	if n.Children != nil {
+		cp.Children = make([]*TraceNode, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return &cp
+}
+
 // TraceStore retains the most recent execution trace, for the /trace/last
 // endpoint and the shell's \trace meta command.
 type TraceStore struct {
@@ -148,8 +171,12 @@ type TraceStore struct {
 	root *TraceNode
 }
 
-// Set stores the latest trace with the statement that produced it.
+// Set stores the latest trace with the statement that produced it. The tree
+// is deep-copied on publication (copy-on-finish), so readers returned by
+// Last can never observe mutations from a later run of the same
+// instrumented operator tree.
 func (t *TraceStore) Set(sql string, root *TraceNode) {
+	root = root.Clone()
 	t.mu.Lock()
 	t.sql, t.root = sql, root
 	t.mu.Unlock()

@@ -80,7 +80,12 @@ func TestTraceStore(t *testing.T) {
 	n := &TraceNode{Name: "Scan(T)"}
 	ts.Set("SELECT 1", n)
 	sql, root := ts.Last()
-	if sql != "SELECT 1" || root != n {
+	if sql != "SELECT 1" || root == nil || root.Name != "Scan(T)" {
 		t.Fatalf("last = %q, %v", sql, root)
+	}
+	// Publication is by deep copy: the stored tree never aliases the
+	// caller's nodes (see TestTraceStoreCopyOnFinish).
+	if root == n {
+		t.Fatal("stored trace aliases the caller's tree")
 	}
 }

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span-event kinds (span_events_total{kind}). Fixed strings: dynamic event
+// names would defeat both the metric-name lint and the cardinality budget.
+const (
+	// EventRemoteRetry fires for every link retry attempt.
+	EventRemoteRetry = "remote_retry"
+	// EventBreakerOpen/HalfOpen/Closed fire on circuit-breaker transitions.
+	EventBreakerOpen     = "breaker_open"
+	EventBreakerHalfOpen = "breaker_half_open"
+	EventBreakerClosed   = "breaker_closed"
+	// EventReplApply fires for every replication propagation step that
+	// applied at least one transaction.
+	EventReplApply = "repl_apply"
+)
+
+// Defaults for the cache's always-on tracer.
+const (
+	// DefaultSampleEvery traces 1 query in 8: cheap enough to leave on,
+	// frequent enough that /queries/recent is populated on any workload.
+	DefaultSampleEvery = 8
+	// DefaultRingSize is how many completed query records are retained.
+	DefaultRingSize = 512
+)
+
+// GuardObservation is a currency-guard outcome in obs terms (the exec
+// package owns GuardDecision; obs cannot import it without a cycle). Bound
+// <= 0 means the query carried no finite currency bound.
+type GuardObservation struct {
+	Region         int
+	Chosen         int
+	Bound          time.Duration
+	GuardTime      time.Duration
+	Staleness      time.Duration
+	StalenessKnown bool
+	Degraded       bool
+	BlockWaits     int
+}
+
+// Tracer is the always-on query-lifecycle tracer: a deterministic 1-in-N
+// sampler over a monotone query counter (so seeded chaos and bench runs
+// sample the same queries every time) feeding a lock-free ring of completed
+// QueryRecords, plus span-event counters for link retries, breaker
+// transitions and replication applies.
+//
+// The untraced hot path is a single atomic add — no allocation, no lock.
+type Tracer struct {
+	every uint64
+	count atomic.Uint64
+	ring  *QueryRing
+
+	sampled *Counter    // trace_sampled_total
+	events  *CounterVec // span_events_total{kind}
+}
+
+// NewTracer builds a tracer registering trace_sampled_total and
+// span_events_total on reg. every <= 1 samples every query; ringSize <= 0
+// selects DefaultRingSize.
+func NewTracer(reg *Registry, every, ringSize int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Tracer{
+		every:   uint64(every),
+		ring:    NewQueryRing(ringSize),
+		sampled: reg.Counter("trace_sampled_total"),
+		events:  reg.CounterVec("span_events_total", "kind"),
+	}
+}
+
+// Ring exposes the completed-record ring (for the /queries endpoints).
+func (t *Tracer) Ring() *QueryRing {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// SampleEvery returns the sampling period N (1 = every query).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Begin starts a lifecycle trace for one query, returning nil on the
+// unsampled path (one atomic add, zero allocations). The first query is
+// always sampled; thereafter every N-th by arrival order.
+func (t *Tracer) Begin(sql string) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	n := t.count.Add(1)
+	if (n-1)%t.every != 0 {
+		return nil
+	}
+	t.sampled.Inc()
+	qt := &QueryTrace{tr: t}
+	qt.rec.SQL = sql
+	qt.rec.SQLHash = HashSQL(sql)
+	return qt
+}
+
+// Event counts one span event by kind; kind must be one of the Event*
+// constants. Nil-safe so call sites need no tracer guard.
+func (t *Tracer) Event(kind string) {
+	if t == nil {
+		return
+	}
+	t.events.With(kind).Inc()
+}
+
+// QueryTrace accumulates one sampled query's lifecycle record. All methods
+// are nil-safe (the unsampled path passes a nil trace through the same call
+// sites) and the record is published immutably on Finish.
+type QueryTrace struct {
+	tr  *Tracer
+	rec QueryRecord
+}
+
+// Parse records the parse-phase duration.
+func (q *QueryTrace) Parse(d time.Duration) {
+	if q != nil {
+		q.rec.ParseNS = int64(d)
+	}
+}
+
+// Plan records the plan-phase duration (cache lookup or optimization).
+func (q *QueryTrace) Plan(d time.Duration) {
+	if q != nil {
+		q.rec.PlanNS = int64(d)
+	}
+}
+
+// Exec records the execution-phase duration.
+func (q *QueryTrace) Exec(d time.Duration) {
+	if q != nil {
+		q.rec.ExecNS = int64(d)
+	}
+}
+
+// Guard records the (last) currency-guard outcome of the query.
+func (q *QueryTrace) Guard(g GuardObservation) {
+	if q == nil {
+		return
+	}
+	q.rec.Region = g.Region
+	if g.Chosen == 0 {
+		q.rec.Branch = "local"
+	} else {
+		q.rec.Branch = "remote"
+	}
+	if g.Bound > 0 {
+		q.rec.BoundNS = int64(g.Bound)
+	}
+	q.rec.GuardNS += int64(g.GuardTime)
+	q.rec.StalenessNS = int64(g.Staleness)
+	q.rec.StalenessKnown = g.StalenessKnown
+	q.rec.Degraded = g.Degraded
+	q.rec.BlockWaits = g.BlockWaits
+}
+
+// MarkDegraded flags the record as a degraded serve independent of any
+// guard outcome (the serve-stale whole-query fallback runs without guards).
+func (q *QueryTrace) MarkDegraded() {
+	if q != nil {
+		q.rec.Degraded = true
+	}
+}
+
+// Retries records how many link retry attempts the query paid for.
+func (q *QueryTrace) Retries(n int64) {
+	if q != nil {
+		q.rec.Retries = n
+	}
+}
+
+// Finish publishes the completed record into the tracer's ring. The record
+// must not be touched afterwards.
+func (q *QueryTrace) Finish(failed bool) {
+	if q == nil {
+		return
+	}
+	q.rec.Failed = failed
+	q.rec.TotalNS = q.rec.ParseNS + q.rec.PlanNS + q.rec.ExecNS
+	q.tr.ring.Push(&q.rec)
+}

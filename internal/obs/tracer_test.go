@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTracerDeterministicSampling pins the 1-in-N sampler: the first query
+// is always sampled, then every N-th by arrival order — the property that
+// keeps seeded chaos and bench runs byte-identical.
+func TestTracerDeterministicSampling(t *testing.T) {
+	tr := NewTracer(NewRegistry(), 4, 64)
+	var sampled []int
+	for i := 0; i < 12; i++ {
+		if qt := tr.Begin("SELECT 1"); qt != nil {
+			sampled = append(sampled, i)
+			qt.Finish(false)
+		}
+	}
+	want := []int{0, 4, 8}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+	if got := tr.Ring().Len(); got != 3 {
+		t.Fatalf("ring has %d records, want 3", got)
+	}
+}
+
+func TestTracerRecordLifecycle(t *testing.T) {
+	tr := NewTracer(NewRegistry(), 1, 16)
+	qt := tr.Begin("SELECT v FROM T")
+	if qt == nil {
+		t.Fatal("every=1 must sample every query")
+	}
+	qt.Parse(1 * time.Millisecond)
+	qt.Plan(2 * time.Millisecond)
+	qt.Exec(4 * time.Millisecond)
+	qt.Guard(GuardObservation{
+		Region: 1, Chosen: 0, Bound: 5 * time.Second,
+		GuardTime: 10 * time.Microsecond,
+		Staleness: 3 * time.Second, StalenessKnown: true,
+		Degraded: true, BlockWaits: 2,
+	})
+	qt.Retries(3)
+	qt.Finish(false)
+
+	recs := tr.Ring().Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("ring has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.SQL != "SELECT v FROM T" || rec.SQLHash != HashSQL(rec.SQL) {
+		t.Fatalf("sql/hash mismatch: %+v", rec)
+	}
+	if rec.Branch != "local" || rec.Region != 1 || !rec.Degraded || rec.BlockWaits != 2 {
+		t.Fatalf("guard fields wrong: %+v", rec)
+	}
+	if rec.BoundNS != int64(5*time.Second) || rec.StalenessNS != int64(3*time.Second) || !rec.StalenessKnown {
+		t.Fatalf("bound/staleness wrong: %+v", rec)
+	}
+	if rec.Retries != 3 || rec.Failed {
+		t.Fatalf("retries/failed wrong: %+v", rec)
+	}
+	if rec.TotalNS != rec.ParseNS+rec.PlanNS+rec.ExecNS || rec.TotalNS != int64(7*time.Millisecond) {
+		t.Fatalf("total wrong: %+v", rec)
+	}
+	if rec.GuardNS != int64(10*time.Microsecond) {
+		t.Fatalf("guard time wrong: %+v", rec)
+	}
+}
+
+// TestTracerNilSafety: a nil tracer and the nil (unsampled) trace must both
+// swallow every call — the call sites thread them unconditionally.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Begin("x") != nil {
+		t.Fatal("nil tracer must not sample")
+	}
+	tr.Event(EventRemoteRetry)
+	var qt *QueryTrace
+	qt.Parse(time.Second)
+	qt.Plan(time.Second)
+	qt.Exec(time.Second)
+	qt.Guard(GuardObservation{})
+	qt.Retries(1)
+	qt.Finish(true)
+}
+
+func TestTracerEvents(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 8, 16)
+	tr.Event(EventRemoteRetry)
+	tr.Event(EventRemoteRetry)
+	tr.Event(EventBreakerOpen)
+	snap := reg.Snapshot()
+	if got := snap.Counters[`span_events_total{kind="remote_retry"}`]; got != 2 {
+		t.Fatalf("remote_retry events = %d, want 2", got)
+	}
+	if got := snap.Counters[`span_events_total{kind="breaker_open"}`]; got != 1 {
+		t.Fatalf("breaker_open events = %d, want 1", got)
+	}
+}
+
+// TestUntracedHotPathZeroAlloc is the acceptance-criteria assertion: the
+// unsampled Begin path and the SLO observe path allocate nothing.
+func TestUntracedHotPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, 1<<30, 16)
+	tr.Begin("warm") // consume the always-sampled first slot
+	slo := NewSLOTracker(reg, 0.99, 128)
+	obsv := GuardObservation{Region: 1, Chosen: 0, Bound: time.Second,
+		Staleness: time.Millisecond, StalenessKnown: true}
+	slo.Observe(obsv) // resolve the region's instruments once
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if qt := tr.Begin("SELECT v FROM T WHERE id = 1"); qt != nil {
+			t.Fatal("sampling period overflowed")
+		}
+		slo.Observe(obsv)
+		tr.Event(EventReplApply)
+	}); allocs != 0 {
+		t.Fatalf("untraced hot path allocated %.1f allocs/op; want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"relaxedcc/internal/catalog"
 	"relaxedcc/internal/cc"
 	"relaxedcc/internal/exec"
+	"relaxedcc/internal/obs"
 	"relaxedcc/internal/sqlparser"
 	"relaxedcc/internal/sqltypes"
 	"relaxedcc/internal/storage"
@@ -699,7 +700,7 @@ func (p *Planner) viewCand(q *Query, leaf *Leaf, view *catalog.View, remote *can
 			if err != nil {
 				return nil, err
 			}
-			return &exec.SwitchUnion{Children: []exec.Operator{local, rem}, Selector: guard, Label: label, Region: view.RegionID, Staleness: p.stalenessProbe(view.RegionID)}, nil
+			return &exec.SwitchUnion{Children: []exec.Operator{local, rem}, Selector: guard, Label: label, Region: view.RegionID, Staleness: p.stalenessProbe(view.RegionID), Bound: obs.NormalizeBound(bound)}, nil
 		},
 		schema: schema,
 		rows:   outRows,
@@ -1557,7 +1558,7 @@ func (p *Planner) indexLoopCand(q *Query, left *cand, leaf *Leaf, edges []joinEd
 				if err != nil {
 					return nil, err
 				}
-				return &exec.SwitchUnion{Children: []exec.Operator{localOp, remOp}, Selector: guard, Label: label, Region: view.RegionID, Staleness: p.stalenessProbe(view.RegionID)}, nil
+				return &exec.SwitchUnion{Children: []exec.Operator{localOp, remOp}, Selector: guard, Label: label, Region: view.RegionID, Staleness: p.stalenessProbe(view.RegionID), Bound: obs.NormalizeBound(bound)}, nil
 			},
 			schema:       outSchema,
 			cost:         prob*localCost + (1-prob)*hj.cost + costGuard,

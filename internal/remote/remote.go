@@ -60,6 +60,10 @@ type Client struct {
 	// seenTrips is how many breaker trips have been exported to the
 	// remote_breaker_trips_total counter.
 	seenTrips int64
+	// tracer receives span events for retries and breaker transitions; nil
+	// means untraced. lastBreakerState dedupes transition events.
+	tracer           *obs.Tracer
+	lastBreakerState BreakerState
 
 	// Metrics, bound by Instrument; nil fields mean the link runs
 	// unmetered.
@@ -140,20 +144,44 @@ func (c *Client) Instrument(reg *obs.Registry) {
 }
 
 func (c *Client) publishBreakerStateLocked() {
+	state := BreakerClosed
+	if c.breaker != nil {
+		state = c.breaker.State()
+	}
+	if state != c.lastBreakerState {
+		c.lastBreakerState = state
+		if c.tracer != nil {
+			switch state {
+			case BreakerOpen:
+				c.tracer.Event(obs.EventBreakerOpen)
+			case BreakerHalfOpen:
+				c.tracer.Event(obs.EventBreakerHalfOpen)
+			default:
+				c.tracer.Event(obs.EventBreakerClosed)
+			}
+		}
+	}
 	if c.mBreakerState == nil {
 		return
 	}
+	c.mBreakerState.Set(int64(state))
 	if c.breaker == nil {
-		c.mBreakerState.Set(int64(BreakerClosed))
 		return
 	}
-	c.mBreakerState.Set(int64(c.breaker.State()))
 	if trips := c.breaker.Trips(); trips > c.seenTrips {
 		if c.mBreakerTrips != nil {
 			c.mBreakerTrips.Add(trips - c.seenTrips)
 		}
 		c.seenTrips = trips
 	}
+}
+
+// SetTracer attaches lifecycle tracing to the link: retry attempts and
+// breaker state transitions emit span events (span_events_total{kind}).
+func (c *Client) SetTracer(t *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
 }
 
 func (c *Client) publishBreakerState() {
@@ -307,10 +335,12 @@ func (c *Client) noteRetry() {
 	c.mu.Lock()
 	c.stats.Retries++
 	m := c.mRetries
+	tr := c.tracer
 	c.mu.Unlock()
 	if m != nil {
 		m.Inc()
 	}
+	tr.Event(obs.EventRemoteRetry)
 }
 
 func (c *Client) noteDeadline() {

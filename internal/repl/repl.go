@@ -204,6 +204,10 @@ type Agent struct {
 	mRows  *obs.Counter   // repl_rows_applied_total{region}
 	mApply *obs.Histogram // repl_apply_latency_ns
 	mHbAge *obs.Gauge     // repl_heartbeat_age_ns{region}
+
+	// tracer receives a repl_apply span event per propagation step that
+	// applied transactions; nil means untraced.
+	tracer *obs.Tracer
 }
 
 // NewAgent creates an agent reading the given commit log. hbTable names the
@@ -223,6 +227,14 @@ func (a *Agent) Instrument(reg *obs.Registry) {
 	a.mRows = reg.CounterVec("repl_rows_applied_total", "region").With(label)
 	a.mApply = reg.Histogram("repl_apply_latency_ns")
 	a.mHbAge = reg.GaugeVec("repl_heartbeat_age_ns", "region").With(label)
+}
+
+// SetTracer attaches lifecycle tracing to the agent: each propagation step
+// that applies transactions emits a repl_apply span event.
+func (a *Agent) SetTracer(t *obs.Tracer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tracer = t
 }
 
 // Subscribe adds a view to the region. The caller must populate the target
@@ -338,6 +350,9 @@ func (a *Agent) Step(now time.Time) error {
 		a.mApply.ObserveDuration(time.Since(applyStart))
 		a.mTxns.Add(int64(len(records)))
 		a.mRows.Add(rowsApplied)
+	}
+	if len(records) > 0 {
+		a.tracer.Event(obs.EventReplApply)
 	}
 	a.lastProgress = now
 	return nil

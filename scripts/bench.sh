@@ -2,9 +2,10 @@
 # Runs the executor benchmarks (row vs batch vs morsel-parallel, plus the
 # guarded SwitchUnion benchmark) and writes BENCH_exec.json in the repo root
 # with ns/op, rows/sec, B/op and allocs/op per benchmark, and — where the
-# benchmark reports them — the guard-branch pick ratio and the staleness
-# percentiles observed at guard time. Usage: scripts/bench.sh [benchtime],
-# default 2s.
+# benchmark reports them — the guard-branch pick ratio, the staleness
+# percentiles observed at guard time, and the currency-SLO view of the same
+# guard decisions (within-bound ratio, remaining error budget). Usage:
+# scripts/bench.sh [benchtime], default 2s.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,24 +23,27 @@ BEGIN { print "["; first = 1 }
     # are indistinguishable from it.
     name = $1
     ns = ""; rps = ""; bop = ""; aop = ""
-    ratio = ""; p50 = ""; p95 = ""; p99 = ""
+    ratio = ""; p50 = ""; p95 = ""; p99 = ""; within = ""; budget = ""
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")        ns    = $i
-        if ($(i+1) == "rows/sec")     rps   = $i
-        if ($(i+1) == "B/op")         bop   = $i
-        if ($(i+1) == "allocs/op")    aop   = $i
-        if ($(i+1) == "local_ratio")  ratio = $i
-        if ($(i+1) == "stale_p50_ms") p50   = $i
-        if ($(i+1) == "stale_p95_ms") p95   = $i
-        if ($(i+1) == "stale_p99_ms") p99   = $i
+        if ($(i+1) == "ns/op")            ns     = $i
+        if ($(i+1) == "rows/sec")         rps    = $i
+        if ($(i+1) == "B/op")             bop    = $i
+        if ($(i+1) == "allocs/op")        aop    = $i
+        if ($(i+1) == "local_ratio")      ratio  = $i
+        if ($(i+1) == "stale_p50_ms")     p50    = $i
+        if ($(i+1) == "stale_p95_ms")     p95    = $i
+        if ($(i+1) == "stale_p99_ms")     p99    = $i
+        if ($(i+1) == "slo_within_ratio") within = $i
+        if ($(i+1) == "slo_error_budget") budget = $i
     }
     if (!first) print ","
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"rows_per_sec\": %s, \"B_op\": %s, \"allocs_op\": %s, \"guard_local_ratio\": %s, \"stale_p50_ms\": %s, \"stale_p95_ms\": %s, \"stale_p99_ms\": %s}", \
+    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"rows_per_sec\": %s, \"B_op\": %s, \"allocs_op\": %s, \"guard_local_ratio\": %s, \"stale_p50_ms\": %s, \"stale_p95_ms\": %s, \"stale_p99_ms\": %s, \"slo_within_ratio\": %s, \"slo_error_budget\": %s}", \
         name, ns == "" ? "null" : ns, rps == "" ? "null" : rps, \
         bop == "" ? "null" : bop, aop == "" ? "null" : aop, \
         ratio == "" ? "null" : ratio, p50 == "" ? "null" : p50, \
-        p95 == "" ? "null" : p95, p99 == "" ? "null" : p99
+        p95 == "" ? "null" : p95, p99 == "" ? "null" : p99, \
+        within == "" ? "null" : within, budget == "" ? "null" : budget
 }
 END { print "\n]" }
 ' > "$out"

@@ -28,9 +28,14 @@ jq -e '
     and (if (.stale_p50_ms != null and .stale_p95_ms != null and .stale_p99_ms != null)
          then .stale_p50_ms <= .stale_p95_ms and .stale_p95_ms <= .stale_p99_ms
          else true end)
+    # ...and per-region currency-SLO figures in [0, 1] where reported.
+    and (.slo_within_ratio | (type == "number" and . >= 0 and . <= 1) or . == null)
+    and (.slo_error_budget | (type == "number" and . >= 0 and . <= 1) or . == null)
   )
   # The guarded SwitchUnion benchmark must be present with its C&C columns.
   and any(.[]; .guard_local_ratio != null and .stale_p95_ms != null)
+  # The SLO view of the same guard decisions must ride along.
+  and any(.[]; .slo_within_ratio != null and .slo_error_budget != null)
 ' "$file" > /dev/null
 
 echo "check_bench: $file ok ($(jq length "$file") benchmark(s))"
