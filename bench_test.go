@@ -413,7 +413,19 @@ func runExecBench(b *testing.B, build func() exec.Operator, rowMode bool) {
 			b.Fatal(err)
 		}
 		rows = 0
-		if bop, ok := op.(exec.BatchOperator); ok && !rowMode {
+		if vop, ok := op.(exec.VecOperator); ok && !rowMode {
+			// Columnar drain — the same path Run prefers in production.
+			for {
+				cb, more, err := vop.NextVec()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !more {
+					break
+				}
+				rows += cb.NumActive()
+			}
+		} else if bop, ok := op.(exec.BatchOperator); ok && !rowMode {
 			for {
 				batch, more, err := bop.NextBatch()
 				if err != nil {
@@ -470,13 +482,32 @@ func BenchmarkExecScan(b *testing.B) {
 	}
 }
 
+// benchKernel compiles the predicate's vectorized kernel, failing the
+// benchmark if the expression has no columnar form.
+func benchKernel(b *testing.B, where string, schema *exec.Schema) exec.BoolKernel {
+	b.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT 1 FROM x WHERE " + where)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, ok := exec.CompileKernel(sel.Where, schema)
+	if !ok {
+		b.Fatalf("no kernel for %q", where)
+	}
+	return k
+}
+
 // BenchmarkExecFilterScan pushes a ~50%-selective predicate through the
-// three modes.
+// execution modes: row-at-a-time, batch (row predicate), batch with the
+// fused columnar kernel, and morsel-parallel at two worker counts (the
+// monotone-scaling gate compares the last two).
 func BenchmarkExecFilterScan(b *testing.B) {
 	sys := execBenchSystem(b)
 	tbl := sys.Backend.Table("Orders")
 	schema := benchStoredSchema(sys, "Orders")
-	pred := benchCompile(b, "o_totalprice > 250000", schema)
+	const where = "o_totalprice > 250000"
+	pred := benchCompile(b, where, schema)
+	kernel := benchKernel(b, where, schema)
 	b.Run("row", func(b *testing.B) {
 		runExecBench(b, func() exec.Operator {
 			s := exec.NewScan(tbl, schema)
@@ -491,14 +522,26 @@ func BenchmarkExecFilterScan(b *testing.B) {
 			return s
 		}, false)
 	})
-	b.Run("parallel-4", func(b *testing.B) {
+	b.Run("kernel", func(b *testing.B) {
 		runExecBench(b, func() exec.Operator {
-			ps := exec.NewParallelScan(tbl, schema)
-			ps.Filter = pred
-			ps.DOP = 4
-			return ps
+			s := exec.NewScan(tbl, schema)
+			s.Filter = pred
+			s.FilterKernel = kernel
+			return s
 		}, false)
 	})
+	for _, dop := range []int{2, 4} {
+		dop := dop
+		b.Run(fmt.Sprintf("parallel-%d", dop), func(b *testing.B) {
+			runExecBench(b, func() exec.Operator {
+				ps := exec.NewParallelScan(tbl, schema)
+				ps.Filter = pred
+				ps.FilterKernel = kernel
+				ps.DOP = dop
+				return ps
+			}, false)
+		})
+	}
 }
 
 // BenchmarkExecHashJoin joins Customer (build) with Orders (probe) in both
@@ -527,10 +570,14 @@ func BenchmarkExecHashJoin(b *testing.B) {
 		b.Fatal(err)
 	}
 	build := func() exec.Operator {
-		return exec.NewHashJoin(
+		hj := exec.NewHashJoin(
 			exec.NewScan(orders, os), exec.NewScan(cust, cs),
 			[]exec.Compiled{leftKey}, []exec.Compiled{rightKey},
 			nil, exec.JoinInner)
+		// Ordinals as the planner wires them for column-reference keys.
+		hj.LeftKeyCols = []int{os.Lookup("Orders", "o_custkey")}
+		hj.RightKeyCols = []int{cs.Lookup("Customer", "c_custkey")}
+		return hj
 	}
 	b.Run("row", func(b *testing.B) { runExecBench(b, build, true) })
 	b.Run("batch", func(b *testing.B) { runExecBench(b, build, false) })
@@ -566,16 +613,18 @@ func BenchmarkExecScanMetered(b *testing.B) {
 		}
 		rows = 0
 		for {
-			batch, more, err := op.NextBatch()
+			// Same columnar drain as the unmetered scan benchmark, plus the
+			// per-batch metric touches under test.
+			cb, more, err := op.NextVec()
 			if err != nil {
 				b.Fatal(err)
 			}
 			if !more {
 				break
 			}
-			rows += len(batch)
+			rows += cb.NumActive()
 			batches.Inc()
-			sizes.Observe(int64(len(batch)))
+			sizes.Observe(int64(cb.NumActive()))
 		}
 		if err := op.Close(); err != nil {
 			b.Fatal(err)

@@ -22,3 +22,32 @@ func (g *GuardDecision) Reeval(now, idx int64) {
 	g.GuardTime = now   // want:atomicmix
 	g.ChosenIndex = idx // want:atomicmix
 }
+
+// StealQueue is the work-stealing bug shape: thieves CAS the packed range
+// word, but the owner pops with a plain read-modify-write on the same
+// field, so a steal can race the pop and hand out the same morsel twice.
+type StealQueue struct {
+	rng uint64
+}
+
+func (q *StealQueue) Steal() (uint32, bool) {
+	cur := atomic.LoadUint64(&q.rng)
+	lo, hi := uint32(cur>>32), uint32(cur)
+	if lo >= hi {
+		return 0, false
+	}
+	if atomic.CompareAndSwapUint64(&q.rng, cur, uint64(lo)<<32|uint64(hi-1)) {
+		return hi - 1, true
+	}
+	return 0, false
+}
+
+func (q *StealQueue) PopOwn() (uint32, bool) {
+	cur := q.rng // want:atomicmix
+	lo, hi := uint32(cur>>32), uint32(cur)
+	if lo >= hi {
+		return 0, false
+	}
+	q.rng = uint64(lo+1)<<32 | uint64(hi) // want:atomicmix
+	return lo, true
+}

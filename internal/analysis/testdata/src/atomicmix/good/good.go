@@ -19,3 +19,43 @@ func NewCounter(seed int64) *Counter {
 	c.hits = seed
 	return c
 }
+
+// Deque is the work-stealing morsel queue: the packed lo<<32|hi range word
+// is only ever touched through sync/atomic, by the owning worker (front)
+// and thieves (back) alike; the constructor writes it plainly only before
+// publication.
+type Deque struct {
+	rng uint64
+}
+
+func NewDeque(lo, hi uint32) *Deque {
+	d := &Deque{}
+	d.rng = uint64(lo)<<32 | uint64(hi)
+	return d
+}
+
+func (d *Deque) PopFront() (uint32, bool) {
+	for {
+		cur := atomic.LoadUint64(&d.rng)
+		lo, hi := uint32(cur>>32), uint32(cur)
+		if lo >= hi {
+			return 0, false
+		}
+		if atomic.CompareAndSwapUint64(&d.rng, cur, uint64(lo+1)<<32|uint64(hi)) {
+			return lo, true
+		}
+	}
+}
+
+func (d *Deque) StealBack() (uint32, bool) {
+	for {
+		cur := atomic.LoadUint64(&d.rng)
+		lo, hi := uint32(cur>>32), uint32(cur)
+		if lo >= hi {
+			return 0, false
+		}
+		if atomic.CompareAndSwapUint64(&d.rng, cur, uint64(lo)<<32|uint64(hi-1)) {
+			return hi - 1, true
+		}
+	}
+}

@@ -54,3 +54,19 @@ type NoClose struct { // want:operatorclose
 }
 
 func (n *NoClose) Open() error { return n.Child.Open() }
+
+// VecScan is the vectorized variant of the PR 1 leak: Close releases the
+// pooled selection buffer but forgets the opened child operator.
+type VecScan struct {
+	Child Operator
+	sel   []int32
+}
+
+func (v *VecScan) Open() error { return v.Child.Open() } // want:operatorclose
+
+func (v *VecScan) Next() (int, bool) { return v.Child.Next() }
+
+func (v *VecScan) Close() error {
+	v.sel = nil
+	return nil
+}

@@ -72,3 +72,27 @@ func (g *Guarded) Close() error {
 	}
 	return nil
 }
+
+// VecJoin is the vectorized hash-join shape: Close releases the pooled
+// match-pair arena on its default path and still propagates Close to both
+// children.
+type VecJoin struct {
+	Left  Operator
+	Right Operator
+	pairs []int32
+}
+
+func (j *VecJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	return j.Right.Open()
+}
+
+func (j *VecJoin) Close() error {
+	j.pairs = nil // release the gather arena with the children
+	if err := j.Left.Close(); err != nil {
+		return err
+	}
+	return j.Right.Close()
+}

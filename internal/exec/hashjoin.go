@@ -1,0 +1,763 @@
+package exec
+
+import (
+	"math"
+
+	"relaxedcc/internal/sqltypes"
+)
+
+// This file implements the vectorized hash join. The previous
+// implementation keyed a Go map with order-preserving key strings and kept
+// a []Row match slice per key — one string encoding plus several
+// allocations per build row, and a fresh row allocation per output row,
+// ~400k allocations per join on the benchmark tables. The rebuild keeps
+// the same operator surface (NewHashJoin signature, Left/Right fields,
+// inner/semi/anti kinds, residual) and replaces the internals:
+//
+//   - Join keys are normalized into columnar scratch arrays (class tag +
+//     64-bit payload) batch-at-a-time — no per-row Key() strings. The
+//     normalization preserves sqltypes.Key equality exactly: INT and FLOAT
+//     collapse to one numeric class compared as float64, NULL never joins.
+//   - The build side is one open-addressed table over precomputed 64-bit
+//     key hashes: slot arrays plus an intrusive chain through row indexes,
+//     no per-key map entries or match slices.
+//   - The columnar path (NextVec) emits the join output as typed column
+//     vectors gathered from the probe and build rows, reusing the vector
+//     backing across batches — steady-state zero allocation. The batch
+//     path (NextBatch) still materializes rows, carved out of a per-batch
+//     arena: one []Value allocation per output batch instead of one per
+//     row. Arenas are never reused — emitted rows are immutable forever
+//     per the batch ownership contract.
+
+// Key class codes for normalized join keys. INT and FLOAT share keyNum
+// (payload compared as float64 bits with -0 normalized to +0) because
+// sqltypes.Key encodes them identically when numerically equal; the other
+// classes never compare equal across kinds, matching the encoding's
+// distinct tags.
+const (
+	keyNull uint8 = iota
+	keyNum        // float64 bits, -0 normalized to +0
+	keyBool       // 0 or 1
+	keyTime       // nanoseconds since the epoch
+	keyStr        // payload in str
+)
+
+// joinKeys holds normalized key columns for a set of rows: one class array
+// plus a 64-bit payload array (and a string array for keyStr) per key
+// column, index-aligned with the rows. Payload bits are chosen so that
+// bit equality within a class is key equality, which keeps the hash and
+// the comparison consistent.
+type joinKeys struct {
+	cls  [][]uint8
+	bits [][]uint64
+	str  [][]string
+}
+
+func newJoinKeys(ncols int) *joinKeys {
+	return &joinKeys{
+		cls:  make([][]uint8, ncols),
+		bits: make([][]uint64, ncols),
+		str:  make([][]string, ncols),
+	}
+}
+
+// reset truncates all columns, keeping capacity.
+func (k *joinKeys) reset() {
+	for c := range k.cls {
+		k.cls[c] = k.cls[c][:0]
+		k.bits[c] = k.bits[c][:0]
+		k.str[c] = k.str[c][:0]
+	}
+}
+
+// appendVal normalizes one key value into column c. All payload arrays
+// advance in lockstep so row indexes stay aligned.
+func (k *joinKeys) appendVal(c int, v sqltypes.Value) {
+	var (
+		cls uint8
+		nb  uint64
+		ns  string
+	)
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		cls = keyNull
+	case sqltypes.KindInt, sqltypes.KindFloat:
+		f := v.Float()
+		if f == 0 {
+			f = 0 // normalize -0 so bit equality matches float equality
+		}
+		cls, nb = keyNum, math.Float64bits(f)
+	case sqltypes.KindBool:
+		cls = keyBool
+		if v.Bool() {
+			nb = 1
+		}
+	case sqltypes.KindTime:
+		cls, nb = keyTime, uint64(v.Time().UnixNano())
+	case sqltypes.KindString:
+		cls, ns = keyStr, v.Str()
+	}
+	k.cls[c] = append(k.cls[c], cls)
+	k.bits[c] = append(k.bits[c], nb)
+	k.str[c] = append(k.str[c], ns)
+}
+
+// appendCol normalizes column ord of every row in rows into key column c —
+// the bulk counterpart of appendVal for the column-ordinal fast path, with
+// the per-column slice headers hoisted out of the per-row loop.
+func (k *joinKeys) appendCol(c, ord int, rows sqltypes.Batch) {
+	cls, bits, str := k.cls[c], k.bits[c], k.str[c]
+	for _, row := range rows {
+		v := row[ord]
+		var (
+			cl uint8
+			nb uint64
+			ns string
+		)
+		switch v.Kind() {
+		case sqltypes.KindNull:
+			cl = keyNull
+		case sqltypes.KindInt, sqltypes.KindFloat:
+			f := v.Float()
+			if f == 0 {
+				f = 0 // normalize -0 so bit equality matches float equality
+			}
+			cl, nb = keyNum, math.Float64bits(f)
+		case sqltypes.KindBool:
+			cl = keyBool
+			if v.Bool() {
+				nb = 1
+			}
+		case sqltypes.KindTime:
+			cl, nb = keyTime, uint64(v.Time().UnixNano())
+		case sqltypes.KindString:
+			cl, ns = keyStr, v.Str()
+		}
+		cls = append(cls, cl)
+		bits = append(bits, nb)
+		str = append(str, ns)
+	}
+	k.cls[c], k.bits[c], k.str[c] = cls, bits, str
+}
+
+// appendBatch normalizes the keys of every row in rows: column-at-a-time
+// when cols gives the key ordinals, row-at-a-time through the compiled key
+// closures otherwise.
+func (k *joinKeys) appendBatch(keys []Compiled, cols []int, ctx *EvalContext, rows sqltypes.Batch) error {
+	if cols != nil {
+		for c, ord := range cols {
+			k.appendCol(c, ord, rows)
+		}
+		return nil
+	}
+	for _, row := range rows {
+		if err := k.appendRow(keys, nil, ctx, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendRow evaluates the key expressions on row and appends the
+// normalized values. When cols is non-nil the keys are plain column
+// references and the closure evaluation is skipped.
+func (k *joinKeys) appendRow(keys []Compiled, cols []int, ctx *EvalContext, row sqltypes.Row) error {
+	if cols != nil {
+		for c, ord := range cols {
+			k.appendVal(c, row[ord])
+		}
+		return nil
+	}
+	for c, ke := range keys {
+		v, err := ke(ctx, row)
+		if err != nil {
+			return err
+		}
+		k.appendVal(c, v)
+	}
+	return nil
+}
+
+// hasNull reports whether any key column of row r is NULL (NULL keys never
+// join).
+func (k *joinKeys) hasNull(r int) bool {
+	for c := range k.cls {
+		if k.cls[c][r] == keyNull {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hash mixes the class tags and payloads of row r into a 64-bit hash.
+func (k *joinKeys) hash(r int) uint64 {
+	h := uint64(fnvOffset)
+	for c := range k.cls {
+		cls := k.cls[c][r]
+		h = (h ^ uint64(cls)) * fnvPrime
+		bits := k.bits[c][r]
+		if cls == keyStr {
+			sh := uint64(fnvOffset)
+			s := k.str[c][r]
+			for i := 0; i < len(s); i++ {
+				sh = (sh ^ uint64(s[i])) * fnvPrime
+			}
+			bits = sh
+		}
+		h = (h ^ bits) * fnvPrime
+	}
+	// Finalize: FNV's low-bit diffusion is weak for small integer keys and
+	// the table masks with low bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// keysEqual compares row ra of a with row rb of b, column-wise. NaN keys
+// compare equal here (same bits) where float == would not; sqltypes.Key
+// treated NaN the same way, so join behavior is unchanged.
+func keysEqual(a *joinKeys, ra int, b *joinKeys, rb int) bool {
+	for c := range a.cls {
+		ca, cb := a.cls[c][ra], b.cls[c][rb]
+		if ca != cb {
+			return false
+		}
+		if ca == keyStr {
+			if a.str[c][ra] != b.str[c][rb] {
+				return false
+			}
+			continue
+		}
+		if a.bits[c][ra] != b.bits[c][rb] {
+			return false
+		}
+	}
+	return true
+}
+
+// HashJoin is an equi-join: it builds a hash table on the right (build)
+// input and probes it with left (probe) rows. For semi/anti joins the
+// output schema is the left schema.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []Compiled
+	// LeftKeyCols/RightKeyCols, when non-nil, give the key expressions'
+	// column ordinals: the planner sets them for plain column-reference
+	// keys so probing reads values directly instead of calling closures.
+	LeftKeyCols, RightKeyCols []int
+	Residual                  Compiled // extra non-equi condition, may be nil
+	Kind                      JoinKind
+
+	schema *Schema
+	ctx    *EvalContext
+
+	// Build side: row references plus normalized keys and the
+	// open-addressed table (power-of-two capacity, linear probing, chains
+	// threaded through row indexes).
+	buildRows sqltypes.Batch
+	bcols     sqltypes.ColBatch // lazily transposed build columns
+	buildKeys *joinKeys
+	slotHead  []int32 // head build-row index per slot, -1 = empty
+	slotHash  []uint64
+	chainNext []int32 // next build row with the same hash, -1 = end
+	mask      uint64
+
+	// Probe state shared by the row, batch and columnar paths. probe is the
+	// current child batch (valid until we pull the next one); chain is the
+	// build row the inner-join emission resumes from.
+	bleft     BatchOperator
+	probe     sqltypes.Batch
+	pi        int
+	probeDone bool
+	probeKeys *joinKeys
+	probeHash []uint64
+	cur       sqltypes.Row
+	chain     int32
+	scratch   sqltypes.Row    // reusable joined-row buffer for residual tests
+	out       *sqltypes.Batch // pooled output batch container
+	// Columnar output state: match pair buffers (probe index, build row
+	// index) and the reusable output batch whose vectors are gathered from
+	// the pair lists.
+	pr, pm []int32
+	vsel   []int32
+	vout   sqltypes.ColBatch
+}
+
+// NewHashJoin builds a hash join; key lists must be equal length.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []Compiled, residual Compiled, kind JoinKind) *HashJoin {
+	hj := &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys, Residual: residual, Kind: kind}
+	if kind == JoinInner {
+		hj.schema = Concat(left.Schema(), right.Schema())
+	} else {
+		hj.schema = left.Schema()
+	}
+	return hj
+}
+
+// Schema implements Operator.
+func (h *HashJoin) Schema() *Schema { return h.schema }
+
+// Open implements Operator: it drains the build side batch-at-a-time,
+// normalizes and hashes the keys, and assembles the open-addressed table.
+func (h *HashJoin) Open(ctx *EvalContext) error {
+	h.ctx = ctx
+	h.buildRows = h.buildRows[:0]
+	h.cur, h.chain = nil, -1
+	h.probe, h.pi, h.probeDone = nil, 0, false
+	if h.buildKeys == nil {
+		h.buildKeys = newJoinKeys(len(h.RightKeys))
+		h.probeKeys = newJoinKeys(len(h.LeftKeys))
+	}
+	h.buildKeys.reset()
+	if err := h.Right.Open(ctx); err != nil {
+		return err
+	}
+	bright := AsBatch(h.Right)
+	for {
+		b, ok, err := bright.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := h.buildKeys.appendBatch(h.RightKeys, h.RightKeyCols, ctx, b); err != nil {
+			return err
+		}
+		h.buildRows = append(h.buildRows, b...)
+	}
+	if err := bright.Close(); err != nil {
+		return err
+	}
+	h.buildTable()
+	// The columnar output path gathers build columns from this transposed
+	// view of the build rows; transposition is lazy per column, so semi and
+	// anti joins (which never gather) pay nothing for it.
+	h.bcols.ResetRows(h.buildRows, len(h.Right.Schema().Cols))
+	return h.Left.Open(ctx)
+}
+
+// buildTable sizes the slot arrays to twice the build cardinality (load
+// factor <= 0.5) and inserts rows in reverse so each hash chain iterates in
+// build order — preserving the match order of the previous implementation.
+func (h *HashJoin) buildTable() {
+	n := len(h.buildRows)
+	capacity := 16
+	for capacity < 2*n {
+		capacity <<= 1
+	}
+	h.mask = uint64(capacity - 1)
+	if cap(h.slotHead) < capacity {
+		h.slotHead = make([]int32, capacity)
+		h.slotHash = make([]uint64, capacity)
+	}
+	h.slotHead = h.slotHead[:capacity]
+	h.slotHash = h.slotHash[:capacity]
+	for i := range h.slotHead {
+		h.slotHead[i] = -1
+	}
+	if cap(h.chainNext) < n {
+		h.chainNext = make([]int32, n)
+	}
+	h.chainNext = h.chainNext[:n]
+	for r := n - 1; r >= 0; r-- {
+		if h.buildKeys.hasNull(r) {
+			continue
+		}
+		hash := h.buildKeys.hash(r)
+		i := hash & h.mask
+		for {
+			if h.slotHead[i] < 0 {
+				h.slotHead[i], h.slotHash[i] = int32(r), hash
+				h.chainNext[r] = -1
+				break
+			}
+			if h.slotHash[i] == hash {
+				h.chainNext[r] = h.slotHead[i]
+				h.slotHead[i] = int32(r)
+				break
+			}
+			i = (i + 1) & h.mask
+		}
+	}
+}
+
+// lookup returns the head of the chain for hash, or -1.
+func (h *HashJoin) lookup(hash uint64) int32 {
+	if len(h.buildRows) == 0 {
+		return -1
+	}
+	i := hash & h.mask
+	for {
+		if h.slotHead[i] < 0 {
+			return -1
+		}
+		if h.slotHash[i] == hash {
+			return h.slotHead[i]
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// probeBatch normalizes and hashes the keys of one probe batch into the
+// reusable scratch columns.
+func (h *HashJoin) probeBatch(b sqltypes.Batch) error {
+	h.probeKeys.reset()
+	h.probeHash = h.probeHash[:0]
+	if err := h.probeKeys.appendBatch(h.LeftKeys, h.LeftKeyCols, h.ctx, b); err != nil {
+		return err
+	}
+	for r := range b {
+		if h.probeKeys.hasNull(r) {
+			h.probeHash = append(h.probeHash, 0)
+			continue
+		}
+		h.probeHash = append(h.probeHash, h.probeKeys.hash(r))
+	}
+	return nil
+}
+
+// matchesFor returns the chain head for probe row r of the current batch
+// (-1 for NULL keys or no match).
+func (h *HashJoin) matchesFor(r int) int32 {
+	if h.probeKeys.hasNull(r) {
+		return -1
+	}
+	return h.lookup(h.probeHash[r])
+}
+
+// residualTrue evaluates the residual over a joined row.
+func (h *HashJoin) residualTrue(joined sqltypes.Row) (bool, error) {
+	if h.Residual == nil {
+		return true, nil
+	}
+	return PredicateTrue(h.Residual, h.ctx, joined)
+}
+
+// anyMatch walks a chain checking key equality and the residual, for
+// semi/anti probes. scratch is reused across rows — never emitted.
+func (h *HashJoin) anyMatch(r int, row sqltypes.Row, scratch *sqltypes.Row) (bool, error) {
+	for m := h.matchesFor(r); m >= 0; m = h.chainNext[m] {
+		if !keysEqual(h.probeKeys, r, h.buildKeys, int(m)) {
+			continue
+		}
+		if h.Residual == nil {
+			return true, nil
+		}
+		*scratch = append(append((*scratch)[:0], row...), h.buildRows[m]...)
+		ok, err := PredicateTrue(h.Residual, h.ctx, *scratch)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// nextProbe pulls and preprocesses the next probe batch. ok is false when
+// the probe side is exhausted.
+func (h *HashJoin) nextProbe() (bool, error) {
+	if h.bleft == nil {
+		h.bleft = AsBatch(h.Left)
+	}
+	if h.probeDone {
+		return false, nil
+	}
+	b, ok, err := h.bleft.NextBatch()
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		h.probeDone = true
+		return false, nil
+	}
+	if err := h.probeBatch(b); err != nil {
+		return false, err
+	}
+	h.probe, h.pi = b, 0
+	return true, nil
+}
+
+// NextBatch implements BatchOperator: the row-materializing probe loop.
+// Inner joins carve output rows out of a fresh per-batch arena (the arena
+// is not reused — emitted rows stay valid forever); semi/anti joins emit
+// shared probe-row references.
+func (h *HashJoin) NextBatch() (sqltypes.Batch, bool, error) {
+	if h.out == nil {
+		h.out = getBatchBuf()
+	}
+	n := batchSizeOf(h.ctx)
+	out := (*h.out)[:0]
+	var arena []sqltypes.Value
+	for len(out) < n {
+		// Resume the current probe row's chain (inner joins).
+		if h.chain >= 0 {
+			r := h.pi - 1
+			for h.chain >= 0 && len(out) < n {
+				m := h.chain
+				h.chain = h.chainNext[m]
+				if !keysEqual(h.probeKeys, r, h.buildKeys, int(m)) {
+					continue
+				}
+				if arena == nil {
+					arena = make([]sqltypes.Value, 0, n*(len(h.cur)+len(h.buildRows[m])))
+				}
+				start := len(arena)
+				arena = append(arena, h.cur...)
+				arena = append(arena, h.buildRows[m]...)
+				joined := sqltypes.Row(arena[start:len(arena):len(arena)])
+				ok, err := h.residualTrue(joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					arena = arena[:start]
+					continue
+				}
+				out = append(out, joined)
+			}
+			if h.chain >= 0 {
+				break // batch full with matches still pending
+			}
+			continue
+		}
+		if h.pi >= len(h.probe) {
+			ok, err := h.nextProbe()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			continue
+		}
+		r := h.pi
+		row := h.probe[r]
+		h.pi++
+		switch h.Kind {
+		case JoinInner:
+			h.cur, h.chain = row, h.matchesFor(r)
+		case JoinSemi, JoinAnti:
+			found, err := h.anyMatch(r, row, &h.scratch)
+			if err != nil {
+				return nil, false, err
+			}
+			if found == (h.Kind == JoinSemi) {
+				out = append(out, row)
+			}
+		}
+	}
+	*h.out = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// NextVec implements VecOperator. Without a residual, inner joins emit the
+// output as typed column vectors gathered from the matched probe and build
+// rows — the vector backing is reused across batches, so the steady state
+// allocates nothing — and semi/anti joins emit the probe batch with a
+// selection vector (zero copy). Residual joins fall back to wrapping the
+// row-materializing batch path, whose joined rows the residual needs
+// anyway.
+func (h *HashJoin) NextVec() (*sqltypes.ColBatch, bool, error) {
+	if h.Residual != nil {
+		b, ok, err := h.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h.vout.ResetRows(b, len(h.schema.Cols))
+		return &h.vout, true, nil
+	}
+	switch h.Kind {
+	case JoinSemi, JoinAnti:
+		return h.nextVecSemiAnti()
+	default:
+		return h.nextVecInner()
+	}
+}
+
+// nextVecInner collects up to a batch of (probe, build) match pairs from
+// the current probe batch and gathers them column-wise into the reusable
+// output vectors.
+func (h *HashJoin) nextVecInner() (*sqltypes.ColBatch, bool, error) {
+	n := batchSizeOf(h.ctx)
+	for {
+		if h.chain >= 0 || h.pi < len(h.probe) {
+			if h.collectPairs(n) > 0 {
+				h.gatherPairs()
+				return &h.vout, true, nil
+			}
+			continue
+		}
+		ok, err := h.nextProbe()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+}
+
+// collectPairs fills pr/pm with up to n match pairs from the current probe
+// batch, resuming and leaving chain state exactly like the batch path.
+func (h *HashJoin) collectPairs(n int) int {
+	h.pr, h.pm = h.pr[:0], h.pm[:0]
+	for len(h.pr) < n {
+		if h.chain >= 0 {
+			r := h.pi - 1
+			for h.chain >= 0 && len(h.pr) < n {
+				m := h.chain
+				h.chain = h.chainNext[m]
+				if keysEqual(h.probeKeys, r, h.buildKeys, int(m)) {
+					h.pr = append(h.pr, int32(r))
+					h.pm = append(h.pm, m)
+				}
+			}
+			continue
+		}
+		if h.pi >= len(h.probe) {
+			break
+		}
+		r := h.pi
+		h.pi++
+		h.chain = h.matchesFor(r)
+	}
+	return len(h.pr)
+}
+
+// gatherPairs builds the output batch from the pair lists: left columns
+// gather from the probe batch, right columns from the build rows.
+func (h *HashJoin) gatherPairs() {
+	lw := len(h.Left.Schema().Cols)
+	w := len(h.schema.Cols)
+	h.vout.ResetCols(w, len(h.pr))
+	for j := 0; j < lw; j++ {
+		h.vout.BuildCol(j).GatherFromRows(h.probe, h.pr, j)
+	}
+	for j := lw; j < w; j++ {
+		// Build columns gather vector-to-vector: the build side was
+		// transposed once at Open, so the per-value kind dispatch of a row
+		// gather is replaced by typed array copies.
+		h.vout.BuildCol(j).GatherFrom(h.bcols.Col(j-lw), h.pm)
+	}
+}
+
+// nextVecSemiAnti emits each probe batch narrowed by a selection vector of
+// the rows that do (semi) or do not (anti) have a build match.
+func (h *HashJoin) nextVecSemiAnti() (*sqltypes.ColBatch, bool, error) {
+	want := h.Kind == JoinSemi
+	for {
+		ok, err := h.nextProbe()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		sel := h.vsel[:0]
+		if sel == nil {
+			sel = make([]int32, 0, len(h.probe))
+		}
+		for r := range h.probe {
+			found, err := h.anyMatch(r, h.probe[r], &h.scratch)
+			if err != nil {
+				return nil, false, err
+			}
+			if found == want {
+				sel = append(sel, int32(r))
+			}
+		}
+		h.vsel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		h.vout.ResetRows(h.probe, len(h.schema.Cols))
+		h.vout.Sel = sel
+		return &h.vout, true, nil
+	}
+}
+
+// Next implements Operator: row-at-a-time probing against the same table.
+func (h *HashJoin) Next() (sqltypes.Row, bool, error) {
+	for {
+		if h.chain >= 0 {
+			r := h.pi - 1
+			for h.chain >= 0 {
+				m := h.chain
+				h.chain = h.chainNext[m]
+				if !keysEqual(h.probeKeys, r, h.buildKeys, int(m)) {
+					continue
+				}
+				joined := append(append(make(sqltypes.Row, 0, len(h.cur)+len(h.buildRows[m])), h.cur...), h.buildRows[m]...)
+				ok, err := h.residualTrue(joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					return joined, true, nil
+				}
+			}
+			continue
+		}
+		if h.pi >= len(h.probe) {
+			ok, err := h.nextProbe()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			continue
+		}
+		r := h.pi
+		row := h.probe[r]
+		h.pi++
+		switch h.Kind {
+		case JoinInner:
+			h.cur, h.chain = row, h.matchesFor(r)
+		case JoinSemi, JoinAnti:
+			found, err := h.anyMatch(r, row, &h.scratch)
+			if err != nil {
+				return nil, false, err
+			}
+			if found == (h.Kind == JoinSemi) {
+				return row, true, nil
+			}
+		}
+	}
+}
+
+// Close implements Operator. The build side is normally closed at the end
+// of Open's build phase; closing it again here is a no-op on that path but
+// releases it when Open failed mid-build (Close is idempotent per the
+// Operator contract). Build-side state is released here — the arena-backed
+// output rows already emitted are independent allocations and stay valid.
+func (h *HashJoin) Close() error {
+	h.buildRows = nil
+	h.bcols.ResetRows(nil, 0)
+	h.slotHead, h.slotHash, h.chainNext = nil, nil, nil
+	h.probe = nil
+	h.cur, h.chain = nil, -1
+	putBatchBuf(h.out)
+	h.out = nil
+	errR := h.Right.Close()
+	var errL error
+	if c := h.bleft; c != nil {
+		h.bleft = nil
+		errL = c.Close()
+	} else {
+		errL = h.Left.Close()
+	}
+	if errR != nil {
+		return errR
+	}
+	return errL
+}

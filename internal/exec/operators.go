@@ -75,6 +75,12 @@ type Scan struct {
 	Index  string // index to drive the scan; "" = clustered order
 	Lo, Hi storage.Bound
 	Filter Compiled // residual predicate, may be nil
+	// FilterKernel, when non-nil, is the vectorized form of Filter: the
+	// columnar path evaluates it column-at-a-time over each chunk and
+	// carries survivors in the batch's selection vector, and the batch path
+	// compacts the survivors by reference. Planners set both so every
+	// execution mode keeps the same semantics.
+	FilterKernel BoolKernel
 
 	schema *Schema
 	ctx    *EvalContext
@@ -92,6 +98,12 @@ type Scan struct {
 	streaming bool
 	curb      sqltypes.Batch
 	fout      *sqltypes.Batch // pooled output buffer for built batches
+	// Columnar-path state: the reusable output container, its selection
+	// buffer, and a pooled buffer for batch-path compaction of kernel
+	// survivors.
+	vout   sqltypes.ColBatch
+	selbuf []int32
+	cout   *sqltypes.Batch
 
 	// RowsScanned counts rows read from storage (before the residual
 	// filter); used by tests and cost-model validation.
@@ -250,6 +262,24 @@ func (s *Scan) Next() (sqltypes.Row, bool, error) {
 // batch (or reach the end). Clustered scans stream chunks from the tree
 // instead (see nextChunk).
 func (s *Scan) NextBatch() (sqltypes.Batch, bool, error) {
+	if s.FilterKernel != nil {
+		// Vectorized predicate: evaluate column-at-a-time via the columnar
+		// path, then compact the surviving row references into a pooled
+		// buffer (or hand back the chunk unchanged when nothing filtered).
+		cb, ok, err := s.NextVec()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if cb.Sel == nil && cb.Rows != nil {
+			return cb.Rows, true, nil
+		}
+		if s.cout == nil {
+			s.cout = getBatchBuf()
+		}
+		out := cb.AppendRows((*s.cout)[:0])
+		*s.cout = out
+		return out, true, nil
+	}
 	if s.Index == "" && s.rows == nil {
 		return s.nextChunk()
 	}
@@ -290,6 +320,8 @@ func (s *Scan) Close() error {
 	s.buf = nil
 	putBatchBuf(s.fout)
 	s.fout = nil
+	putBatchBuf(s.cout)
+	s.cout = nil
 	return nil
 }
 
@@ -299,10 +331,17 @@ func (s *Scan) Close() error {
 type Filter struct {
 	Child Operator
 	Pred  Compiled
-	ctx   *EvalContext
+	// Kernel, when non-nil, is the vectorized form of Pred used by the
+	// columnar path; the row and batch paths keep evaluating Pred.
+	Kernel BoolKernel
+	ctx    *EvalContext
 
 	bchild BatchOperator
 	out    *sqltypes.Batch // pooled output buffer for the batch path
+	// Columnar-path state.
+	vchild   VecOperator
+	fallback BoolKernel
+	selbuf   []int32
 }
 
 // Schema implements Operator.
@@ -364,15 +403,13 @@ func (f *Filter) NextBatch() (sqltypes.Batch, bool, error) {
 	return out, true, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Whichever adapters were instantiated are
+// closed; closing the child more than once is safe per the Operator
+// contract.
 func (f *Filter) Close() error {
 	putBatchBuf(f.out)
 	f.out = nil
-	if c := f.bchild; c != nil {
-		f.bchild = nil
-		return c.Close()
-	}
-	return f.Child.Close()
+	return closeAdapted(f.Child, f.vchild, f.bchild, func() { f.vchild, f.bchild = nil, nil })
 }
 
 // ---- Project ----
@@ -381,11 +418,19 @@ func (f *Filter) Close() error {
 type Project struct {
 	Child Operator
 	Exprs []Compiled
-	Out   *Schema
-	ctx   *EvalContext
+	// Cols, when non-nil, marks the projection as a pure column gather:
+	// output column j is input column Cols[j]. The columnar path then
+	// forwards the child's vectors without evaluating closures or
+	// materializing rows.
+	Cols []int
+	Out  *Schema
+	ctx  *EvalContext
 
 	bchild BatchOperator
 	out    *sqltypes.Batch // pooled output buffer for the batch path
+	// Columnar-path state.
+	vchild VecOperator
+	vout   sqltypes.ColBatch
 }
 
 // Schema implements Operator.
@@ -442,11 +487,7 @@ func (p *Project) NextBatch() (sqltypes.Batch, bool, error) {
 func (p *Project) Close() error {
 	putBatchBuf(p.out)
 	p.out = nil
-	if c := p.bchild; c != nil {
-		p.bchild = nil
-		return c.Close()
-	}
-	return p.Child.Close()
+	return closeAdapted(p.Child, p.vchild, p.bchild, func() { p.vchild, p.bchild = nil, nil })
 }
 
 // ---- Joins ----
@@ -460,261 +501,6 @@ const (
 	JoinSemi
 	JoinAnti
 )
-
-// HashJoin is an equi-join: it builds a hash table on the right (build)
-// input and probes it with left (probe) rows. For semi/anti joins the output
-// schema is the left schema.
-type HashJoin struct {
-	Left, Right         Operator
-	LeftKeys, RightKeys []Compiled
-	Residual            Compiled // extra non-equi condition, may be nil
-	Kind                JoinKind
-
-	schema *Schema
-	ctx    *EvalContext
-	table  map[string][]sqltypes.Row
-	// probe state
-	cur     sqltypes.Row
-	matches []sqltypes.Row
-	mi      int
-	// batch-path probe state
-	bleft     BatchOperator
-	probe     sqltypes.Batch
-	pi        int
-	probeDone bool
-	out       *sqltypes.Batch // pooled output buffer
-}
-
-// NewHashJoin builds a hash join; key lists must be equal length.
-func NewHashJoin(left, right Operator, leftKeys, rightKeys []Compiled, residual Compiled, kind JoinKind) *HashJoin {
-	hj := &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys, Residual: residual, Kind: kind}
-	if kind == JoinInner {
-		hj.schema = Concat(left.Schema(), right.Schema())
-	} else {
-		hj.schema = left.Schema()
-	}
-	return hj
-}
-
-// Schema implements Operator.
-func (h *HashJoin) Schema() *Schema { return h.schema }
-
-// Open implements Operator: it drains the build side into the hash table.
-func (h *HashJoin) Open(ctx *EvalContext) error {
-	h.ctx = ctx
-	h.table = map[string][]sqltypes.Row{}
-	h.cur, h.matches, h.mi = nil, nil, 0
-	h.probe, h.pi, h.probeDone = nil, 0, false
-	if err := h.Right.Open(ctx); err != nil {
-		return err
-	}
-	for {
-		row, ok, err := h.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		key, null, err := evalKey(h.RightKeys, ctx, row)
-		if err != nil {
-			return err
-		}
-		if null {
-			continue // NULL keys never join
-		}
-		h.table[key] = append(h.table[key], row)
-	}
-	if err := h.Right.Close(); err != nil {
-		return err
-	}
-	return h.Left.Open(ctx)
-}
-
-// Next implements Operator.
-func (h *HashJoin) Next() (sqltypes.Row, bool, error) {
-	for {
-		// Emit pending inner-join matches.
-		for h.mi < len(h.matches) {
-			m := h.matches[h.mi]
-			h.mi++
-			out := append(append(make(sqltypes.Row, 0, len(h.cur)+len(m)), h.cur...), m...)
-			if h.Residual != nil {
-				ok, err := PredicateTrue(h.Residual, h.ctx, out)
-				if err != nil {
-					return nil, false, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			return out, true, nil
-		}
-		row, ok, err := h.Left.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		key, null, err := evalKey(h.LeftKeys, h.ctx, row)
-		if err != nil {
-			return nil, false, err
-		}
-		var matches []sqltypes.Row
-		if !null {
-			matches = h.table[key]
-		}
-		switch h.Kind {
-		case JoinInner:
-			h.cur, h.matches, h.mi = row, matches, 0
-		case JoinSemi:
-			found, err := h.anyMatch(row, matches)
-			if err != nil {
-				return nil, false, err
-			}
-			if found {
-				return row, true, nil
-			}
-		case JoinAnti:
-			found, err := h.anyMatch(row, matches)
-			if err != nil {
-				return nil, false, err
-			}
-			if !found {
-				return row, true, nil
-			}
-		}
-	}
-}
-
-func (h *HashJoin) anyMatch(left sqltypes.Row, matches []sqltypes.Row) (bool, error) {
-	for _, m := range matches {
-		if h.Residual == nil {
-			return true, nil
-		}
-		joined := append(append(make(sqltypes.Row, 0, len(left)+len(m)), left...), m...)
-		ok, err := PredicateTrue(h.Residual, h.ctx, joined)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			return true, nil
-		}
-	}
-	return false, nil
-}
-
-// NextBatch implements BatchOperator: it pulls whole probe-side batches and
-// builds joined rows into a pooled output buffer.
-func (h *HashJoin) NextBatch() (sqltypes.Batch, bool, error) {
-	if h.bleft == nil {
-		h.bleft = AsBatch(h.Left)
-	}
-	if h.out == nil {
-		h.out = getBatchBuf()
-	}
-	n := batchSizeOf(h.ctx)
-	out := (*h.out)[:0]
-	for len(out) < n {
-		// Emit pending inner-join matches for the current probe row.
-		for h.mi < len(h.matches) && len(out) < n {
-			m := h.matches[h.mi]
-			h.mi++
-			joined := append(append(make(sqltypes.Row, 0, len(h.cur)+len(m)), h.cur...), m...)
-			if h.Residual != nil {
-				ok, err := PredicateTrue(h.Residual, h.ctx, joined)
-				if err != nil {
-					return nil, false, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			out = append(out, joined)
-		}
-		if h.mi < len(h.matches) {
-			break // batch full with matches still pending
-		}
-		if h.pi >= len(h.probe) {
-			if h.probeDone {
-				break
-			}
-			b, ok, err := h.bleft.NextBatch()
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				h.probeDone = true
-				break
-			}
-			h.probe, h.pi = b, 0
-			continue
-		}
-		row := h.probe[h.pi]
-		h.pi++
-		key, null, err := evalKey(h.LeftKeys, h.ctx, row)
-		if err != nil {
-			return nil, false, err
-		}
-		var matches []sqltypes.Row
-		if !null {
-			matches = h.table[key]
-		}
-		switch h.Kind {
-		case JoinInner:
-			h.cur, h.matches, h.mi = row, matches, 0
-		case JoinSemi, JoinAnti:
-			found, err := h.anyMatch(row, matches)
-			if err != nil {
-				return nil, false, err
-			}
-			if found == (h.Kind == JoinSemi) {
-				out = append(out, row)
-			}
-		}
-	}
-	*h.out = out
-	if len(out) == 0 {
-		return nil, false, nil
-	}
-	return out, true, nil
-}
-
-// Close implements Operator. The build side is normally closed at the end
-// of Open's build phase; closing it again here is a no-op on that path but
-// releases it when Open failed mid-build (Close is idempotent per the
-// Operator contract).
-func (h *HashJoin) Close() error {
-	h.table = nil
-	h.probe = nil
-	putBatchBuf(h.out)
-	h.out = nil
-	errR := h.Right.Close()
-	var errL error
-	if c := h.bleft; c != nil {
-		h.bleft = nil
-		errL = c.Close()
-	} else {
-		errL = h.Left.Close()
-	}
-	if errR != nil {
-		return errR
-	}
-	return errL
-}
-
-func evalKey(keys []Compiled, ctx *EvalContext, row sqltypes.Row) (string, bool, error) {
-	vals := make([]sqltypes.Value, len(keys))
-	for i, k := range keys {
-		v, err := k(ctx, row)
-		if err != nil {
-			return "", false, err
-		}
-		if v.IsNull() {
-			return "", true, nil
-		}
-		vals[i] = v
-	}
-	return sqltypes.Key(vals...), false, nil
-}
 
 // IndexLoopJoin is an index nested-loop join: for each outer row it seeks
 // the inner table's index on equality keys computed from the outer row.

@@ -16,9 +16,20 @@ import (
 var workerLabels = pprof.Labels("rcc_op", "parallel_scan", "rcc_phase", "exec")
 
 // morselsPerWorker oversubscribes morsels relative to workers so stragglers
-// (skewed key ranges, scheduling hiccups) rebalance: workers claim morsels
-// from a shared counter instead of being assigned fixed ranges.
+// (skewed key ranges, scheduling hiccups) rebalance through stealing instead
+// of serializing on the slowest fixed assignment.
 const morselsPerWorker = 4
+
+// minMorselRows is the granularity floor: a morsel smaller than this costs
+// more in claim/latch overhead than it buys in balance, so small tables get
+// proportionally fewer morsels (and, through the DOP clamp, fewer workers).
+const minMorselRows = 2048
+
+// packRange packs a half-open morsel-index interval [lo, hi) into one word
+// so pop (lo+1) and steal (hi-1) race through a single CAS.
+func packRange(lo, hi uint32) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+func unpackRange(r uint64) (lo, hi uint32) { return uint32(r >> 32), uint32(r) }
 
 // parMsg is one message on the exchange channel: a batch or a worker error.
 type parMsg struct {
@@ -26,29 +37,63 @@ type parMsg struct {
 	err   error
 }
 
+// scanFilterScratch is the per-worker state for vectorized residual
+// filtering: a reusable columnar view over each storage chunk plus its
+// selection buffer. Workers own their scratch exclusively, so kernels run
+// without synchronization.
+type scanFilterScratch struct {
+	vout   sqltypes.ColBatch
+	selbuf []int32
+}
+
 // ParallelScan is the morsel-driven parallel table scan: Open partitions the
-// clustered key range into morsels, fans DOP worker goroutines over them,
-// and merges their batches through a bounded channel (the exchange). Output
-// order is nondeterministic, so the optimizer only chooses it when no sort
-// order is required — ordered plans (merge-join inputs) fall back to the
-// serial Scan.
+// clustered key range into morsels sized by table cardinality, splits them
+// into per-worker queues, and fans effective-DOP workers over them. Workers
+// pop their own queue front and steal from victims' backs via single-word
+// CAS ranges, so skew rebalances without a shared counter in the hot path.
+// Batches merge through a bounded channel (the exchange); output order is
+// nondeterministic, so the optimizer only chooses it when no sort order is
+// required — ordered plans (merge-join inputs) fall back to the serial Scan.
+//
+// Effective DOP is min(requested DOP, GOMAXPROCS, morsel count): parallelism
+// never exceeds what the machine or the input can use, which keeps
+// throughput monotone in the requested worker count. At effective DOP 1 the
+// scan runs inline — no goroutines, no exchange — on the same bulk leaf
+// walks as the serial Scan.
 //
 // Unlike Scan, which snapshots the whole table under one read latch, workers
-// latch per morsel: a long parallel scan interleaves with writers at morsel
-// granularity (each morsel sees a committed state).
+// latch per chunk: a long parallel scan interleaves with writers at chunk
+// granularity (each chunk sees a committed state).
 type ParallelScan struct {
 	Table  *storage.Table
 	Lo, Hi storage.Bound
 	Filter Compiled // residual predicate, may be nil
+	// FilterKernel is the vectorized form of Filter when the planner could
+	// compile one; workers prefer it and fall back to Filter otherwise.
+	FilterKernel BoolKernel
 	// DOP is the worker count; 0 defers to EvalContext.MaxDOP, then
-	// GOMAXPROCS.
+	// GOMAXPROCS. The effective count is additionally clamped to GOMAXPROCS
+	// and to the number of morsels.
 	DOP int
 
-	schema *Schema
-	ctx    *EvalContext
-	out    chan parMsg
-	stop   chan struct{}
-	closed bool
+	schema  *Schema
+	ctx     *EvalContext
+	morsels []storage.Morsel
+	queues  []atomic.Uint64 // per-worker packed [lo, hi) morsel-index ranges
+	effDOP  int
+	out     chan parMsg
+	stop    chan struct{}
+	closed  bool
+
+	// inline (effective DOP 1) streaming state.
+	serial    bool
+	cursor    string
+	end       string
+	streamEnd bool
+	fout      *sqltypes.Batch // raw chunk buffer
+	cout      *sqltypes.Batch // filtered output buffer
+	scratch   scanFilterScratch
+
 	// row-mode cursor over the last received batch.
 	cur sqltypes.Batch
 	pos int
@@ -69,13 +114,17 @@ func (p *ParallelScan) Schema() *Schema { return p.schema }
 // the residual filter); used by tests and cost-model validation.
 func (p *ParallelScan) RowsScanned() int64 { return p.rowsScanned.Load() }
 
+// EffectiveDOP reports the worker count the last Open actually used, after
+// clamping to GOMAXPROCS and the morsel count. Zero before Open.
+func (p *ParallelScan) EffectiveDOP() int { return p.effDOP }
+
 func (p *ParallelScan) dop() int {
 	d := p.DOP
 	if d <= 0 && p.ctx != nil {
 		d = p.ctx.MaxDOP
 	}
-	if d <= 0 {
-		d = runtime.GOMAXPROCS(0)
+	if g := runtime.GOMAXPROCS(0); d <= 0 || d > g {
+		d = g
 	}
 	if d < 1 {
 		d = 1
@@ -83,28 +132,70 @@ func (p *ParallelScan) dop() int {
 	return d
 }
 
-// Open implements Operator: it partitions the key range and starts the
-// workers. Workers exit when all morsels are claimed, when the exchange
-// consumer closes the stop channel, or after sending an error.
+// Open implements Operator: it partitions the key range into
+// cardinality-bounded morsels, clamps the worker count to the available
+// work, and either starts the workers or arms the inline serial path.
 func (p *ParallelScan) Open(ctx *EvalContext) error {
 	p.ctx = ctx
 	p.cur, p.pos = nil, 0
 	p.closed = false
+	p.serial = false
+	p.out, p.stop = nil, nil
 	p.rowsScanned.Store(0)
+
 	dop := p.dop()
-	morsels := p.Table.Morsels(p.Lo, p.Hi, dop*morselsPerWorker)
+	parts := dop * morselsPerWorker
+	if ceil := (p.Table.Len() + minMorselRows - 1) / minMorselRows; parts > ceil {
+		parts = ceil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	p.morsels = p.Table.Morsels(p.Lo, p.Hi, parts)
+	if dop > len(p.morsels) {
+		dop = len(p.morsels)
+	}
+	p.effDOP = dop
+
+	if dop == 1 {
+		// Inline serial path: same bulk leaf walks, no exchange.
+		p.serial = true
+		p.cursor = p.morsels[0].Start
+		p.end = p.morsels[len(p.morsels)-1].End
+		p.streamEnd = false
+		if p.fout == nil {
+			p.fout = getBatchBuf()
+		}
+		if p.cout == nil && (p.Filter != nil || p.FilterKernel != nil) {
+			p.cout = getBatchBuf()
+		}
+		return nil
+	}
+
+	// Contiguous morsel-index queues, one per worker; stealing keeps them
+	// balanced when ranges skew.
+	p.queues = make([]atomic.Uint64, dop)
+	lo, per, rem := 0, len(p.morsels)/dop, len(p.morsels)%dop
+	for w := range p.queues {
+		hi := lo + per
+		if w < rem {
+			hi++
+		}
+		p.queues[w].Store(packRange(uint32(lo), uint32(hi)))
+		lo = hi
+	}
+
 	p.stop = make(chan struct{})
 	p.out = make(chan parMsg, dop*2)
-	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < dop; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			pprof.Do(context.Background(), workerLabels, func(context.Context) {
-				p.worker(&next, morsels)
+				p.worker(w)
 			})
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -113,53 +204,108 @@ func (p *ParallelScan) Open(ctx *EvalContext) error {
 	return nil
 }
 
-// worker claims morsels from the shared counter until none remain, sending
-// full batches into the exchange.
-func (p *ParallelScan) worker(next *atomic.Int64, morsels []storage.Morsel) {
-	n := batchSizeOf(p.ctx)
-	buf := make(sqltypes.Batch, 0, n)
-	var scanned int64
+// claim returns the next morsel index for worker w: first a pop from the
+// front of its own queue, then — once that drains — a steal from the back of
+// another worker's queue. All morsels exist before any worker starts, so one
+// full sweep finding every queue empty proves there is no work left.
+func (p *ParallelScan) claim(w int) (int, bool) {
+	q := &p.queues[w]
 	for {
-		idx := int(next.Add(1)) - 1
-		if idx >= len(morsels) {
+		r := q.Load()
+		lo, hi := unpackRange(r)
+		if lo >= hi {
 			break
 		}
-		var scanErr error
-		aborted := false
-		p.Table.ScanMorsel(morsels[idx], func(r sqltypes.Row) bool {
-			scanned++
-			if p.Filter != nil {
-				ok, err := PredicateTrue(p.Filter, p.ctx, r)
-				if err != nil {
-					scanErr = err
-					return false
-				}
-				if !ok {
-					return true
-				}
-			}
-			buf = append(buf, r)
-			if len(buf) >= n {
-				if !p.send(parMsg{batch: buf}) {
-					aborted = true
-					return false
-				}
-				buf = make(sqltypes.Batch, 0, n)
-			}
-			return true
-		})
-		if scanErr != nil {
-			p.send(parMsg{err: scanErr})
-			aborted = true
+		if q.CompareAndSwap(r, packRange(lo+1, hi)) {
+			return int(lo), true
 		}
-		if aborted {
+	}
+	for off := 1; off < len(p.queues); off++ {
+		v := &p.queues[(w+off)%len(p.queues)]
+		for {
+			r := v.Load()
+			lo, hi := unpackRange(r)
+			if lo >= hi {
+				break
+			}
+			if v.CompareAndSwap(r, packRange(lo, hi-1)) {
+				return int(hi - 1), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// filterInto appends the rows of chunk that survive the residual predicate
+// onto out, using the vectorized kernel when available. Only row headers
+// move; the stored rows are shared and immutable.
+func (p *ParallelScan) filterInto(st *scanFilterScratch, chunk, out sqltypes.Batch) (sqltypes.Batch, error) {
+	switch {
+	case p.FilterKernel != nil:
+		st.vout.ResetRows(chunk, len(p.schema.Cols))
+		sel, err := p.FilterKernel(p.ctx, &st.vout, nil, st.selbuf[:0])
+		if err != nil {
+			return out, err
+		}
+		st.selbuf = sel
+		for _, i := range sel {
+			out = append(out, chunk[i])
+		}
+	case p.Filter != nil:
+		for _, r := range chunk {
+			ok, err := PredicateTrue(p.Filter, p.ctx, r)
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+	default:
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// worker drains morsels via claim, reading each as bulk leaf chunks and
+// sending filtered batches into the exchange.
+func (p *ParallelScan) worker(w int) {
+	n := batchSizeOf(p.ctx)
+	chunk := make(sqltypes.Batch, 0, n)
+	out := make(sqltypes.Batch, 0, n)
+	var st scanFilterScratch
+	var scanned int64
+	defer func() { p.rowsScanned.Add(scanned) }()
+	for {
+		idx, ok := p.claim(w)
+		if !ok {
 			break
 		}
+		cursor := p.morsels[idx].Start
+		for {
+			var more bool
+			chunk, cursor, more = p.Table.ChunkRows(cursor, p.morsels[idx].End, n, chunk[:0])
+			scanned += int64(len(chunk))
+			var err error
+			out, err = p.filterInto(&st, chunk, out)
+			if err != nil {
+				p.send(parMsg{err: err})
+				return
+			}
+			if len(out) >= n {
+				if !p.send(parMsg{batch: out}) {
+					return
+				}
+				out = make(sqltypes.Batch, 0, n)
+			}
+			if !more {
+				break
+			}
+		}
 	}
-	if len(buf) > 0 {
-		p.send(parMsg{batch: buf})
+	if len(out) > 0 {
+		p.send(parMsg{batch: out})
 	}
-	p.rowsScanned.Add(scanned)
 }
 
 // send delivers a message unless the consumer has already stopped.
@@ -172,11 +318,13 @@ func (p *ParallelScan) send(m parMsg) bool {
 	}
 }
 
-// NextBatch implements BatchOperator: it receives the next merged batch from
-// the exchange. Worker batches are freshly allocated, so unlike pooled
-// batches they stay valid across calls — but consumers should not rely on
-// that beyond the documented contract.
+// NextBatch implements BatchOperator. At effective DOP 1 it streams bulk
+// leaf chunks inline; otherwise it receives the next merged batch from the
+// exchange. Batches are valid until the following NextBatch call.
 func (p *ParallelScan) NextBatch() (sqltypes.Batch, bool, error) {
+	if p.serial {
+		return p.nextSerial()
+	}
 	msg, ok := <-p.out
 	if !ok {
 		return nil, false, nil
@@ -185,6 +333,37 @@ func (p *ParallelScan) NextBatch() (sqltypes.Batch, bool, error) {
 		return nil, false, msg.err
 	}
 	return msg.batch, true, nil
+}
+
+// nextSerial is the inline DOP-1 drain: one bulk leaf walk per batch, the
+// residual applied through the same kernel path the workers use.
+func (p *ParallelScan) nextSerial() (sqltypes.Batch, bool, error) {
+	n := batchSizeOf(p.ctx)
+	for {
+		if p.streamEnd {
+			return nil, false, nil
+		}
+		chunk := (*p.fout)[:0]
+		var more bool
+		chunk, p.cursor, more = p.Table.ChunkRows(p.cursor, p.end, n, chunk)
+		p.streamEnd = !more
+		p.rowsScanned.Add(int64(len(chunk)))
+		*p.fout = chunk
+		if len(chunk) == 0 {
+			continue
+		}
+		if p.Filter == nil && p.FilterKernel == nil {
+			return chunk, true, nil
+		}
+		out, err := p.filterInto(&p.scratch, chunk, (*p.cout)[:0])
+		*p.cout = out
+		if err != nil {
+			return nil, false, err
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
 }
 
 // Next implements Operator: row-at-a-time iteration over received batches.
@@ -202,15 +381,27 @@ func (p *ParallelScan) Next() (sqltypes.Row, bool, error) {
 }
 
 // Close implements Operator: it signals the workers to stop and drains the
-// exchange so every worker unblocks and exits before Close returns.
+// exchange so every worker unblocks and exits before Close returns. The
+// inline path just releases its buffers.
 func (p *ParallelScan) Close() error {
-	if p.stop == nil || p.closed {
+	if p.closed {
 		return nil
 	}
 	p.closed = true
-	close(p.stop)
-	for range p.out {
+	if p.stop != nil {
+		close(p.stop)
+		for range p.out {
+		}
+	}
+	if p.fout != nil {
+		putBatchBuf(p.fout)
+		p.fout = nil
+	}
+	if p.cout != nil {
+		putBatchBuf(p.cout)
+		p.cout = nil
 	}
 	p.cur, p.pos = nil, 0
+	p.morsels, p.queues = nil, nil
 	return nil
 }

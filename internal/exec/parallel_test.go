@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"relaxedcc/internal/catalog"
@@ -164,4 +165,89 @@ func TestParallelScanRowMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertSameRows(t, "row-mode parallel scan", res.Rows, want, false)
+}
+
+// TestParallelScanSmallInputClampsDOP: the effective worker count must never
+// exceed the number of morsels, so tiny tables run inline instead of paying
+// goroutine and exchange setup for work one worker finishes first.
+func TestParallelScanSmallInputClampsDOP(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	tbl := parallelTable(t, 50) // well under one morsel's row floor
+	s := testSchema("t")
+	ps := NewParallelScan(tbl, s)
+	ps.DOP = 8
+	res, err := Run(ps, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.EffectiveDOP(); got != 1 {
+		t.Fatalf("EffectiveDOP = %d, want 1 for a 50-row table", got)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d, want 50", len(res.Rows))
+	}
+
+	// A table with plenty of rows keeps the requested parallelism.
+	big := parallelTable(t, 40000)
+	ps2 := NewParallelScan(big, s)
+	ps2.DOP = 4
+	res2, err := Run(ps2, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps2.EffectiveDOP(); got != 4 {
+		t.Fatalf("EffectiveDOP = %d, want 4 for a 40k-row table", got)
+	}
+	if len(res2.Rows) != 40000 {
+		t.Fatalf("rows = %d, want 40000", len(res2.Rows))
+	}
+}
+
+// TestParallelScanWorkStealing forces real multi-worker execution (GOMAXPROCS
+// raised above the host's core count if needed) and checks the stealing
+// scheduler covers every morsel exactly once, with and without a residual.
+func TestParallelScanWorkStealing(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 30000
+	tbl := parallelTable(t, n)
+	s := testSchema("t")
+	want := drain(t, NewScan(tbl, s))
+
+	for _, bs := range []int{16, 1024} {
+		ps := NewParallelScan(tbl, s)
+		ps.DOP = 4
+		res, err := Run(ps, &EvalContext{Now: testNow, BatchSize: bs}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ps.EffectiveDOP() < 2 {
+			t.Fatalf("bs=%d: EffectiveDOP = %d, want multi-worker", bs, ps.EffectiveDOP())
+		}
+		assertSameRows(t, fmt.Sprintf("stealing bs=%d", bs), res.Rows, want, false)
+		if got := ps.RowsScanned(); got != n {
+			t.Fatalf("bs=%d: RowsScanned = %d, want %d", bs, got, n)
+		}
+	}
+
+	// Residual through the vectorized kernel inside the workers.
+	fs := NewScan(tbl, s)
+	fs.Filter = compile(t, "name = '0'", s)
+	fwant := drain(t, fs)
+
+	ps := NewParallelScan(tbl, s)
+	ps.Filter = compile(t, "name = '0'", s)
+	ps.FilterKernel = kernelFor(t, "name = '0'", s)
+	ps.DOP = 4
+	res, err := Run(ps, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "stealing filtered", res.Rows, fwant, false)
+	if got := ps.RowsScanned(); got != n {
+		t.Fatalf("filtered: RowsScanned = %d, want %d", got, n)
+	}
 }

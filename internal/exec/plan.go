@@ -59,7 +59,21 @@ func Run(root Operator, ctx *EvalContext, setup time.Duration) (*Result, error) 
 		root.Close()
 		return nil, err
 	}
-	if b, ok := root.(BatchOperator); ok {
+	if v, ok := root.(VecOperator); ok {
+		// Columnar drain: selection vectors resolve here, row-backed
+		// batches contribute shared row references.
+		for {
+			cb, ok, err := v.NextVec()
+			if err != nil {
+				root.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			res.Rows = cb.AppendRows(res.Rows)
+		}
+	} else if b, ok := root.(BatchOperator); ok {
 		for {
 			batch, ok, err := b.NextBatch()
 			if err != nil {
@@ -154,6 +168,8 @@ func CollectSwitchUnions(root Operator) []*SwitchUnion {
 		case *BatchAdapter:
 			walk(op.Child)
 		case *RowAdapter:
+			walk(op.Child)
+		case *VecAdapter:
 			walk(op.Child)
 		case *Sort:
 			walk(op.Child)

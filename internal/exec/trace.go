@@ -115,6 +115,8 @@ func describe(op Operator) string {
 		return "BatchAdapter"
 	case *RowAdapter:
 		return "RowAdapter"
+	case *VecAdapter:
+		return "VecAdapter"
 	default:
 		return fmt.Sprintf("%T", op)
 	}
@@ -126,6 +128,7 @@ func describe(op Operator) string {
 type Traced struct {
 	child  Operator
 	bchild BatchOperator
+	vchild VecOperator
 	su     *SwitchUnion // non-nil when child is a SwitchUnion
 	node   *obs.TraceNode
 }
@@ -147,6 +150,7 @@ func (t *Traced) Open(ctx *EvalContext) error {
 	t.node.Open += time.Since(start)
 	t.node.Opens++
 	t.bchild = nil
+	t.vchild = nil
 	if t.su != nil {
 		if d, ok := t.su.LastDecision(); ok {
 			t.node.Guard = &obs.GuardTrace{
@@ -188,6 +192,23 @@ func (t *Traced) NextBatch() (sqltypes.Batch, bool, error) {
 		t.node.Batches++
 	}
 	return batch, ok, err
+}
+
+// NextVec implements VecOperator, preserving the child's columnar path so
+// instrumenting never forces materialization. Row counts use the batch's
+// active (post-selection) cardinality.
+func (t *Traced) NextVec() (*sqltypes.ColBatch, bool, error) {
+	if t.vchild == nil {
+		t.vchild = AsVec(t.child)
+	}
+	start := time.Now()
+	cb, ok, err := t.vchild.NextVec()
+	t.node.Next += time.Since(start)
+	if ok {
+		t.node.Rows += int64(cb.NumActive())
+		t.node.Batches++
+	}
+	return cb, ok, err
 }
 
 // Close implements Operator.

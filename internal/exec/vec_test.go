@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/sqltypes"
+)
+
+// kernelFor compiles sql into a BoolKernel, failing the test when the
+// expression has no vectorized form.
+func kernelFor(t *testing.T, sql string, schema *Schema) BoolKernel {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect("SELECT 1 FROM x WHERE " + sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	k, ok := CompileKernel(sel.Where, schema)
+	if !ok {
+		t.Fatalf("CompileKernel(%q): no kernel", sql)
+	}
+	return k
+}
+
+// TestKernelMatchesRowPredicate checks every kernelizable comparison shape
+// against the row-at-a-time Compiled evaluation over the same rows,
+// including NULLs and mixed numeric kinds.
+func TestKernelMatchesRowPredicate(t *testing.T) {
+	s := testSchema("t")
+	rows := testRows(40)
+	rows[5][2] = sqltypes.Null  // bal NULL
+	rows[11][1] = sqltypes.Null // name NULL
+	rows[17][2] = intv(17)        // bal as INT: mixed numeric column
+	preds := []string{
+		"id > 10",
+		"10 > id",
+		"id >= 10 AND id <= 30",
+		"id BETWEEN 10 AND 30",
+		"bal > 5.5",
+		"bal <= 20",
+		"name = '1'",
+		"name <> '1'",
+		"id > 5 AND name = '2' AND bal < 30",
+		"id = 999",
+		"bal >= 17 AND bal <= 17",
+	}
+	cb := &sqltypes.ColBatch{}
+	cb.ResetRows(rows, len(s.Cols))
+	c := ctx()
+	for _, sql := range preds {
+		k := kernelFor(t, sql, s)
+		pred := compile(t, sql, s)
+		sel, err := k(c, cb, nil, nil)
+		if err != nil {
+			t.Fatalf("%q: kernel: %v", sql, err)
+		}
+		var want []int32
+		for i, r := range rows {
+			ok, err := PredicateTrue(pred, c, r)
+			if err != nil {
+				t.Fatalf("%q: row eval: %v", sql, err)
+			}
+			if ok {
+				want = append(want, int32(i))
+			}
+		}
+		if fmt.Sprint(sel) != fmt.Sprint(want) {
+			t.Fatalf("%q: kernel sel %v, row path %v", sql, sel, want)
+		}
+	}
+}
+
+// TestKernelCandidateRefinement checks in-place AND-style narrowing: the
+// kernel must honor the candidate list and may write into its backing array.
+func TestKernelCandidateRefinement(t *testing.T) {
+	s := testSchema("t")
+	rows := testRows(30)
+	cb := &sqltypes.ColBatch{}
+	cb.ResetRows(rows, len(s.Cols))
+	c := ctx()
+
+	first := kernelFor(t, "id > 10", s)
+	second := kernelFor(t, "name = '0'", s)
+	sel, err := first(c, cb, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err = second(c, cb, sel, sel[:0]) // sanctioned in-place refinement
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range sel {
+		id := rows[i][0].Int()
+		if id <= 10 || id%3 != 0 {
+			t.Fatalf("row %d (id=%d) should not survive", i, id)
+		}
+	}
+	if len(sel) != 7 { // ids 12,15,...,30
+		t.Fatalf("got %d survivors, want 7", len(sel))
+	}
+}
+
+// TestKernelNonVectorizable ensures CompileKernel declines expressions
+// outside its fragment rather than guessing.
+func TestKernelNonVectorizable(t *testing.T) {
+	s := testSchema("t")
+	for _, sql := range []string{
+		"id > 10 OR id < 3",      // OR is not fused
+		"id + 1 > 10",            // arithmetic operand
+		"id NOT BETWEEN 3 AND 5", // negated between
+		"name LIKE '1%'",         // no LIKE kernel
+	} {
+		sel, err := sqlparser.ParseSelect("SELECT 1 FROM x WHERE " + sql)
+		if err != nil {
+			continue // dialect may reject; fine either way
+		}
+		if _, ok := CompileKernel(sel.Where, s); ok {
+			t.Fatalf("CompileKernel(%q) unexpectedly succeeded", sql)
+		}
+	}
+}
+
+// TestScanFilteredEmptyPrefix is a regression test: batches whose selection
+// comes up empty before the first match ever allocates the selection buffer
+// must not be emitted as "all rows active" (nil Sel). Batch size 1 makes
+// every batch a single row, so any leak shows up in the count.
+func TestScanFilteredEmptyPrefix(t *testing.T) {
+	tbl := storageTable(t)
+	s := testSchema("t")
+	sc := NewScan(tbl, s)
+	sc.Filter = compile(t, "id > 90", s) // 90 leading non-matching rows
+	res, err := Run(sc, &EvalContext{Now: testNow, BatchSize: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(res.Rows))
+	}
+}
+
+// TestScanKernelMatchesRowFilter runs the same pushed-down predicate through
+// the FilterKernel path and the row-at-a-time Filter path.
+func TestScanKernelMatchesRowFilter(t *testing.T) {
+	tbl := storageTable(t)
+	s := testSchema("t")
+
+	slow := NewScan(tbl, s)
+	slow.Filter = compile(t, "id > 20 AND name = '1'", s)
+	want, err := RunRows(slow, ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bs := range []int{1, 7, DefaultBatchSize} {
+		fast := NewScan(tbl, s)
+		fast.Filter = compile(t, "id > 20 AND name = '1'", s)
+		fast.FilterKernel = kernelFor(t, "id > 20 AND name = '1'", s)
+		got, err := Run(fast, &EvalContext{Now: testNow, BatchSize: bs}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, fmt.Sprintf("kernel bs=%d", bs), got.Rows, want.Rows, true)
+	}
+}
+
+// TestFilterKernelOverScan stacks a Filter (kernel) on a filtered Scan so the
+// Filter refines an incoming selection vector rather than starting fresh.
+func TestFilterKernelOverScan(t *testing.T) {
+	tbl := storageTable(t)
+	s := testSchema("t")
+	build := func() Operator {
+		sc := NewScan(tbl, s)
+		sc.Filter = compile(t, "id > 10", s)
+		return &Filter{
+			Child:  sc,
+			Pred:   compile(t, "bal < 50", s),
+			Kernel: kernelFor(t, "bal < 50", s),
+		}
+	}
+	want, err := RunRows(build(), ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build(), &EvalContext{Now: testNow, BatchSize: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "filter-over-scan", got.Rows, want.Rows, true)
+}
+
+// TestProjectColumnGather checks the zero-materialization ordinal gather
+// against the expression path.
+func TestProjectColumnGather(t *testing.T) {
+	s := testSchema("t")
+	out := NewSchema(
+		Col{Name: "bal", Kind: sqltypes.KindFloat},
+		Col{Name: "id", Kind: sqltypes.KindInt},
+	)
+	build := func(cols []int) Operator {
+		return &Project{
+			Child: NewValues(s, testRows(25)),
+			Exprs: []Compiled{compileItem(t, "bal", s), compileItem(t, "id", s)},
+			Out:   out,
+			Cols:  cols,
+		}
+	}
+	want, err := RunRows(build(nil), ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build([]int{2, 0}), &EvalContext{Now: testNow, BatchSize: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "project-gather", got.Rows, want.Rows, true)
+}
+
+// TestHashJoinNumericKeyCollapse verifies INT and FLOAT keys join across
+// kinds exactly as the order-preserving Key() encoding did: 2 joins 2.0.
+func TestHashJoinNumericKeyCollapse(t *testing.T) {
+	ls, rs := testSchema("L"), testSchema("R")
+	lrows := []sqltypes.Row{
+		{intv(1), strv("a"), floatv(1)},
+		{intv(2), strv("b"), floatv(2)},
+		{sqltypes.Null, strv("n"), floatv(0)},
+	}
+	rrows := []sqltypes.Row{
+		{floatv(2.0), strv("x"), floatv(9)}, // FLOAT 2.0 must match INT 2
+		{floatv(3.5), strv("y"), floatv(9)},
+		{sqltypes.Null, strv("z"), floatv(9)}, // NULL never joins
+	}
+	j := NewHashJoin(NewValues(ls, lrows), NewValues(rs, rrows),
+		[]Compiled{compileItem(t, "L.id", ls)},
+		[]Compiled{compileItem(t, "R.id", rs)},
+		nil, JoinInner)
+	rows := drain(t, j)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v, want exactly the 2/2.0 match", rows)
+	}
+	if rows[0][0].Int() != 2 || rows[0][4].Str() != "x" {
+		t.Fatalf("joined row = %v", rows[0])
+	}
+}
+
+// TestHashJoinDuplicateBuildOrder checks that probe matches against
+// duplicate build keys come out in build order, as the previous map-of-slices
+// implementation produced.
+func TestHashJoinDuplicateBuildOrder(t *testing.T) {
+	ls, rs := testSchema("L"), testSchema("R")
+	lrows := []sqltypes.Row{{intv(7), strv("p"), floatv(0)}}
+	rrows := []sqltypes.Row{
+		{intv(7), strv("first"), floatv(1)},
+		{intv(7), strv("second"), floatv(2)},
+		{intv(7), strv("third"), floatv(3)},
+	}
+	j := NewHashJoin(NewValues(ls, lrows), NewValues(rs, rrows),
+		[]Compiled{compileItem(t, "L.id", ls)},
+		[]Compiled{compileItem(t, "R.id", rs)},
+		nil, JoinInner)
+	rows := drain(t, j)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if rows[i][4].Str() != want {
+			t.Fatalf("match %d = %q, want %q", i, rows[i][4].Str(), want)
+		}
+	}
+}
+
+// TestHashJoinLargeBuild pushes the open-addressed table through several
+// growth doublings and checks counts for inner/semi/anti against the
+// row-at-a-time expectation.
+func TestHashJoinLargeBuild(t *testing.T) {
+	ls, rs := testSchema("L"), testSchema("R")
+	for _, kind := range []JoinKind{JoinInner, JoinSemi, JoinAnti} {
+		build := func() Operator {
+			return NewHashJoin(
+				NewValues(ls, testRowsBound(ls, 2000)),
+				NewValues(rs, testRowsBound(rs, 700)),
+				[]Compiled{compileItem(t, "L.id", ls)},
+				[]Compiled{compileItem(t, "R.id", rs)},
+				nil, kind)
+		}
+		want, err := RunRows(build(), ctx(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(build(), ctx(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, fmt.Sprintf("large-build kind=%d", kind), got.Rows, want.Rows, true)
+	}
+}
+
+// testRowsBound mirrors testRows but rebinds nothing — it simply exists so
+// big fixtures read clearly at call sites.
+func testRowsBound(_ *Schema, n int) []sqltypes.Row { return testRows(n) }
+
+// TestHashJoinBuildPayloadGather pushes NULLs and a mixed-kind payload
+// column through the build side of a columnar inner join: the
+// vector-to-vector build gather must reproduce the row path exactly across
+// the typed, null-tracked, and Any vector representations.
+func TestHashJoinBuildPayloadGather(t *testing.T) {
+	ls, rs := testSchema("L"), testSchema("R")
+	var lrows, rrows []sqltypes.Row
+	for i := 0; i < 50; i++ {
+		lrows = append(lrows, sqltypes.Row{intv(int64(i % 10)), strv("l"), floatv(float64(i))})
+	}
+	for i := 0; i < 10; i++ {
+		name := strv("r")
+		bal := floatv(float64(i))
+		switch i % 3 {
+		case 0:
+			name = sqltypes.Null // NULL in a string payload column
+		case 1:
+			name = intv(int64(i)) // mixed kinds force the Any representation
+		}
+		if i%4 == 0 {
+			bal = sqltypes.Null // NULL in a float payload column
+		}
+		rrows = append(rrows, sqltypes.Row{intv(int64(i)), name, bal})
+	}
+	build := func() Operator {
+		return NewHashJoin(NewValues(ls, lrows), NewValues(rs, rrows),
+			[]Compiled{compileItem(t, "L.id", ls)},
+			[]Compiled{compileItem(t, "R.id", rs)},
+			nil, JoinInner)
+	}
+	want, err := RunRows(build(), ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build(), ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "build-payload gather", got.Rows, want.Rows, true)
+}

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"relaxedcc/internal/sqltypes"
+)
+
+// This file holds the columnar (NextVec) paths of the core relational
+// operators. The fusion rules:
+//
+//   - Scan fuses the pushed-down predicate: chunks come off the B+-tree as
+//     bulk leaf windows, the kernel narrows them to a selection vector, and
+//     no row is copied on either outcome.
+//   - Filter refines the child batch's selection vector in place — the
+//     sanctioned mutation of a flowing batch — and forwards the same
+//     container.
+//   - Project with a pure column gather (Cols) forwards the child's
+//     vectors under reordered ordinals without materializing anything.
+//
+// Operators without a columnar advantage (sorts, aggregates, joins'
+// row-shaped outputs) surface through AsVec/row-backed batches instead.
+
+// closeAdapted closes whichever child adapters an operator instantiated,
+// falling back to the raw child when none were. Closing the underlying
+// child through more than one adapter is safe: Close is idempotent per the
+// Operator contract.
+func closeAdapted(child Operator, vchild VecOperator, bchild BatchOperator, clear func()) error {
+	clear()
+	var firstErr error
+	closed := false
+	if vchild != nil {
+		closed = true
+		if err := vchild.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if bchild != nil && any(vchild) != any(bchild) {
+		closed = true
+		if err := bchild.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if !closed {
+		return child.Close()
+	}
+	return firstErr
+}
+
+// ---- Scan ----
+
+// NextVec implements VecOperator: clustered scans stream bulk leaf windows
+// straight into a row-backed columnar batch; index scans window the Open
+// snapshot. The pushed-down predicate — the kernel when compiled, the
+// row-at-a-time Compiled otherwise — narrows each batch to a selection
+// vector; fully filtered batches are skipped.
+func (s *Scan) NextVec() (*sqltypes.ColBatch, bool, error) {
+	width := len(s.schema.Cols)
+	n := batchSizeOf(s.ctx)
+	for {
+		var rows sqltypes.Batch
+		if s.Index == "" && s.rows == nil {
+			// Streaming clustered path: bulk leaf walk, one short latch per
+			// chunk.
+			s.streaming = true
+			if s.streamEnd {
+				return nil, false, nil
+			}
+			if s.fout == nil {
+				s.fout = getBatchBuf()
+			}
+			out := (*s.fout)[:0]
+			var more bool
+			out, s.cursor, more = s.Table.ChunkRows(s.cursor, "", n, out)
+			s.streamEnd = !more
+			s.RowsScanned += len(out)
+			*s.fout = out
+			if len(out) == 0 {
+				return nil, false, nil
+			}
+			rows = out
+		} else {
+			// Snapshot path (index scans, or a clustered snapshot already
+			// materialized by the row path).
+			if s.pos >= len(s.rows) {
+				return nil, false, nil
+			}
+			end := s.pos + n
+			if end > len(s.rows) {
+				end = len(s.rows)
+			}
+			rows = sqltypes.Batch(s.rows[s.pos:end])
+			s.RowsScanned += end - s.pos
+			s.pos = end
+		}
+		s.vout.ResetRows(rows, width)
+		if err := s.applyScanFilter(); err != nil {
+			return nil, false, err
+		}
+		if s.vout.NumActive() > 0 {
+			return &s.vout, true, nil
+		}
+	}
+}
+
+// applyScanFilter narrows the current output batch by the pushed-down
+// predicate, preferring the columnar kernel.
+func (s *Scan) applyScanFilter() error {
+	if s.selbuf == nil && (s.FilterKernel != nil || s.Filter != nil) {
+		// A nil Sel means "all rows active"; an empty selection must be a
+		// non-nil empty slice, so the buffer exists before the first batch.
+		s.selbuf = make([]int32, 0, 16)
+	}
+	if s.FilterKernel != nil {
+		sel, err := s.FilterKernel(s.ctx, &s.vout, nil, s.selbuf[:0])
+		if err != nil {
+			return err
+		}
+		s.selbuf = sel
+		s.vout.Sel = sel
+		return nil
+	}
+	if s.Filter == nil {
+		return nil
+	}
+	sel := s.selbuf[:0]
+	for i, r := range s.vout.Rows {
+		ok, err := PredicateTrue(s.Filter, s.ctx, r)
+		if err != nil {
+			return err
+		}
+		if ok {
+			sel = append(sel, int32(i))
+		}
+	}
+	s.selbuf = sel
+	s.vout.Sel = sel
+	return nil
+}
+
+// ---- Filter ----
+
+// NextVec implements VecOperator: it pulls columnar child batches and
+// refines their selection vectors — no rows move. The kernel runs when the
+// planner compiled one; otherwise the row predicate evaluates per active
+// row through the batch's zero-copy row view.
+func (f *Filter) NextVec() (*sqltypes.ColBatch, bool, error) {
+	if f.vchild == nil {
+		f.vchild = AsVec(f.Child)
+	}
+	k := f.Kernel
+	if k == nil {
+		if f.fallback == nil {
+			f.fallback = KernelFromPredicate(f.Pred)
+		}
+		k = f.fallback
+	}
+	for {
+		cb, ok, err := f.vchild.NextVec()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		sel, err := k(f.ctx, cb, cb.Sel, f.selbuf[:0])
+		if err != nil {
+			return nil, false, err
+		}
+		f.selbuf = sel
+		if len(sel) == 0 {
+			continue
+		}
+		cb.Sel = sel
+		return cb, true, nil
+	}
+}
+
+// ---- Project ----
+
+// NextVec implements VecOperator. A pure column gather (Cols) forwards the
+// child's vectors — reordered, selection intact, nothing materialized.
+// General expression lists fall back to the batch path's row building and
+// wrap the result.
+func (p *Project) NextVec() (*sqltypes.ColBatch, bool, error) {
+	if p.Cols == nil {
+		b, ok, err := p.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		p.vout.ResetRows(b, len(p.Out.Cols))
+		return &p.vout, true, nil
+	}
+	if p.vchild == nil {
+		p.vchild = AsVec(p.Child)
+	}
+	in, ok, err := p.vchild.NextVec()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.vout.ResetCols(len(p.Cols), in.Len())
+	for j, ord := range p.Cols {
+		p.vout.SetCol(j, in.Col(ord))
+	}
+	p.vout.Sel = in.Sel
+	return &p.vout, true, nil
+}

@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"relaxedcc/internal/sqltypes"
+)
+
+// VecOperator is the columnar counterpart of BatchOperator: NextVec returns
+// a batch in the columnar layout, with qualifying rows carried in the
+// selection vector instead of compacted into a fresh row slice. Run prefers
+// this path at the root; AsVec lets any batch-capable subtree feed a
+// vectorized consumer.
+//
+// The returned *ColBatch follows the ownership contract documented on
+// sqltypes.ColBatch: read-only for the consumer and valid only until the
+// consumer's next NextVec/Close call on this operator. A NextVec result has
+// NumActive() > 0 when ok; batches whose selection filtered every row are
+// skipped inside the operator.
+type VecOperator interface {
+	Operator
+	NextVec() (*sqltypes.ColBatch, bool, error)
+}
+
+// AsVec returns op itself when it is vector-capable, else wraps it in an
+// adapter that lifts its batch (or row) interface into columnar batches
+// without copying rows.
+func AsVec(op Operator) VecOperator {
+	if v, ok := op.(VecOperator); ok {
+		return v
+	}
+	return &VecAdapter{Child: AsBatch(op)}
+}
+
+// VecAdapter lifts a batch operator into the columnar interface: each child
+// batch becomes a row-backed ColBatch with a full selection. The container
+// is reused across calls; the rows are the child's (shared, immutable).
+type VecAdapter struct {
+	Child BatchOperator
+	out   sqltypes.ColBatch
+}
+
+// Schema implements Operator.
+func (a *VecAdapter) Schema() *Schema { return a.Child.Schema() }
+
+// Open implements Operator.
+func (a *VecAdapter) Open(ctx *EvalContext) error { return a.Child.Open(ctx) }
+
+// Next implements Operator.
+func (a *VecAdapter) Next() (sqltypes.Row, bool, error) { return a.Child.Next() }
+
+// NextBatch implements BatchOperator.
+func (a *VecAdapter) NextBatch() (sqltypes.Batch, bool, error) { return a.Child.NextBatch() }
+
+// NextVec implements VecOperator.
+func (a *VecAdapter) NextVec() (*sqltypes.ColBatch, bool, error) {
+	b, ok, err := a.Child.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	a.out.ResetRows(b, len(a.Child.Schema().Cols))
+	return &a.out, true, nil
+}
+
+// Close implements Operator.
+func (a *VecAdapter) Close() error { return a.Child.Close() }

@@ -418,11 +418,15 @@ func buildStoredAccess(tbl *storage.Table, binding string, path accessPath, leaf
 	scan.Index = path.index
 	scan.Lo, scan.Hi = path.lo, path.hi
 	if len(path.residual) > 0 {
-		pred, err := exec.Compile(andAll(path.residual), full)
+		res := andAll(path.residual)
+		pred, err := exec.Compile(res, full)
 		if err != nil {
 			return nil, err
 		}
 		scan.Filter = pred
+		if k, ok := exec.CompileKernel(res, full); ok {
+			scan.FilterKernel = k
+		}
 	}
 	return projectTo(scan, leafSchema(leaf))
 }
@@ -469,11 +473,15 @@ func (p *Planner) buildParallelAccess(tbl *storage.Table, binding string, path a
 	ps.Lo, ps.Hi = path.lo, path.hi
 	ps.DOP = p.Opts.MaxDOP // 0 defers to the execution context
 	if len(path.residual) > 0 {
-		pred, err := exec.Compile(andAll(path.residual), full)
+		res := andAll(path.residual)
+		pred, err := exec.Compile(res, full)
 		if err != nil {
 			return nil, err
 		}
 		ps.Filter = pred
+		if k, ok := exec.CompileKernel(res, full); ok {
+			ps.FilterKernel = k
+		}
 	}
 	return projectTo(ps, leafSchema(leaf))
 }
@@ -496,17 +504,21 @@ func projectTo(child exec.Operator, target *exec.Schema) (exec.Operator, error) 
 		}
 	}
 	exprs := make([]exec.Compiled, len(target.Cols))
+	cols := make([]int, len(target.Cols))
 	for i, c := range target.Cols {
 		idx := src.Lookup(c.Binding, c.Name)
 		if idx < 0 {
 			return nil, exec.ErrNoColumn(c.Binding, c.Name)
 		}
 		ord := idx
+		cols[i] = ord
 		exprs[i] = func(_ *exec.EvalContext, row sqltypes.Row) (sqltypes.Value, error) {
 			return row[ord], nil
 		}
 	}
-	return &exec.Project{Child: child, Exprs: exprs, Out: target}, nil
+	// Every projection built here is a pure column gather, so the columnar
+	// path can forward vectors instead of evaluating the closures.
+	return &exec.Project{Child: child, Exprs: exprs, Cols: cols, Out: target}, nil
 }
 
 func andAll(preds []sqlparser.Expr) sqlparser.Expr {
@@ -1330,6 +1342,8 @@ func (p *Planner) hashJoinCand(q *Query, left, right *cand, leaf *Leaf, edges []
 			return nil, err
 		}
 		var lk, rk []exec.Compiled
+		var lc, rc []int
+		ordsOK := true
 		for _, e := range edges {
 			cl, err := exec.Compile(e.prefixExpr, leftSchema)
 			if err != nil {
@@ -1341,6 +1355,22 @@ func (p *Planner) hashJoinCand(q *Query, left, right *cand, leaf *Leaf, edges []
 			}
 			lk = append(lk, cl)
 			rk = append(rk, cr)
+			// Key expressions here are always plain column references, so
+			// pass their ordinals for closure-free key extraction.
+			if ref, ok := e.prefixExpr.(*sqlparser.ColumnRef); ok {
+				if ord := leftSchema.Lookup(ref.Table, ref.Column); ord >= 0 {
+					lc = append(lc, ord)
+				} else {
+					ordsOK = false
+				}
+			} else {
+				ordsOK = false
+			}
+			if ord := rightSchema.Lookup(leaf.Binding, e.leafCol); ord >= 0 {
+				rc = append(rc, ord)
+			} else {
+				ordsOK = false
+			}
 		}
 		var res exec.Compiled
 		if residual != nil {
@@ -1350,7 +1380,11 @@ func (p *Planner) hashJoinCand(q *Query, left, right *cand, leaf *Leaf, edges []
 				return nil, err
 			}
 		}
-		return exec.NewHashJoin(l, r, lk, rk, res, kind), nil
+		hj := exec.NewHashJoin(l, r, lk, rk, res, kind)
+		if ordsOK {
+			hj.LeftKeyCols, hj.RightKeyCols = lc, rc
+		}
+		return hj, nil
 	}
 	cost := left.cost + right.cost + right.rows*costHashBuild + left.rows*costHashProbe + outRows*costRow
 	return &cand{
@@ -1617,7 +1651,11 @@ func (p *Planner) finish(q *Query, jc *cand, innerResiduals []sqlparser.Expr) (*
 			if err != nil {
 				return nil, err
 			}
-			op = &exec.Filter{Child: op, Pred: c}
+			f := &exec.Filter{Child: op, Pred: c}
+			if k, ok := exec.CompileKernel(pred, schema); ok {
+				f.Kernel = k
+			}
+			op = f
 		}
 		if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
 			op, schema, err = buildAggregate(q, op, schema)
@@ -1629,7 +1667,11 @@ func (p *Planner) finish(q *Query, jc *cand, innerResiduals []sqlparser.Expr) (*
 				if err != nil {
 					return nil, err
 				}
-				op = &exec.Filter{Child: op, Pred: c}
+				f := &exec.Filter{Child: op, Pred: c}
+				if k, ok := exec.CompileKernel(q.Having, schema); ok {
+					f.Kernel = k
+				}
+				op = f
 			}
 		}
 		if len(q.OrderBy) > 0 {

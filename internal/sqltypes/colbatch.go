@@ -1,0 +1,474 @@
+package sqltypes
+
+// This file defines the columnar batch layout the vectorized executor runs
+// on. The storage engine is row-major (stored rows are []Value), so the
+// design is late-materializing: a ColBatch usually starts life as a window
+// of row references straight off a B+-tree leaf walk, and individual
+// columns are transposed into typed vectors only when a kernel touches
+// them. Predicates narrow a batch by refining its selection vector —
+// survivors are carried as indexes, never copied — and purely columnar
+// batches (no row backing) appear where an operator produces columns
+// directly, e.g. a projection of column references.
+//
+// Ownership contract (extends the Batch contract): a *ColBatch returned by
+// a producer is read-only for the consumer and valid only until the
+// consumer's next call into the producer (NextVec, NextBatch or Close).
+// The selection vector and any materialized column vectors are owned by
+// the producer and may be overwritten on the next call; rows reachable
+// through the batch are shared and immutable, as everywhere in the
+// executor. Consumers that need data beyond the validity window must copy
+// it out (AppendRows copies row headers; the rows themselves stay valid
+// forever).
+
+// Vec is one column of a ColBatch: up to n values of a single kind stored
+// in a typed array, with NULLs tracked in a side slice. Columns whose
+// values do not share one kind degrade to the Any representation, which
+// keeps kernels correct (value-at-a-time) without losing the
+// column-at-a-time loop structure.
+type Vec struct {
+	// Kind is the common kind of all non-NULL values, or KindNull when the
+	// column is mixed-kind (then Any holds the values verbatim).
+	Kind Kind
+	// Null[i] reports whether value i is NULL. Nil when no value is NULL.
+	Null []bool
+	// I64 holds KindInt values, KindBool as 0/1, and KindTime as
+	// nanoseconds since the Unix epoch.
+	I64 []int64
+	// F64 holds KindFloat values.
+	F64 []float64
+	// Str holds KindString values.
+	Str []string
+	// Any is the fallback representation for mixed-kind columns.
+	Any []Value
+
+	n int
+}
+
+// Len returns the number of values in the vector.
+func (v *Vec) Len() int { return v.n }
+
+// IsNull reports whether value i is NULL.
+func (v *Vec) IsNull(i int) bool { return v.Null != nil && v.Null[i] }
+
+// Value reconstructs value i. It is the slow accessor — kernels should
+// switch on Kind and read the typed array directly.
+func (v *Vec) Value(i int) Value {
+	if v.IsNull(i) {
+		return Null
+	}
+	switch v.Kind {
+	case KindInt:
+		return Value{kind: KindInt, i: v.I64[i]}
+	case KindBool:
+		return Value{kind: KindBool, i: v.I64[i]}
+	case KindTime:
+		return Value{kind: KindTime, i: v.I64[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: v.F64[i]}
+	case KindString:
+		return Value{kind: KindString, s: v.Str[i]}
+	default:
+		return v.Any[i]
+	}
+}
+
+// reset prepares the vector to hold n values of the given kind, reusing
+// backing arrays across batches.
+func (v *Vec) reset(kind Kind, n int) {
+	v.Kind = kind
+	v.n = n
+	v.Null = nil
+	v.I64 = v.I64[:0]
+	v.F64 = v.F64[:0]
+	v.Str = v.Str[:0]
+	v.Any = v.Any[:0]
+}
+
+// degradeToAny switches the vector to the fallback representation,
+// rebuilding all values verbatim from the row backing. Called when a
+// column turns out mixed-kind.
+func (v *Vec) degradeToAny(rows Batch, col int) {
+	v.Any = v.Any[:0]
+	for _, r := range rows {
+		v.Any = append(v.Any, r[col])
+	}
+	v.Kind = KindNull
+	v.Null = nil
+	v.I64 = v.I64[:0]
+	v.F64 = v.F64[:0]
+	v.Str = v.Str[:0]
+}
+
+// FillFromRows transposes column col of rows into the vector. The column
+// kind is sniffed from the first non-NULL value (a prepass that normally
+// inspects one row); a later kind mismatch degrades the whole column to
+// Any. Backing arrays are reused across calls.
+func (v *Vec) FillFromRows(rows Batch, col int) {
+	n := len(rows)
+	v.reset(KindNull, n)
+	kind := KindNull
+	for _, r := range rows {
+		if k := r[col].kind; k != KindNull {
+			kind = k
+			break
+		}
+	}
+	if kind == KindNull {
+		// All-NULL (or empty) column: represent via Any.
+		for i := 0; i < n; i++ {
+			v.Any = append(v.Any, Null)
+		}
+		return
+	}
+	v.Kind = kind
+	for i, r := range rows {
+		val := r[col]
+		if val.kind == KindNull {
+			if v.Null == nil {
+				v.Null = growNulls(v.Null, i)
+			}
+			v.Null = append(v.Null, true)
+			v.appendZero(kind)
+			continue
+		}
+		if val.kind != kind {
+			v.degradeToAny(rows, col)
+			return
+		}
+		if v.Null != nil {
+			v.Null = append(v.Null, false)
+		}
+		switch kind {
+		case KindInt, KindBool, KindTime:
+			v.I64 = append(v.I64, val.i)
+		case KindFloat:
+			v.F64 = append(v.F64, val.f)
+		case KindString:
+			v.Str = append(v.Str, val.s)
+		}
+	}
+}
+
+// Append adds one value to the vector, choosing the typed representation
+// from the first non-NULL value and degrading to Any on a kind mismatch (or
+// when the column leads with NULLs, where no kind can be committed yet).
+// Producers that build columns incrementally — join output gathering, for
+// example — pair this with ColBatch.BuildCol to reuse backing arrays across
+// batches.
+func (v *Vec) Append(val Value) {
+	if v.n > 0 && v.Kind == KindNull {
+		// Any mode: values land verbatim.
+		v.Any = append(v.Any, val)
+		v.n++
+		return
+	}
+	if val.kind == KindNull {
+		if v.n == 0 {
+			v.Any = append(v.Any, val)
+			v.n++
+			return
+		}
+		if v.Null == nil {
+			v.Null = growNulls(v.Null, v.n)
+		}
+		v.Null = append(v.Null, true)
+		v.appendZero(v.Kind)
+		v.n++
+		return
+	}
+	if v.n == 0 {
+		v.Kind = val.kind
+	}
+	if val.kind != v.Kind {
+		v.migrateToAny()
+		v.Any = append(v.Any, val)
+		v.n++
+		return
+	}
+	if v.Null != nil {
+		v.Null = append(v.Null, false)
+	}
+	switch v.Kind {
+	case KindInt, KindBool, KindTime:
+		v.I64 = append(v.I64, val.i)
+	case KindFloat:
+		v.F64 = append(v.F64, val.f)
+	case KindString:
+		v.Str = append(v.Str, val.s)
+	}
+	v.n++
+}
+
+// GatherFromRows transposes column col of the rows selected by idxs into
+// the vector — the indexed counterpart of FillFromRows, used by operators
+// that emit a gather of their inputs (join output columns). Kind sniffing
+// and the mixed-kind Any degrade match FillFromRows; backing arrays are
+// reused across calls.
+func (v *Vec) GatherFromRows(rows Batch, idxs []int32, col int) {
+	n := len(idxs)
+	v.reset(KindNull, n)
+	kind := KindNull
+	for _, r := range idxs {
+		if k := rows[r][col].kind; k != KindNull {
+			kind = k
+			break
+		}
+	}
+	if kind == KindNull {
+		for i := 0; i < n; i++ {
+			v.Any = append(v.Any, Null)
+		}
+		return
+	}
+	v.Kind = kind
+	for i, r := range idxs {
+		val := rows[r][col]
+		if val.kind == KindNull {
+			if v.Null == nil {
+				v.Null = growNulls(v.Null, i)
+			}
+			v.Null = append(v.Null, true)
+			v.appendZero(kind)
+			continue
+		}
+		if val.kind != kind {
+			v.degradeToAnyIdx(rows, idxs, col)
+			return
+		}
+		if v.Null != nil {
+			v.Null = append(v.Null, false)
+		}
+		switch kind {
+		case KindInt, KindBool, KindTime:
+			v.I64 = append(v.I64, val.i)
+		case KindFloat:
+			v.F64 = append(v.F64, val.f)
+		case KindString:
+			v.Str = append(v.Str, val.s)
+		}
+	}
+}
+
+// GatherFrom fills the vector with src's values at idxs — the
+// vector-to-vector counterpart of GatherFromRows, for producers whose
+// source column is already transposed (the hash join transposes its build
+// side once per Open and gathers from it for every output batch). Typed
+// lanes copy array elements directly, skipping the per-value kind dispatch.
+func (v *Vec) GatherFrom(src *Vec, idxs []int32) {
+	n := len(idxs)
+	nulls := v.Null[:0]
+	if src.Kind == KindNull {
+		// Any-mode or all-NULL source: values land verbatim.
+		v.reset(KindNull, n)
+		for _, r := range idxs {
+			v.Any = append(v.Any, src.Any[r])
+		}
+		return
+	}
+	v.reset(src.Kind, n)
+	switch src.Kind {
+	case KindInt, KindBool, KindTime:
+		for _, r := range idxs {
+			v.I64 = append(v.I64, src.I64[r])
+		}
+	case KindFloat:
+		for _, r := range idxs {
+			v.F64 = append(v.F64, src.F64[r])
+		}
+	case KindString:
+		for _, r := range idxs {
+			v.Str = append(v.Str, src.Str[r])
+		}
+	}
+	if src.Null != nil {
+		for _, r := range idxs {
+			nulls = append(nulls, src.Null[r])
+		}
+		v.Null = nulls
+	}
+}
+
+// degradeToAnyIdx is degradeToAny for an indexed gather.
+func (v *Vec) degradeToAnyIdx(rows Batch, idxs []int32, col int) {
+	v.Any = v.Any[:0]
+	for _, r := range idxs {
+		v.Any = append(v.Any, rows[r][col])
+	}
+	v.Kind = KindNull
+	v.Null = nil
+	v.I64 = v.I64[:0]
+	v.F64 = v.F64[:0]
+	v.Str = v.Str[:0]
+}
+
+// migrateToAny rebuilds the vector's values in the Any representation when
+// an Append reveals the column is mixed-kind.
+func (v *Vec) migrateToAny() {
+	any := v.Any[:0]
+	for i := 0; i < v.n; i++ {
+		any = append(any, v.Value(i))
+	}
+	v.Kind = KindNull
+	v.Null = nil
+	v.I64, v.F64, v.Str = v.I64[:0], v.F64[:0], v.Str[:0]
+	v.Any = any
+}
+
+func (v *Vec) appendZero(kind Kind) {
+	switch kind {
+	case KindInt, KindBool, KindTime:
+		v.I64 = append(v.I64, 0)
+	case KindFloat:
+		v.F64 = append(v.F64, 0)
+	case KindString:
+		v.Str = append(v.Str, "")
+	}
+}
+
+// growNulls returns a null slice of length n (all false), reusing capacity.
+func growNulls(nulls []bool, n int) []bool {
+	nulls = nulls[:0]
+	for i := 0; i < n; i++ {
+		nulls = append(nulls, false)
+	}
+	return nulls
+}
+
+// ColBatch is a columnar batch with a selection vector. Len counts the
+// rows physically present; Sel, when non-nil, lists the indexes of the
+// rows that are logically active (in order). Operators narrow a batch by
+// shrinking Sel instead of copying survivors.
+type ColBatch struct {
+	// Rows is the optional row-major backing: scans emit leaf windows here
+	// and columns are transposed on demand. Nil for purely columnar
+	// batches.
+	Rows Batch
+	// Sel lists active row indexes in ascending order; nil means all Len()
+	// rows are active.
+	Sel []int32
+
+	n     int
+	cols  []Vec
+	colOK []bool
+}
+
+// ResetRows (re)initializes the batch around a row window of the given
+// arity, invalidating any materialized columns and clearing the selection.
+// Column vectors and bookkeeping are reused across calls.
+func (b *ColBatch) ResetRows(rows Batch, width int) {
+	b.Rows = rows
+	b.n = len(rows)
+	b.Sel = nil
+	b.ensureWidth(width)
+}
+
+// ResetCols (re)initializes the batch as purely columnar with the given
+// width and logical length; columns must then be set with SetCol.
+func (b *ColBatch) ResetCols(width, n int) {
+	b.Rows = nil
+	b.n = n
+	b.Sel = nil
+	b.ensureWidth(width)
+}
+
+func (b *ColBatch) ensureWidth(width int) {
+	if cap(b.cols) < width {
+		b.cols = make([]Vec, width)
+		b.colOK = make([]bool, width)
+		return
+	}
+	b.cols = b.cols[:width]
+	b.colOK = b.colOK[:width]
+	for i := range b.colOK {
+		b.colOK[i] = false
+	}
+}
+
+// Width returns the number of columns.
+func (b *ColBatch) Width() int { return len(b.cols) }
+
+// Len returns the number of physical rows (before selection).
+func (b *ColBatch) Len() int { return b.n }
+
+// NumActive returns the number of logically active rows.
+func (b *ColBatch) NumActive() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// Col returns column j, transposing it from the row backing on first
+// access. The returned vector covers all Len() rows; kernels apply Sel
+// themselves.
+func (b *ColBatch) Col(j int) *Vec {
+	if !b.colOK[j] {
+		b.cols[j].FillFromRows(b.Rows, j)
+		b.colOK[j] = true
+	}
+	return &b.cols[j]
+}
+
+// BuildCol returns column j's vector emptied for incremental Appends,
+// reusing its backing arrays. The caller must append exactly Len() values
+// before the batch is handed to a consumer.
+func (b *ColBatch) BuildCol(j int) *Vec {
+	b.cols[j].reset(KindNull, 0)
+	b.colOK[j] = true
+	return &b.cols[j]
+}
+
+// SetCol installs a materialized vector as column j (purely columnar
+// producers). The vector is copied by value; its backing arrays are shared.
+func (b *ColBatch) SetCol(j int, v *Vec) {
+	b.cols[j] = *v
+	b.colOK[j] = true
+}
+
+// Row materializes active row i (an index into the physical rows, i.e.
+// already resolved through Sel by the caller). With a row backing this is
+// a zero-copy reference; purely columnar batches allocate a fresh row.
+func (b *ColBatch) Row(i int) Row {
+	if b.Rows != nil {
+		return b.Rows[i]
+	}
+	out := make(Row, len(b.cols))
+	for j := range b.cols {
+		out[j] = b.Col(j).Value(i)
+	}
+	return out
+}
+
+// AppendRows appends every active row to dst and returns it. Row-backed
+// batches append shared row references (header copies only); purely
+// columnar batches materialize fresh rows from the vectors.
+func (b *ColBatch) AppendRows(dst Batch) Batch {
+	if b.Rows != nil {
+		if b.Sel == nil {
+			return append(dst, b.Rows...)
+		}
+		for _, i := range b.Sel {
+			dst = append(dst, b.Rows[i])
+		}
+		return dst
+	}
+	w := len(b.cols)
+	if b.Sel == nil {
+		for i := 0; i < b.n; i++ {
+			dst = append(dst, b.rowAt(i, w))
+		}
+		return dst
+	}
+	for _, i := range b.Sel {
+		dst = append(dst, b.rowAt(int(i), w))
+	}
+	return dst
+}
+
+func (b *ColBatch) rowAt(i, w int) Row {
+	out := make(Row, w)
+	for j := 0; j < w; j++ {
+		out[j] = b.Col(j).Value(i)
+	}
+	return out
+}

@@ -38,4 +38,48 @@ jq -e '
   and any(.[]; .slo_within_ratio != null and .slo_error_budget != null)
 ' "$file" > /dev/null
 
+# --- Performance gates -----------------------------------------------------
+# Schema being valid is not enough: the two executor regressions this repo
+# has actually shipped — allocation blowups in the join and non-monotone
+# parallel scaling — are cheap to catch mechanically, so the gates live here
+# rather than in reviewers' heads. Benchmark names may carry a -GOMAXPROCS
+# suffix, hence the (-[0-9]+)?$ in the matchers.
+
+# gate_allocs NAME CEILING: allocs/op for the named benchmark must not
+# exceed the ceiling.
+gate_allocs() {
+  jq -e --arg n "$1" --argjson cap "$2" '
+    def entry($n): map(select(.name | test("^" + $n + "(-[0-9]+)?$"))) | .[0];
+    (entry($n)) as $e
+    | if $e == null then ("check_bench: missing benchmark " + $n) | halt_error
+      elif $e.allocs_op == null then ("check_bench: " + $n + " has no allocs_op") | halt_error
+      elif $e.allocs_op > $cap then
+        ("check_bench: " + $n + " allocs/op regressed: \($e.allocs_op) > \($cap)") | halt_error
+      else true end
+  ' "$file" > /dev/null
+}
+
+# gate_monotone BASE: rows/sec at parallel-4 must be at least 90% of
+# parallel-2 (equal-or-better scaling, with headroom for run-to-run noise).
+gate_monotone() {
+  jq -e --arg n "$1" '
+    def rps($n): map(select(.name | test("^" + $n + "(-[0-9]+)?$"))) | .[0].rows_per_sec;
+    (rps($n + "/parallel-2")) as $p2 | (rps($n + "/parallel-4")) as $p4
+    | if $p2 == null or $p4 == null then
+        ("check_bench: " + $n + " missing parallel-2/parallel-4 rows/sec") | halt_error
+      elif $p4 < 0.9 * $p2 then
+        ("check_bench: " + $n + " parallel scaling non-monotone: parallel-4 \($p4) < 0.9 * parallel-2 \($p2)") | halt_error
+      else true end
+  ' "$file" > /dev/null
+}
+
+# The hash join ran at ~412,600 allocs/op before the vectorized rebuild;
+# the ceiling holds the ≥10x reduction (it sits ~100x below the old number,
+# ~160x above the current one, so only a real regression trips it).
+gate_allocs 'BenchmarkExecHashJoin/batch' 41000
+# The streaming batch scan allocates only pooled containers.
+gate_allocs 'BenchmarkExecScan/batch' 100
+gate_monotone 'BenchmarkExecScan'
+gate_monotone 'BenchmarkExecFilterScan'
+
 echo "check_bench: $file ok ($(jq length "$file") benchmark(s))"
