@@ -93,6 +93,12 @@ func KernelFromPredicate(p Compiled) BoolKernel {
 	}
 }
 
+// emptySel is the canonical non-nil empty selection. Kernels must never
+// return a nil slice for "no survivors": a nil candidate list means "all
+// rows", so a nil result fed back into a kernel chain would re-widen the
+// selection instead of keeping it empty.
+var emptySel = make([]int32, 0)
+
 // andKernel chains two kernels: the second refines the first's survivors in
 // place (safe because kernels compact left to right).
 func andKernel(a, b BoolKernel) BoolKernel {
@@ -100,6 +106,16 @@ func andKernel(a, b BoolKernel) BoolKernel {
 		s, err := a(ctx, cb, cand, dst)
 		if err != nil {
 			return nil, err
+		}
+		if len(s) == 0 {
+			// Short-circuit: b must not see an empty selection as nil
+			// (= all rows). When a was handed a nil dst and matched
+			// nothing, s itself is nil — substitute the canonical empty
+			// selection so callers can't misread it either.
+			if s == nil {
+				s = emptySel
+			}
+			return s, nil
 		}
 		return b(ctx, cb, s, s[:0])
 	}

@@ -46,6 +46,15 @@ type scanFilterScratch struct {
 	selbuf []int32
 }
 
+// init arms the scratch for kernel filtering: the selection buffer must be
+// non-nil before the first batch, because kernels receive it as dst and a
+// nil selection means "all rows" rather than "no rows".
+func (st *scanFilterScratch) init() {
+	if st.selbuf == nil {
+		st.selbuf = make([]int32, 0, 16)
+	}
+}
+
 // ParallelScan is the morsel-driven parallel table scan: Open partitions the
 // clustered key range into morsels sized by table cardinality, splits them
 // into per-worker queues, and fans effective-DOP workers over them. Workers
@@ -169,6 +178,7 @@ func (p *ParallelScan) Open(ctx *EvalContext) error {
 		if p.cout == nil && (p.Filter != nil || p.FilterKernel != nil) {
 			p.cout = getBatchBuf()
 		}
+		p.scratch.init()
 		return nil
 	}
 
@@ -274,6 +284,7 @@ func (p *ParallelScan) worker(w int) {
 	chunk := make(sqltypes.Batch, 0, n)
 	out := make(sqltypes.Batch, 0, n)
 	var st scanFilterScratch
+	st.init()
 	var scanned int64
 	defer func() { p.rowsScanned.Add(scanned) }()
 	for {

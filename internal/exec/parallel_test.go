@@ -115,6 +115,37 @@ func TestParallelScanFilter(t *testing.T) {
 	}
 }
 
+// TestParallelScanAndKernelEmptyChunks is a regression test for the
+// nil-selection bug in the workers' kernel path: with an AND FilterKernel
+// whose first conjunct rejects entire chunks, a worker's first filtered
+// chunk ran the second conjunct over all rows (nil survivors read as "all
+// rows") and emitted rows failing the first predicate. Exercised at DOP 1
+// (the serial arm's scratch) and DOP 4 (every worker's scratch).
+func TestParallelScanAndKernelEmptyChunks(t *testing.T) {
+	const n = 3000
+	tbl := parallelTable(t, n)
+	s := testSchema("t")
+
+	serial := NewScan(tbl, s)
+	serial.Filter = compile(t, "id > 2990 AND bal < 2995", s)
+	want := drain(t, serial)
+	if len(want) != 4 { // ids 2991..2994
+		t.Fatalf("serial = %d rows, want 4", len(want))
+	}
+
+	for _, dop := range []int{1, 4} {
+		ps := NewParallelScan(tbl, s)
+		ps.Filter = compile(t, "id > 2990 AND bal < 2995", s)
+		ps.FilterKernel = kernelFor(t, "id > 2990 AND bal < 2995", s)
+		ps.DOP = dop
+		res, err := Run(ps, &EvalContext{Now: testNow, BatchSize: 64}, 0)
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		assertSameRows(t, fmt.Sprintf("and-kernel dop=%d", dop), res.Rows, want, false)
+	}
+}
+
 // TestParallelScanEarlyClose closes the scan after one batch: workers must
 // unwind without deadlocking, and the operator must be reusable.
 func TestParallelScanEarlyClose(t *testing.T) {

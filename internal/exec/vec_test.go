@@ -101,6 +101,63 @@ func TestKernelCandidateRefinement(t *testing.T) {
 	}
 }
 
+// TestAndKernelEmptyFirstConjunct is a regression test: when an AND kernel
+// runs with a nil dst and the first conjunct rejects every row, the first
+// kernel's survivor slice is nil — which the second conjunct must not
+// misread as the nil "all rows" candidate list. The bug emitted rows that
+// satisfied only the second conjunct.
+func TestAndKernelEmptyFirstConjunct(t *testing.T) {
+	s := testSchema("t")
+	rows := testRows(20) // ids 1..20: nothing exceeds 100, everything has bal < 30
+	cb := &sqltypes.ColBatch{}
+	cb.ResetRows(rows, len(s.Cols))
+	c := ctx()
+	for _, sql := range []string{
+		"id > 100 AND bal < 30",
+		"id BETWEEN 200 AND 300", // compiles to the same AND chain
+		"id > 100 AND id < 5 AND bal < 30",
+	} {
+		sel, err := kernelFor(t, sql, s)(c, cb, nil, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if len(sel) != 0 {
+			t.Fatalf("%q: sel = %v, want empty — second conjunct ran over all rows", sql, sel)
+		}
+		if sel == nil {
+			t.Fatalf("%q: kernel returned nil selection; nil means all rows to chained kernels", sql)
+		}
+	}
+}
+
+// TestFilterAndKernelEmptyFirstBatch drives the same regression end to end
+// through Filter.NextVec: the first batches contain no row matching the AND
+// kernel's first conjunct, and the filter starts with a nil selection buffer.
+func TestFilterAndKernelEmptyFirstBatch(t *testing.T) {
+	tbl := storageTable(t) // ids 1..100
+	s := testSchema("t")
+	build := func() Operator {
+		return &Filter{
+			Child:  NewScan(tbl, s),
+			Pred:   compile(t, "id > 90 AND bal < 95", s),
+			Kernel: kernelFor(t, "id > 90 AND bal < 95", s),
+		}
+	}
+	want, err := RunRows(build(), ctx(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 4 { // ids 91..94
+		t.Fatalf("row path = %d rows, want 4", len(want.Rows))
+	}
+	// Small batches so early batches are rejected wholesale by "id > 90".
+	got, err := Run(build(), &EvalContext{Now: testNow, BatchSize: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "and-kernel empty first batch", got.Rows, want.Rows, true)
+}
+
 // TestKernelNonVectorizable ensures CompileKernel declines expressions
 // outside its fragment rather than guessing.
 func TestKernelNonVectorizable(t *testing.T) {

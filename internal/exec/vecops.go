@@ -153,6 +153,11 @@ func (f *Filter) NextVec() (*sqltypes.ColBatch, bool, error) {
 		}
 		k = f.fallback
 	}
+	if f.selbuf == nil {
+		// A nil Sel means "all rows active"; an empty selection must be a
+		// non-nil empty slice, so the buffer exists before the first batch.
+		f.selbuf = make([]int32, 0, 16)
+	}
 	for {
 		cb, ok, err := f.vchild.NextVec()
 		if err != nil || !ok {

@@ -42,6 +42,10 @@ type Vec struct {
 	Any []Value
 
 	n int
+	// nullBuf retains the null-lane backing array while Null is nil (Null
+	// must be exactly nil when no value is NULL), so nullable columns stay
+	// allocation-free across batches.
+	nullBuf []bool
 }
 
 // Len returns the number of values in the vector.
@@ -77,11 +81,20 @@ func (v *Vec) Value(i int) Value {
 func (v *Vec) reset(kind Kind, n int) {
 	v.Kind = kind
 	v.n = n
-	v.Null = nil
+	v.dropNulls()
 	v.I64 = v.I64[:0]
 	v.F64 = v.F64[:0]
 	v.Str = v.Str[:0]
 	v.Any = v.Any[:0]
+}
+
+// dropNulls clears the null lane, stashing its backing array in nullBuf so
+// the next batch with NULLs reuses it instead of reallocating.
+func (v *Vec) dropNulls() {
+	if v.Null != nil {
+		v.nullBuf = v.Null[:0]
+		v.Null = nil
+	}
 }
 
 // degradeToAny switches the vector to the fallback representation,
@@ -93,7 +106,7 @@ func (v *Vec) degradeToAny(rows Batch, col int) {
 		v.Any = append(v.Any, r[col])
 	}
 	v.Kind = KindNull
-	v.Null = nil
+	v.dropNulls()
 	v.I64 = v.I64[:0]
 	v.F64 = v.F64[:0]
 	v.Str = v.Str[:0]
@@ -125,7 +138,7 @@ func (v *Vec) FillFromRows(rows Batch, col int) {
 		val := r[col]
 		if val.kind == KindNull {
 			if v.Null == nil {
-				v.Null = growNulls(v.Null, i)
+				v.Null = growNulls(v.nullBuf, i)
 			}
 			v.Null = append(v.Null, true)
 			v.appendZero(kind)
@@ -169,7 +182,7 @@ func (v *Vec) Append(val Value) {
 			return
 		}
 		if v.Null == nil {
-			v.Null = growNulls(v.Null, v.n)
+			v.Null = growNulls(v.nullBuf, v.n)
 		}
 		v.Null = append(v.Null, true)
 		v.appendZero(v.Kind)
@@ -225,7 +238,7 @@ func (v *Vec) GatherFromRows(rows Batch, idxs []int32, col int) {
 		val := rows[r][col]
 		if val.kind == KindNull {
 			if v.Null == nil {
-				v.Null = growNulls(v.Null, i)
+				v.Null = growNulls(v.nullBuf, i)
 			}
 			v.Null = append(v.Null, true)
 			v.appendZero(kind)
@@ -256,7 +269,6 @@ func (v *Vec) GatherFromRows(rows Batch, idxs []int32, col int) {
 // lanes copy array elements directly, skipping the per-value kind dispatch.
 func (v *Vec) GatherFrom(src *Vec, idxs []int32) {
 	n := len(idxs)
-	nulls := v.Null[:0]
 	if src.Kind == KindNull {
 		// Any-mode or all-NULL source: values land verbatim.
 		v.reset(KindNull, n)
@@ -281,6 +293,7 @@ func (v *Vec) GatherFrom(src *Vec, idxs []int32) {
 		}
 	}
 	if src.Null != nil {
+		nulls := v.nullBuf[:0]
 		for _, r := range idxs {
 			nulls = append(nulls, src.Null[r])
 		}
@@ -295,7 +308,7 @@ func (v *Vec) degradeToAnyIdx(rows Batch, idxs []int32, col int) {
 		v.Any = append(v.Any, rows[r][col])
 	}
 	v.Kind = KindNull
-	v.Null = nil
+	v.dropNulls()
 	v.I64 = v.I64[:0]
 	v.F64 = v.F64[:0]
 	v.Str = v.Str[:0]
@@ -309,7 +322,7 @@ func (v *Vec) migrateToAny() {
 		any = append(any, v.Value(i))
 	}
 	v.Kind = KindNull
-	v.Null = nil
+	v.dropNulls()
 	v.I64, v.F64, v.Str = v.I64[:0], v.F64[:0], v.Str[:0]
 	v.Any = any
 }

@@ -101,6 +101,52 @@ func TestVecNullTracking(t *testing.T) {
 	}
 }
 
+// TestVecNullBackingReuse: refilling a vector must reuse the null-lane
+// backing array from the previous batch (stashed while Null is nil) instead
+// of reallocating it, so nullable columns stay allocation-free in steady
+// state — while Null stays exactly nil for batches without NULLs.
+func TestVecNullBackingReuse(t *testing.T) {
+	withNulls := Batch{{Null}, {NewInt(7)}, {Null}, {NewInt(9)}}
+	noNulls := Batch{{NewInt(1)}, {NewInt(2)}, {NewInt(3)}, {NewInt(4)}}
+	var v Vec
+	v.FillFromRows(withNulls, 0)
+	if v.Null == nil {
+		t.Fatal("null lane missing after first fill")
+	}
+	backing := &v.Null[0]
+
+	v.FillFromRows(noNulls, 0)
+	if v.Null != nil {
+		t.Fatalf("Null = %v, want nil for a batch without NULLs", v.Null)
+	}
+
+	v.FillFromRows(withNulls, 0)
+	if v.Null == nil || &v.Null[0] != backing {
+		t.Fatal("null lane reallocated instead of reusing the stashed backing")
+	}
+	for i, wn := range []bool{true, false, true, false} {
+		if v.IsNull(i) != wn {
+			t.Fatalf("IsNull(%d) = %v, want %v", i, v.IsNull(i), wn)
+		}
+	}
+
+	// GatherFrom reuses the same stashed backing.
+	var dst Vec
+	dst.GatherFrom(&v, []int32{0, 1, 3})
+	gb := &dst.Null[0]
+	dst.GatherFrom(&v, []int32{1, 3})
+	if dst.IsNull(0) || dst.IsNull(1) {
+		t.Fatalf("gather of non-NULL values tracked nulls: %v", dst.Null)
+	}
+	dst.GatherFrom(&v, []int32{2, 0})
+	if dst.Null == nil || &dst.Null[0] != gb {
+		t.Fatal("GatherFrom reallocated the null lane instead of reusing it")
+	}
+	if !dst.IsNull(0) || !dst.IsNull(1) {
+		t.Fatalf("gathered nulls wrong: %v", dst.Null)
+	}
+}
+
 func TestVecAllNullAndMixedKindDegrade(t *testing.T) {
 	var v Vec
 	v.FillFromRows(Batch{{Null}, {Null}}, 0)
