@@ -738,6 +738,39 @@ func BenchmarkExecGuardedSwitch(b *testing.B) {
 	}
 }
 
+// BenchmarkExecAutotuneShift runs the workload bound-mix shift scenario
+// with closed-loop autotuning enabled and reports the loop's activity and
+// the post-shift serve quality — the numbers scripts/bench.sh lifts into
+// BENCH_exec.json and scripts/check_bench.sh gates on (the loop must retune
+// and the post-shift SLO must recover).
+func BenchmarkExecAutotuneShift(b *testing.B) {
+	cfg := harness.DefaultShiftConfig()
+	// Compact arm (same sizing as the harness shift tests): half the run,
+	// still burns and fully recovers the budget.
+	cfg.Duration = 160 * time.Second
+	cfg.ShiftAt = 60 * time.Second
+	cfg.UpdateInterval = 30 * time.Second
+	cfg.SLOWindow = 128
+	cfg.Tuner = tuner.LoopConfig{Cadence: 10 * time.Second}
+	cfg.Autotune = true
+	var rep *harness.ShiftReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = harness.RunShift(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Recovered {
+		b.Fatalf("budget never recovered: final %.3f vs pre-shift %.3f",
+			rep.FinalBudget, rep.PreShiftBudget)
+	}
+	b.ReportMetric(float64(rep.Retunes), "retunes_total")
+	b.ReportMetric(rep.PostShiftWithinRatio, "post_shift_slo_within_ratio")
+	b.ReportMetric(rep.FinalBudget, "slo_error_budget")
+}
+
 // BenchmarkRegionTuner measures the tuner's optimization cost.
 func BenchmarkRegionTuner(b *testing.B) {
 	w := tuner.Workload{

@@ -5,9 +5,12 @@
 //
 // Output goes to stdout; see EXPERIMENTS.md for the paper-vs-measured
 // comparison. With -obs ADDR the run also serves the live ops surface
-// (/metrics, /slo, /queries/recent, /queries/slow, /regions, /trace/last);
-// with -snapshot DIR the /slo and /queries/slow payloads are written as
-// JSON files when the run ends (the bench-smoke CI artifact).
+// (/metrics, /slo, /queries/recent, /queries/slow, /regions, /trace/last,
+// /tuner); with -snapshot DIR the /slo, /queries/slow and /tuner payloads
+// are written as JSON files when the run ends (the bench-smoke CI artifact).
+// -chaos runs the fault-injection workload instead; -shift runs the
+// workload bound-mix shift scenario that demonstrates closed-loop
+// autotuning; -autotune enables the tuning loop on any scenario.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"relaxedcc/internal/core"
 	"relaxedcc/internal/harness"
 	"relaxedcc/internal/obs"
+	"relaxedcc/internal/tuner"
 )
 
 func main() {
@@ -38,18 +42,26 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "data generation seed")
 	chaos := flag.Bool("chaos", false,
 		"run the fault-injection workload instead: availability and served-staleness under link faults")
+	shift := flag.Bool("shift", false,
+		"run the workload bound-mix shift scenario: SLO budget recovery with vs without closed-loop autotuning")
+	autotune := flag.Bool("autotune", false,
+		"enable the closed-loop currency autotuner (tuner.Loop) for the run")
 	obsAddr := flag.String("obs", "",
-		"serve the ops HTTP surface (/metrics /slo /queries/... /regions) on this address for the run")
+		"serve the ops HTTP surface (/metrics /slo /queries/... /regions /tuner) on this address for the run")
 	snapshotDir := flag.String("snapshot", "",
-		"write /slo and /queries/slow JSON snapshots into this directory when the run ends")
+		"write /slo, /queries/slow and /tuner JSON snapshots into this directory when the run ends")
 	flag.Parse()
 	cfg.ScaleStatsToPaper = !*rawStats
 
-	// attach serves the ops endpoints (if requested) and remembers the
-	// system so snapshots can be taken after the run.
+	// attach enables autotuning (if requested), serves the ops endpoints
+	// (if requested) and remembers the system so snapshots can be taken
+	// after the run.
 	var sys *core.System
 	attach := func(s *core.System) {
 		sys = s
+		if *autotune && s.Tuner() == nil {
+			s.EnableAutotune(tuner.LoopConfig{})
+		}
 		if *obsAddr == "" {
 			return
 		}
@@ -58,10 +70,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rccbench: obs:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "serving ops endpoints on http://%s/metrics (/slo, /queries/recent, /queries/slow, /regions, /trace/last)\n", addr)
+		fmt.Fprintf(os.Stderr, "serving ops endpoints on http://%s/metrics (/slo, /queries/recent, /queries/slow, /regions, /trace/last, /tuner)\n", addr)
 	}
 
-	if *chaos {
+	if *shift {
+		scfg := harness.DefaultShiftConfig()
+		scfg.Seed = cfg.Seed
+		scfg.OnSystem = attach
+		if err := harness.RunShiftReport(os.Stdout, scfg); err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench:", err)
+			os.Exit(1)
+		}
+	} else if *chaos {
 		ccfg := harness.DefaultChaosConfig()
 		ccfg.Seed = cfg.Seed
 		ccfg.OnSystem = attach
@@ -90,19 +110,27 @@ func main() {
 	}
 }
 
-// writeSnapshots dumps the post-run /slo and /queries/slow payloads as JSON
-// files, exactly as the HTTP surface would serve them.
+// writeSnapshots dumps the post-run /slo, /queries/slow and /tuner payloads
+// as JSON files, exactly as the HTTP surface would serve them. /tuner is
+// optional: on a run without autotuning it 404s and no file is written.
 func writeSnapshots(sys *core.System, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	h := sys.ObsHandler()
-	for _, snap := range []struct{ file, url string }{
-		{"slo.json", "/slo"},
-		{"queries_slow.json", "/queries/slow?threshold=0s"},
+	for _, snap := range []struct {
+		file, url string
+		optional  bool
+	}{
+		{file: "slo.json", url: "/slo"},
+		{file: "queries_slow.json", url: "/queries/slow?threshold=0s"},
+		{file: "tuner.json", url: "/tuner", optional: true},
 	} {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, snap.url, nil))
+		if snap.optional && rr.Code == http.StatusNotFound {
+			continue
+		}
 		if rr.Code != http.StatusOK {
 			return fmt.Errorf("GET %s: status %d", snap.url, rr.Code)
 		}

@@ -11,6 +11,7 @@
 //	\stats            show remote-link traffic counters
 //	\metrics          dump the cache's metrics registry
 //	\trace            show the last recorded execution trace
+//	\tuner            show the autotuner's decision timeline (-autotune)
 //	\plan <query>     show the chosen plan without executing
 //	\q                quit
 //
@@ -18,8 +19,10 @@
 // it and prints the annotated trace tree (per-node time and rows, guard
 // verdicts, region staleness at decision time). With -obs ADDR (or the
 // legacy alias -metrics) the shell also serves the full ops surface over
-// HTTP: /metrics, /trace/last, /queries/recent, /queries/slow, /slo and
-// /regions.
+// HTTP: /metrics, /trace/last, /queries/recent, /queries/slow, /slo,
+// /regions and /tuner. With -autotune the closed-loop currency autotuner
+// runs during \run advances, retuning refresh intervals from the observed
+// workload.
 package main
 
 import (
@@ -34,13 +37,16 @@ import (
 	"relaxedcc/internal/obs"
 	"relaxedcc/internal/opt"
 	"relaxedcc/internal/sqlparser"
+	"relaxedcc/internal/tuner"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.005, "physical TPC-D scale factor")
 	obsAddr := flag.String("obs", "",
-		"serve the ops HTTP surface (/metrics /trace/last /queries/... /slo /regions) on this address (e.g. :8080)")
+		"serve the ops HTTP surface (/metrics /trace/last /queries/... /slo /regions /tuner) on this address (e.g. :8080)")
 	metricsAddr := flag.String("metrics", "", "legacy alias for -obs")
+	autotune := flag.Bool("autotune", false,
+		"enable the closed-loop currency autotuner; inspect it with \\tuner or /tuner")
 	flag.Parse()
 	if *obsAddr == "" {
 		*obsAddr = *metricsAddr
@@ -54,13 +60,18 @@ func main() {
 		os.Exit(1)
 	}
 	sess := sys.Cache.NewSession()
+	epoch := sys.Clock.Now()
+	if *autotune {
+		sys.EnableAutotune(tuner.LoopConfig{})
+		fmt.Println("closed-loop autotuning enabled; inspect with \\tuner")
+	}
 	if *obsAddr != "" {
 		_, addr, err := obs.Serve(*obsAddr, sys.ObsHandler())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "obs:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("serving ops endpoints on http://%s/metrics (/trace/last, /queries/recent, /queries/slow, /slo, /regions)\n", addr)
+		fmt.Printf("serving ops endpoints on http://%s/metrics (/trace/last, /queries/recent, /queries/slow, /slo, /regions, /tuner)\n", addr)
 	}
 	fmt.Println(`ready. tables: Customer, Orders; views: cust_prj (CR1), orders_prj (CR2).`)
 	fmt.Println(`try: SELECT c_name FROM Customer WHERE c_custkey = 17 CURRENCY 60 ON (Customer)`)
@@ -99,8 +110,15 @@ func main() {
 				if ok {
 					stale = fmt.Sprintf("%v stale", now.Sub(ts))
 				}
+				interval := r.UpdateInterval
+				if a := sys.Cache.Agent(r.ID); a != nil && a.Interval() != interval {
+					// A live retune overrides the configured cadence.
+					fmt.Printf("  CR%d %-16s interval=%v (configured %v) delay=%v  %s\n",
+						r.ID, r.Name, a.Interval(), interval, r.UpdateDelay, stale)
+					continue
+				}
 				fmt.Printf("  CR%d %-16s interval=%v delay=%v  %s\n",
-					r.ID, r.Name, r.UpdateInterval, r.UpdateDelay, stale)
+					r.ID, r.Name, interval, r.UpdateDelay, stale)
 			}
 		case line == `\stats`:
 			st := sys.Cache.Link().Stats()
@@ -118,6 +136,13 @@ func main() {
 				fmt.Println("--", sql)
 			}
 			root.Render(os.Stdout)
+		case line == `\tuner`:
+			loop := sys.Tuner()
+			if loop == nil {
+				fmt.Println("  autotuning is off; restart with -autotune")
+				continue
+			}
+			harness.RenderTuner(os.Stdout, loop.Snapshot(), epoch)
 		case strings.HasPrefix(line, `\plan `):
 			sql := strings.TrimPrefix(line, `\plan `)
 			sel, err := sqlparser.ParseSelect(sql)
@@ -133,7 +158,7 @@ func main() {
 			fmt.Printf("  constraint: %v\n  plan:       %s\n  est. cost:  %.3f ms\n  class:      %s\n",
 				q.Constraint, plan.Shape, plan.Cost, harness.PlanLabel(plan))
 		case strings.HasPrefix(line, `\`):
-			fmt.Println("unknown meta command; try \\run 30s, \\regions, \\stats, \\metrics, \\trace, \\plan <q>, \\q")
+			fmt.Println("unknown meta command; try \\run 30s, \\regions, \\stats, \\metrics, \\trace, \\tuner, \\plan <q>, \\q")
 		default:
 			res, err := sess.Execute(line)
 			if err != nil {

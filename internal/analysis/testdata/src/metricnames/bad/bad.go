@@ -22,4 +22,9 @@ func register(r *Registry, suffix string) {
 	r.CounterVec("ok_total", "BadLabel") // want:metricnames
 	r.Counter("queries_served")          // want:metricnames
 	r.Counter("cross_file_total")
+	// Tuner-name drift: a retune counter without the _total suffix, and the
+	// target-interval gauge re-registered under another kind.
+	r.CounterVec("tuner_retunes", "region") // want:metricnames
+	r.Gauge("tuner_target_interval_ns")
+	r.Histogram("tuner_target_interval_ns") // want:metricnames
 }

@@ -20,4 +20,9 @@ func register(r *Registry) {
 	r.CounterVec("span_events_total", "kind")
 	r.GaugeVec("slo_error_budget", "region")
 	r.HistogramVec("slo_served_staleness_ns", "region")
+	// The shapes the autotuning loop registers: counters carry _total, the
+	// target interval is a gauge.
+	r.CounterVec("tuner_retunes_total", "region")
+	r.CounterVec("tuner_held_total", "region")
+	r.GaugeVec("tuner_target_interval_ns", "region")
 }

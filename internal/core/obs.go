@@ -8,8 +8,11 @@ import (
 
 // ObsHandler returns the fully wired ops HTTP surface for the system's
 // primary cache: /metrics, /trace/last, /queries/recent, /queries/slow,
-// /slo and /regions. Every endpoint refreshes the staleness gauges first so
-// snapshots reflect current replication state even between queries.
+// /slo, /regions and — once EnableAutotune has run — /tuner. Every endpoint
+// refreshes the staleness gauges first so snapshots reflect current
+// replication state even between queries. The tuner closure re-reads
+// s.tuner per request, so enabling autotuning after the handler is built
+// still lights up /tuner.
 func (s *System) ObsHandler() http.Handler {
 	return obs.NewHandler(obs.Ops{
 		Registry: s.Cache.Obs(),
@@ -18,5 +21,11 @@ func (s *System) ObsHandler() http.Handler {
 		SLO:      s.Cache.SLO(),
 		Refresh:  s.Cache.RefreshStalenessGauges,
 		Regions:  s.Cache.RegionStatuses,
+		Tuner: func() any {
+			if l := s.tuner; l != nil {
+				return l.Snapshot()
+			}
+			return nil
+		},
 	})
 }

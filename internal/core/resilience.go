@@ -67,14 +67,16 @@ func (s *System) watch(a *repl.Agent) {
 	wd := repl.NewWatchdog(a, 0)
 	wd.Instrument(s.Cache.Obs())
 	s.Watchdogs = append(s.Watchdogs, wd)
-	// Check on the agent's own cadence: the default stall threshold is
-	// three update intervals, so a wedged agent is caught on the third
-	// missed propagation.
-	iv := a.Region.UpdateInterval
-	if iv <= 0 {
-		iv = time.Second
-	}
-	s.Coord.AddPeriodic(iv, wd.Check)
+	// Check on the agent's own cadence — re-read every due-time computation
+	// so the watchdog follows autotuner retunes: the default stall threshold
+	// is three (effective) update intervals, so a wedged agent is caught on
+	// the third missed propagation at whatever cadence it runs.
+	s.Coord.AddPeriodicFn(func() time.Duration {
+		if iv := a.Interval(); iv > 0 {
+			return iv
+		}
+		return time.Second
+	}, wd.Check)
 }
 
 // heartbeatCadence is the slowest heartbeat interval across the cache's

@@ -15,6 +15,7 @@ import (
 	"relaxedcc/internal/fault"
 	"relaxedcc/internal/mtcache"
 	"relaxedcc/internal/repl"
+	"relaxedcc/internal/tuner"
 	"relaxedcc/internal/vclock"
 )
 
@@ -32,6 +33,9 @@ type System struct {
 	resilient bool
 	watched   map[int]bool
 	faults    *fault.Injector
+	// tuner is the closed-loop autotuner installed by EnableAutotune (see
+	// autotune.go); nil until enabled.
+	tuner *tuner.Loop
 }
 
 // NewSystem creates an empty system on a fresh virtual clock.
@@ -62,7 +66,7 @@ func (s *System) AddCacheRegion(c *mtcache.Cache, r *catalog.Region) error {
 	if err != nil {
 		return err
 	}
-	s.Coord.AddHeartbeat(r.ID, c.Catalog().Region(r.ID).HeartbeatInterval, s.Backend.Beat)
+	s.Coord.AddHeartbeatFn(r.ID, agent.HeartbeatInterval, s.Backend.Beat)
 	s.Coord.AddAgent(agent)
 	return nil
 }
@@ -82,13 +86,18 @@ func (s *System) AddRegion(r *catalog.Region) error {
 	if err != nil {
 		return err
 	}
-	s.Coord.AddHeartbeat(r.ID, s.Cache.Catalog().Region(r.ID).HeartbeatInterval, s.Backend.Beat)
+	// Heartbeats follow the agent's effective cadence so autotuner retunes
+	// apply to the freshness signal too, not just propagation.
+	s.Coord.AddHeartbeatFn(r.ID, agent.HeartbeatInterval, s.Backend.Beat)
 	s.Coord.AddAgent(agent)
 	if s.faults != nil {
 		agent.SetStallProbe(s.faults)
 	}
 	if s.resilient {
 		s.watch(agent)
+	}
+	if s.tuner != nil {
+		s.tuner.AddRegion(agentActuator{agent})
 	}
 	return nil
 }

@@ -1,0 +1,354 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"relaxedcc/internal/catalog"
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/fault"
+	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/remote"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/tuner"
+)
+
+// ShiftConfig scripts the workload bound-mix shift scenario: a single-region
+// cache starts under loose currency bounds (the configured 60s refresh
+// interval is plenty), then the workload flips to tight bounds at the same
+// moment a partition cuts the remote fall-back. Without retuning, every
+// query degrades and the region's SLO error budget stays exhausted; with
+// the autotuning loop enabled, the observer sees the new bound mix, the
+// loop steps the refresh interval down, and the budget recovers — with zero
+// manual interval changes. Everything is driven by the virtual clock and
+// one seed, so the same config replays the same run byte for byte.
+type ShiftConfig struct {
+	Seed int64
+	// Duration is the total measured virtual time; ShiftAt is the offset of
+	// the bound-mix flip (and partition start).
+	Duration time.Duration
+	ShiftAt  time.Duration
+	// QueryInterval is the virtual time between queries.
+	QueryInterval time.Duration
+
+	// Region cadence as configured — the baseline the autotuner retunes.
+	UpdateInterval    time.Duration
+	UpdateDelay       time.Duration
+	HeartbeatInterval time.Duration
+
+	// LooseBound is the pre-shift currency bound (comfortably above the
+	// configured staleness), TightBound the post-shift one (far below it).
+	LooseBound time.Duration
+	TightBound time.Duration
+
+	// SLO window sizing; the window is in serves, so it also sets how much
+	// clean traffic a recovery needs (window/rate seconds).
+	SLOTarget float64
+	SLOWindow int
+
+	// Link faults: base latency plus jitter on every remote call. The
+	// partition itself always runs from ShiftAt to the end of the run.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+
+	// Autotune enables the closed loop; Tuner parameterizes it (zero fields
+	// select the tuner.LoopConfig defaults).
+	Autotune bool
+	Tuner    tuner.LoopConfig
+
+	// OnSystem, if set, receives the fully wired system before any virtual
+	// time passes (same contract as ChaosConfig.OnSystem).
+	OnSystem func(*core.System)
+}
+
+// DefaultShiftConfig sizes the scenario so the budget burns for several
+// observation windows and still has room to recover fully: a 5-virtual-
+// minute run, the shift at 100s, a 60s configured interval against a 4s
+// post-shift bound, and an SLO window one fifth of the post-shift traffic.
+func DefaultShiftConfig() ShiftConfig {
+	return ShiftConfig{
+		Seed:              2004,
+		Duration:          300 * time.Second,
+		ShiftAt:           100 * time.Second,
+		QueryInterval:     250 * time.Millisecond,
+		UpdateInterval:    60 * time.Second,
+		UpdateDelay:       500 * time.Millisecond,
+		HeartbeatInterval: 1 * time.Second,
+		LooseBound:        300 * time.Second,
+		TightBound:        4 * time.Second,
+		SLOTarget:         0.99,
+		SLOWindow:         256,
+		Latency:           1 * time.Millisecond,
+		LatencyJitter:     1 * time.Millisecond,
+		Tuner:             tuner.LoopConfig{Cadence: 15 * time.Second},
+	}
+}
+
+// ShiftReport is the outcome of one shift run. All fields are values (the
+// sections are pre-rendered strings), so reports compare with == and the
+// byte-identical determinism guarantee is directly checkable.
+type ShiftReport struct {
+	Autotune bool
+
+	Queries  int
+	Answered int
+	Failed   int
+	Local    int
+	Degraded int
+	Remote   int
+
+	// PreShiftBudget is the region's SLO error budget the moment the shift
+	// happens; FinalBudget is the budget when the run ends. Recovered means
+	// the budget returned to at least the pre-shift level after having
+	// dropped below it, RecoveryAfter how long past the shift that took.
+	PreShiftBudget float64
+	FinalBudget    float64
+	Recovered      bool
+	RecoveryAfter  time.Duration
+
+	// Post-shift serve quality: how many queries after the shift were
+	// within bound (degraded serves never are; remote serves always are;
+	// local serves iff staleness fits the tight bound).
+	PostShiftQueries     int
+	PostShiftWithin      int
+	PostShiftWithinRatio float64
+
+	// Tuner activity (zero when autotuning is off).
+	Retunes        int64
+	Held           int64
+	FinalInterval  time.Duration
+	FinalHeartbeat time.Duration
+
+	// Tuner is the pre-rendered per-region tuner section (decision timeline
+	// with offsets from the measurement start, plus budget recovery time);
+	// SLO is the pre-rendered currency-SLO section.
+	Tuner string
+	SLO   string
+}
+
+// RunShift executes the scripted workload-shift run.
+func RunShift(cfg ShiftConfig) (*ShiftReport, error) {
+	sys := core.NewSystem()
+	sys.MustExec("CREATE TABLE T (id BIGINT NOT NULL PRIMARY KEY, v BIGINT)")
+	if err := sys.AddRegion(&catalog.Region{
+		ID: 1, Name: "R",
+		UpdateInterval:    cfg.UpdateInterval,
+		UpdateDelay:       cfg.UpdateDelay,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+	}); err != nil {
+		return nil, err
+	}
+	if err := sys.CreateView(&catalog.View{
+		Name: "t_prj", BaseTable: "T", Columns: []string{"id", "v"}, RegionID: 1,
+	}); err != nil {
+		return nil, err
+	}
+	if err := sys.Backend.LoadRows("T", []sqltypes.Row{{sqltypes.NewInt(1), sqltypes.NewInt(1)}}); err != nil {
+		return nil, err
+	}
+	sys.Analyze()
+	sys.Cache.ConfigureSLO(cfg.SLOTarget, cfg.SLOWindow)
+
+	inj := fault.New(cfg.Seed)
+	inj.SetLatency(cfg.Latency, cfg.LatencyJitter)
+	sys.InjectFaults(inj)
+	sys.EnableResilience(remote.Policy{})
+	if cfg.Autotune {
+		sys.EnableAutotune(cfg.Tuner)
+	}
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
+
+	// Warm up one full propagation cycle so the region has synchronized at
+	// least once before measurement starts.
+	if err := sys.Run(cfg.UpdateInterval + cfg.UpdateDelay + 2*cfg.HeartbeatInterval); err != nil {
+		return nil, err
+	}
+
+	sess := sys.Cache.NewSession()
+	sess.Action = mtcache.ActionServeLocal
+	loose := fmt.Sprintf("SELECT v FROM T WHERE id = 1 CURRENCY %d MS ON (T)", cfg.LooseBound.Milliseconds())
+	tight := fmt.Sprintf("SELECT v FROM T WHERE id = 1 CURRENCY %d MS ON (T)", cfg.TightBound.Milliseconds())
+
+	start := sys.Clock.Now()
+	rep := &ShiftReport{Autotune: cfg.Autotune, PreShiftBudget: 1}
+	budget := func() float64 {
+		snap := sys.Cache.SLO().Snapshot()
+		for _, r := range snap.Regions {
+			if r.Region == 1 {
+				return r.ErrorBudget
+			}
+		}
+		return 1
+	}
+
+	shifted, burned := false, false
+	for off := time.Duration(0); off < cfg.Duration; off += cfg.QueryInterval {
+		if err := sys.RunTo(start.Add(off)); err != nil {
+			return nil, err
+		}
+		if !shifted && off >= cfg.ShiftAt {
+			shifted = true
+			rep.PreShiftBudget = budget()
+			inj.PartitionUntil(start.Add(cfg.Duration))
+		}
+		q := loose
+		if shifted {
+			q = tight
+		}
+
+		rep.Queries++
+		res, err := sess.Query(q)
+		if err != nil {
+			rep.Failed++
+			continue
+		}
+		rep.Answered++
+		within := true
+		switch {
+		case res.Degraded:
+			rep.Degraded++
+			within = false
+		case len(res.LocalViews) > 0:
+			rep.Local++
+			if ts, ok := sys.Cache.LastSync(1); ok {
+				within = sys.Clock.Now().Sub(ts) <= cfg.TightBound
+			}
+		default:
+			rep.Remote++
+		}
+		if shifted {
+			rep.PostShiftQueries++
+			if within {
+				rep.PostShiftWithin++
+			}
+			b := budget()
+			if b < rep.PreShiftBudget {
+				burned = true
+			}
+			if burned && !rep.Recovered && b >= rep.PreShiftBudget {
+				rep.Recovered = true
+				rep.RecoveryAfter = off - cfg.ShiftAt
+			}
+		}
+	}
+
+	rep.FinalBudget = budget()
+	if rep.PostShiftQueries > 0 {
+		rep.PostShiftWithinRatio = float64(rep.PostShiftWithin) / float64(rep.PostShiftQueries)
+	}
+	if a := sys.Cache.Agent(1); a != nil {
+		rep.FinalInterval = a.Interval()
+		rep.FinalHeartbeat = a.HeartbeatInterval()
+	}
+	if loop := sys.Tuner(); loop != nil {
+		snap := loop.Snapshot()
+		for _, r := range snap.Regions {
+			rep.Retunes += r.Retunes
+			rep.Held += r.Held
+		}
+		rep.Tuner = renderTunerTimeline(snap, start, rep)
+	}
+	rep.SLO = renderSLO(sys.Cache.SLO().Snapshot())
+	return rep, nil
+}
+
+// renderTunerTimeline formats a tuner snapshot as the report's per-region
+// section: effective state, budget recovery time, and the full decision
+// timeline with offsets from the measurement start. Fully deterministic for
+// a seeded run.
+func renderTunerTimeline(snap tuner.Snapshot, origin time.Time, rep *ShiftReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop: cadence %s, dead-band %.0f%%, max step %.0fx, min samples %d\n",
+		time.Duration(snap.CadenceNS), snap.DeadBand*100, snap.MaxStep, snap.MinSamples)
+	for _, r := range snap.Regions {
+		fmt.Fprintf(&b, "region %d: interval %s, heartbeat %s, delay %s, %d retunes, %d held\n",
+			r.Region, time.Duration(r.IntervalNS), time.Duration(r.HeartbeatNS),
+			time.Duration(r.DelayNS), r.Retunes, r.Held)
+	}
+	if rep != nil {
+		if rep.Recovered {
+			fmt.Fprintf(&b, "budget recovery: %s after the shift (to %.2f)\n",
+				rep.RecoveryAfter, rep.PreShiftBudget)
+		} else {
+			fmt.Fprintf(&b, "budget recovery: none within the run\n")
+		}
+	}
+	for _, d := range snap.Decisions {
+		off := time.Unix(0, d.AtNS).Sub(origin)
+		if d.Applied {
+			fmt.Fprintf(&b, "  [%+v] region %d: %s -> %s (solved %s, hb %s, qps %.1f, local %.0f%%, %s)\n",
+				off, d.Region,
+				time.Duration(d.PrevIntervalNS), time.Duration(d.AppliedIntervalNS),
+				time.Duration(d.SolvedIntervalNS), time.Duration(d.HeartbeatNS),
+				d.QueriesPerSecond, d.LocalRatio*100, d.Reason)
+		} else {
+			fmt.Fprintf(&b, "  [%+v] region %d: %s (interval %s, qps %.1f, local %.0f%%)\n",
+				off, d.Region, d.Reason,
+				time.Duration(d.PrevIntervalNS), d.QueriesPerSecond, d.LocalRatio*100)
+		}
+	}
+	return b.String()
+}
+
+// RenderTuner formats a tuner snapshot with decision offsets from origin —
+// the report renderer, exported for the CLIs' \tuner views.
+func RenderTuner(w io.Writer, snap tuner.Snapshot, origin time.Time) {
+	fmt.Fprint(w, renderTunerTimeline(snap, origin, nil))
+}
+
+// RunShiftReport runs the shift scenario twice from the same seed — with
+// and without autotuning — and prints the comparison plus the tuner
+// decision timeline that explains the recovery. cfg.Autotune is ignored;
+// cfg.OnSystem (if set) receives the autotuned arm's system.
+func RunShiftReport(w io.Writer, cfg ShiftConfig) error {
+	onCfg := cfg
+	onCfg.Autotune = true
+	offCfg := cfg
+	offCfg.Autotune = false
+	offCfg.OnSystem = nil
+	on, err := RunShift(onCfg)
+	if err != nil {
+		return err
+	}
+	off, err := RunShift(offCfg)
+	if err != nil {
+		return err
+	}
+
+	section(w, "Chaos: workload bound-mix shift (closed-loop autotuning)")
+	fmt.Fprintf(w, "shift at %s: bounds %s -> %s, partition until end of run\n",
+		cfg.ShiftAt, cfg.LooseBound, cfg.TightBound)
+	fmt.Fprintf(w, "%-32s %14s %14s\n", "", "autotune=on", "autotune=off")
+	row := func(label, a, b string) { fmt.Fprintf(w, "%-32s %14s %14s\n", label, a, b) }
+	row("queries", fmt.Sprintf("%d", on.Queries), fmt.Sprintf("%d", off.Queries))
+	row("local/degraded/remote",
+		fmt.Sprintf("%d/%d/%d", on.Local, on.Degraded, on.Remote),
+		fmt.Sprintf("%d/%d/%d", off.Local, off.Degraded, off.Remote))
+	row("pre-shift error budget", fmt.Sprintf("%.2f", on.PreShiftBudget), fmt.Sprintf("%.2f", off.PreShiftBudget))
+	row("final error budget", fmt.Sprintf("%.2f", on.FinalBudget), fmt.Sprintf("%.2f", off.FinalBudget))
+	rec := func(r *ShiftReport) string {
+		if r.Recovered {
+			return fmt.Sprintf("%s", r.RecoveryAfter)
+		}
+		return "never"
+	}
+	row("budget recovered after", rec(on), rec(off))
+	row("post-shift within bound",
+		fmt.Sprintf("%.1f%%", on.PostShiftWithinRatio*100),
+		fmt.Sprintf("%.1f%%", off.PostShiftWithinRatio*100))
+	row("retunes / held", fmt.Sprintf("%d/%d", on.Retunes, on.Held), fmt.Sprintf("%d/%d", off.Retunes, off.Held))
+	row("final interval", on.FinalInterval.String(), off.FinalInterval.String())
+	row("final heartbeat", on.FinalHeartbeat.String(), off.FinalHeartbeat.String())
+
+	section(w, "Tuner decisions (autotune=on)")
+	fmt.Fprint(w, on.Tuner)
+	section(w, "Currency SLO (autotune=on)")
+	fmt.Fprint(w, on.SLO)
+	section(w, "Currency SLO (autotune=off)")
+	fmt.Fprint(w, off.SLO)
+	return nil
+}

@@ -86,7 +86,7 @@ func New(clock vclock.Clock, back *backend.Server) *Cache {
 	if err := catalog.New().AddTable(hbDef); err != nil {
 		panic(err) // static definition cannot fail
 	}
-	co := newCacheObs(obs.NewRegistry())
+	co := newCacheObs(clock, obs.NewRegistry())
 	link := remote.NewClient(back)
 	// The link starts in passthrough mode (single attempt, no breaker) so
 	// plain caches behave exactly like a direct connection; callers opt into

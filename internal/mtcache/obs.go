@@ -7,6 +7,7 @@ import (
 
 	"relaxedcc/internal/exec"
 	"relaxedcc/internal/obs"
+	"relaxedcc/internal/vclock"
 )
 
 // cacheObs bundles the cache's metric instruments, resolved once at cache
@@ -31,14 +32,24 @@ import (
 //	slo_within_bound_ratio{region}    fraction of serves within the session bound (ppm)
 //	slo_error_budget{region}          remaining error budget in the SLO window (ppm)
 //	slo_served_staleness_ns{region}   staleness of guard-approved local serves
+//	tuner_retunes_total{region}       autotuner decisions that changed the interval
+//	tuner_held_total{region}          autotuner decisions held by hysteresis
+//	tuner_target_interval_ns{region}  autotuner's current target interval
+//
+// (the tuner_* instruments register from tuner.NewLoop when autotuning is
+// enabled; they are listed here because they share this cache's registry.)
 type cacheObs struct {
 	reg    *obs.Registry
+	clock  vclock.Clock
 	traces *obs.TraceStore
 	// tracer samples query lifecycles into the recent-query ring and counts
 	// span events; slo folds every guard decision into per-region currency
-	// SLO windows. Both are always non-nil on a cache's obs.
-	tracer *obs.Tracer
-	slo    *obs.SLOTracker
+	// SLO windows; workload aggregates the same decisions into the windowed
+	// profiles the autotuner consumes. All are always non-nil on a cache's
+	// obs.
+	tracer   *obs.Tracer
+	slo      *obs.SLOTracker
+	workload *obs.WorkloadObserver
 
 	queries       *obs.Counter
 	remoteQueries *obs.Counter
@@ -60,12 +71,14 @@ type cacheObs struct {
 	regionLabels map[int]string
 }
 
-func newCacheObs(reg *obs.Registry) *cacheObs {
+func newCacheObs(clock vclock.Clock, reg *obs.Registry) *cacheObs {
 	return &cacheObs{
 		reg:             reg,
+		clock:           clock,
 		traces:          &obs.TraceStore{},
 		tracer:          obs.NewTracer(reg, obs.DefaultSampleEvery, obs.DefaultRingSize),
 		slo:             obs.NewSLOTracker(reg, obs.DefaultSLOTarget, obs.DefaultSLOWindow),
+		workload:        obs.NewWorkloadObserver(clock.Now()),
 		queries:         reg.Counter("mtcache_queries_total"),
 		remoteQueries:   reg.Counter("mtcache_remote_queries_total"),
 		servedStale:     reg.Counter("mtcache_served_stale_total"),
@@ -127,8 +140,11 @@ func (o *cacheObs) onGuard(d exec.GuardDecision) {
 		o.guardStaleness.ObserveDuration(d.Staleness)
 		o.regionStaleness.With(label).SetDuration(d.Staleness)
 	}
-	// Every serve — normal or degraded — lands in the region's SLO window.
-	o.slo.Observe(guardObservation(d))
+	// Every serve — normal or degraded — lands in the region's SLO window
+	// and the autotuner's workload window.
+	g := guardObservation(d)
+	o.slo.Observe(g)
+	o.workload.Record(o.clock.Now(), g)
 }
 
 // onViolation records one degraded-mode event (EvalContext.OnViolation):
@@ -157,8 +173,21 @@ func (c *Cache) Tracer() *obs.Tracer { return c.obs.tracer }
 // SLO returns the cache's per-region currency SLO tracker.
 func (c *Cache) SLO() *obs.SLOTracker { return c.obs.slo }
 
+// ConfigureSLO replaces the SLO tracker's target and window, resetting its
+// accumulated observations (see obs.SLOTracker.Reconfigure). Harness
+// scenarios size the window to the run length before traffic flows.
+func (c *Cache) ConfigureSLO(target float64, window int) {
+	c.obs.slo.Reconfigure(target, window)
+}
+
+// Workload returns the cache's workload observer: the per-region windowed
+// bound-mix/arrival-rate/staleness profiles fed by every guard decision,
+// consumed by the autotuning loop.
+func (c *Cache) Workload() *obs.WorkloadObserver { return c.obs.workload }
+
 // RegionStatuses reports one row per currency region for the ops surface:
-// the region's replication parameters, its staleness right now (clock minus
+// the region's replication parameters (the agent's effective cadence, so a
+// live retune shows up immediately), its staleness right now (clock minus
 // the local heartbeat), whether a heartbeat has ever arrived, and how many
 // transactions its agent has applied.
 func (c *Cache) RegionStatuses() []obs.RegionStatus {
@@ -179,6 +208,8 @@ func (c *Cache) RegionStatuses() []obs.RegionStatus {
 		}
 		if a := c.Agent(r.ID); a != nil {
 			rs.TxnsApplied = a.TransactionsApplied()
+			rs.UpdateIntervalNS = int64(a.Interval())
+			rs.HeartbeatIntervalNS = int64(a.HeartbeatInterval())
 		}
 		out = append(out, rs)
 	}

@@ -40,6 +40,11 @@ type Ops struct {
 	Refresh func()
 	// Regions supplies the /regions rows.
 	Regions func() []RegionStatus
+	// Tuner supplies the /tuner payload (the autotuning loop's snapshot:
+	// config, per-region state, decision timeline). Nil — or a non-nil
+	// func returning nil — disables the endpoint with a 404, so a system
+	// without EnableAutotune keeps a working surface.
+	Tuner func() any
 }
 
 // Handler serves the registry and trace store over HTTP — the PR 2 surface
@@ -60,6 +65,8 @@ func Handler(reg *Registry, traces *TraceStore, refresh func()) http.Handler {
 //	/slo              per-region currency SLO snapshot (within-bound ratio,
 //	                  error budget, served-staleness percentiles)
 //	/regions          currency regions with cadence and live staleness
+//	/tuner            autotuning loop snapshot (hysteresis config, per-region
+//	                  intervals, full decision timeline)
 func NewHandler(o Ops) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -147,6 +154,20 @@ func NewHandler(o Ops) http.Handler {
 			o.Refresh()
 		}
 		writeJSON(w, o.SLO.Snapshot())
+	})
+	mux.HandleFunc("/tuner", func(w http.ResponseWriter, r *http.Request) {
+		var snap any
+		if o.Tuner != nil {
+			snap = o.Tuner()
+		}
+		if snap == nil {
+			http.Error(w, "no autotuner", http.StatusNotFound)
+			return
+		}
+		if o.Refresh != nil {
+			o.Refresh()
+		}
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/regions", func(w http.ResponseWriter, r *http.Request) {
 		if o.Regions == nil {

@@ -193,16 +193,27 @@ func TestOpsRegionsSchema(t *testing.T) {
 	}
 }
 
-// TestOpsEndpointsDisabled: a partially wired Ops (no tracer/SLO/regions)
-// serves 404s on the missing surfaces instead of panicking.
+// TestOpsEndpointsDisabled: a partially wired Ops (no tracer/SLO/regions/
+// tuner) serves 404s on the missing surfaces instead of panicking.
 func TestOpsEndpointsDisabled(t *testing.T) {
 	h := NewHandler(Ops{Registry: NewRegistry()})
-	for _, url := range []string{"/queries/recent", "/queries/slow", "/slo", "/regions"} {
+	for _, url := range []string{"/queries/recent", "/queries/slow", "/slo", "/regions", "/tuner"} {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
 		if rr.Code != 404 {
 			t.Fatalf("GET %s = %d, want 404", url, rr.Code)
 		}
+	}
+}
+
+// TestOpsTunerNilSnapshot: a wired Tuner closure that yields nil (autotune
+// not enabled yet) still 404s rather than serving "null".
+func TestOpsTunerNilSnapshot(t *testing.T) {
+	h := NewHandler(Ops{Registry: NewRegistry(), Tuner: func() any { return nil }})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/tuner", nil))
+	if rr.Code != 404 {
+		t.Fatalf("GET /tuner = %d, want 404", rr.Code)
 	}
 }
 

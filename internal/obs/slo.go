@@ -88,11 +88,40 @@ func NewSLOTracker(reg *Registry, target float64, window int) *SLOTracker {
 	}
 }
 
+// Reconfigure replaces the tracker's target and window and resets every
+// region's accumulated observations (mixed-window counts would be
+// meaningless). target outside (0,1] selects DefaultSLOTarget; window <= 0
+// selects DefaultSLOWindow. Harness scenarios use it to size the window to
+// the run length before any traffic flows.
+func (s *SLOTracker) Reconfigure(target float64, window int) {
+	if target <= 0 || target > 1 {
+		target = DefaultSLOTarget
+	}
+	if window <= 0 {
+		window = DefaultSLOWindow
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.target = target
+	s.window = window
+	// Region windows are rebuilt lazily at their next observation; dropping
+	// them here also resets the within/degraded counts.
+	s.regions = map[int]*regionWindow{}
+}
+
 // Target returns the within-bound objective.
-func (s *SLOTracker) Target() float64 { return s.target }
+func (s *SLOTracker) Target() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.target
+}
 
 // Window returns the sliding-window length in observations.
-func (s *SLOTracker) Window() int { return s.window }
+func (s *SLOTracker) Window() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window
+}
 
 // Observe feeds one guard outcome into the region's window and republishes
 // the gauges. Within-bound semantics:
@@ -213,9 +242,9 @@ type SLOSnapshot struct {
 
 // Snapshot returns the current per-region SLO state, sorted by region id.
 func (s *SLOTracker) Snapshot() SLOSnapshot {
-	snap := SLOSnapshot{Target: s.target, Window: s.window, Regions: []RegionSLO{}}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	snap := SLOSnapshot{Target: s.target, Window: s.window, Regions: []RegionSLO{}}
 	ids := make([]int, 0, len(s.regions))
 	for id := range s.regions {
 		ids = append(ids, id)

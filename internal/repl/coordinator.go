@@ -26,15 +26,31 @@ type Coordinator struct {
 	advancing bool
 }
 
+// event is one periodic activity. Its due time is computed lazily as
+// last + interval so that live interval changes (SetInterval retunes, region
+// reconfiguration) take effect at the very next drain: shrinking an interval
+// pulls the pending wake-up forward, growing it pushes it out.
 type event struct {
-	at       time.Time
+	last     time.Time
 	interval time.Duration
-	// intervalFn, when set, is consulted at every reschedule so interval
-	// changes (e.g. replication reconfiguration) take effect live.
+	// intervalFn, when set, is consulted at every due-time computation so
+	// interval changes take effect live.
 	intervalFn func() time.Duration
 	run        func(now time.Time) error
 	name       string
 	seq        int
+}
+
+// due resolves the event's next fire time from its last run and its current
+// interval.
+func (ev *event) due() time.Time {
+	iv := ev.interval
+	if ev.intervalFn != nil {
+		if v := ev.intervalFn(); v > 0 {
+			iv = v
+		}
+	}
+	return ev.last.Add(iv)
 }
 
 // NewCoordinator creates a coordinator over the virtual clock.
@@ -46,26 +62,35 @@ var eventSeq int
 
 // AddHeartbeat schedules a region's heart to beat every interval.
 func (c *Coordinator) AddHeartbeat(regionID int, interval time.Duration, beat Beater) {
+	c.AddHeartbeatFn(regionID, func() time.Duration { return interval }, beat)
+}
+
+// AddHeartbeatFn schedules a region's heartbeat with the cadence re-read
+// from intervalFn at every due-time computation, so heartbeat retunes (the
+// autotuner adjusts cadence alongside the propagation interval) take effect
+// immediately.
+func (c *Coordinator) AddHeartbeatFn(regionID int, intervalFn func() time.Duration, beat Beater) {
 	eventSeq++
 	c.events = append(c.events, &event{
-		at:       c.clock.Now().Add(interval),
-		interval: interval,
-		run:      func(time.Time) error { return beat(regionID) },
-		name:     "heartbeat",
-		seq:      eventSeq,
+		last:       c.clock.Now(),
+		interval:   intervalFn(),
+		intervalFn: intervalFn,
+		run:        func(time.Time) error { return beat(regionID) },
+		name:       "heartbeat",
+		seq:        eventSeq,
 	})
 }
 
-// AddAgent schedules a distribution agent's wake-ups at its region's update
-// interval. The interval is re-read from the region at every wake-up, so
-// reconfiguring the region (the paper's 30s -> 5min scenario) takes effect
-// at the next propagation.
+// AddAgent schedules a distribution agent's wake-ups at its effective update
+// interval. The interval is re-read at every due-time computation, so
+// reconfiguring the region (the paper's 30s -> 5min scenario) or a live
+// SetInterval retune takes effect at the next drain.
 func (c *Coordinator) AddAgent(a *Agent) {
 	eventSeq++
 	c.events = append(c.events, &event{
-		at:         c.clock.Now().Add(a.Region.UpdateInterval),
-		interval:   a.Region.UpdateInterval,
-		intervalFn: func() time.Duration { return a.Region.UpdateInterval },
+		last:       c.clock.Now(),
+		interval:   a.Interval(),
+		intervalFn: a.Interval,
 		run:        a.Step,
 		name:       "agent",
 		seq:        eventSeq,
@@ -77,11 +102,26 @@ func (c *Coordinator) AddAgent(a *Agent) {
 func (c *Coordinator) AddPeriodic(interval time.Duration, run func(now time.Time) error) {
 	eventSeq++
 	c.events = append(c.events, &event{
-		at:       c.clock.Now().Add(interval),
+		last:     c.clock.Now(),
 		interval: interval,
 		run:      run,
 		name:     "periodic",
 		seq:      eventSeq,
+	})
+}
+
+// AddPeriodicFn schedules a periodic task whose cadence is re-read from
+// intervalFn at every due-time computation (e.g. a watchdog following its
+// agent's retuned propagation interval).
+func (c *Coordinator) AddPeriodicFn(intervalFn func() time.Duration, run func(now time.Time) error) {
+	eventSeq++
+	c.events = append(c.events, &event{
+		last:       c.clock.Now(),
+		interval:   intervalFn(),
+		intervalFn: intervalFn,
+		run:        run,
+		name:       "periodic",
+		seq:        eventSeq,
 	})
 }
 
@@ -100,22 +140,21 @@ func (c *Coordinator) AdvanceTo(target time.Time) error {
 	c.advancing = true
 	defer func() { c.advancing = false }()
 	for {
-		ev := c.nextDue(target)
+		ev, at := c.nextDue(target)
 		if ev == nil {
 			break
 		}
 		// An event handler may itself have advanced the clock (a resilient
 		// link paying backoff in virtual time does); never move it backwards.
-		if ev.at.After(c.clock.Now()) {
-			c.clock.AdvanceTo(ev.at)
+		if at.After(c.clock.Now()) {
+			c.clock.AdvanceTo(at)
 		}
-		if err := ev.run(ev.at); err != nil {
+		// A due time in the past (the interval shrank mid-cycle) still runs
+		// "now" but re-bases from its scheduled slot, preserving cadence.
+		if err := ev.run(at); err != nil {
 			return err
 		}
-		if ev.intervalFn != nil {
-			ev.interval = ev.intervalFn()
-		}
-		ev.at = ev.at.Add(ev.interval)
+		ev.last = at
 	}
 	if target.After(c.clock.Now()) {
 		c.clock.AdvanceTo(target)
@@ -128,15 +167,28 @@ func (c *Coordinator) Advance(d time.Duration) error {
 	return c.AdvanceTo(c.clock.Now().Add(d))
 }
 
-func (c *Coordinator) nextDue(target time.Time) *event {
-	var due []*event
+// nextDue returns the earliest event due at or before target, with its due
+// time. Due times never run before the clock's current position: an event
+// whose interval shrank below the time already elapsed fires at the current
+// instant rather than in the past.
+func (c *Coordinator) nextDue(target time.Time) (*event, time.Time) {
+	now := c.clock.Now()
+	type duePair struct {
+		ev *event
+		at time.Time
+	}
+	var due []duePair
 	for _, ev := range c.events {
-		if !ev.at.After(target) {
-			due = append(due, ev)
+		at := ev.due()
+		if at.Before(now) {
+			at = now
+		}
+		if !at.After(target) {
+			due = append(due, duePair{ev, at})
 		}
 	}
 	if len(due) == 0 {
-		return nil
+		return nil, time.Time{}
 	}
 	sort.Slice(due, func(i, j int) bool {
 		if !due[i].at.Equal(due[j].at) {
@@ -144,12 +196,12 @@ func (c *Coordinator) nextDue(target time.Time) *event {
 		}
 		// Heartbeats fire before agents at the same instant, so a
 		// propagation at time t ships the beat from time t (minus delay).
-		if due[i].name != due[j].name {
-			return due[i].name == "heartbeat"
+		if due[i].ev.name != due[j].ev.name {
+			return due[i].ev.name == "heartbeat"
 		}
-		return due[i].seq < due[j].seq
+		return due[i].ev.seq < due[j].ev.seq
 	})
-	return due[0]
+	return due[0].ev, due[0].at
 }
 
 // Clock returns the coordinator's virtual clock.

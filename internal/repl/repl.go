@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"relaxedcc/internal/catalog"
@@ -182,6 +183,14 @@ type StallProbe interface {
 type Agent struct {
 	Region *catalog.Region
 
+	// interval and hbInterval are live overrides of the region's configured
+	// cadence, set by the autotuning loop via SetInterval /
+	// SetHeartbeatInterval. Zero means "use the catalog value"; the catalog
+	// region itself is never mutated, so the configured baseline stays
+	// readable and the overrides are race-free against planner reads.
+	interval   atomic.Int64
+	hbInterval atomic.Int64
+
 	log        *txn.Log
 	hbTable    string
 	hbSink     HeartbeatSink
@@ -235,6 +244,49 @@ func (a *Agent) SetTracer(t *obs.Tracer) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.tracer = t
+}
+
+// Interval returns the agent's effective propagation interval: the live
+// override when one is set, the region's configured update interval
+// otherwise.
+func (a *Agent) Interval() time.Duration {
+	if v := a.interval.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return a.Region.UpdateInterval
+}
+
+// SetInterval overrides the agent's propagation interval (the paper's f)
+// live; d <= 0 clears the override back to the configured value. The change
+// takes effect at the next virtual-clock tick: the Coordinator recomputes
+// every event's due time from the interval on each drain, so the next
+// wake-up already honors the new cadence (a live Run loop finishes its
+// currently armed sleep first).
+func (a *Agent) SetInterval(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	a.interval.Store(int64(d))
+}
+
+// HeartbeatInterval returns the effective heartbeat cadence: the live
+// override when set, the region's configured value otherwise.
+func (a *Agent) HeartbeatInterval() time.Duration {
+	if v := a.hbInterval.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return a.Region.HeartbeatInterval
+}
+
+// SetHeartbeatInterval overrides the region's heartbeat cadence live;
+// d <= 0 clears the override. The heartbeat bounds how precisely guards can
+// observe staleness, so the autotuner retunes it alongside the propagation
+// interval.
+func (a *Agent) SetHeartbeatInterval(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	a.hbInterval.Store(int64(d))
 }
 
 // Subscribe adds a view to the region. The caller must populate the target
@@ -393,9 +445,10 @@ func (a *Agent) TransactionsApplied() int64 {
 	return a.applied
 }
 
-// Run drives the agent against a live clock: it sleeps the region's update
-// interval (re-read every cycle so reconfiguration takes effect), performs
-// one propagation Step, and repeats until stop is closed. Errors are
+// Run drives the agent against a live clock: it sleeps the agent's
+// effective update interval (re-read every cycle so reconfiguration and
+// SetInterval retunes take effect), performs one propagation Step, and
+// repeats until stop is closed. Errors are
 // delivered to errs if non-nil. Use the Coordinator instead for
 // deterministic virtual-time simulations.
 func (a *Agent) Run(clock vclock.Clock, stop <-chan struct{}, errs chan<- error) {
@@ -403,7 +456,7 @@ func (a *Agent) Run(clock vclock.Clock, stop <-chan struct{}, errs chan<- error)
 		select {
 		case <-stop:
 			return
-		case now := <-clock.After(a.Region.UpdateInterval):
+		case now := <-clock.After(a.Interval()):
 			if err := a.Step(now); err != nil {
 				if errs != nil {
 					select {

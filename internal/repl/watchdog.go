@@ -54,12 +54,14 @@ func (w *Watchdog) Instrument(reg *obs.Registry) {
 // Agent returns the supervised agent.
 func (w *Watchdog) Agent() *Agent { return w.agent }
 
-// stallThreshold resolves the restart threshold at check time.
+// stallThreshold resolves the restart threshold at check time from the
+// agent's effective interval, so a retuned agent is judged against the
+// cadence it is actually running at.
 func (w *Watchdog) stallThreshold() time.Duration {
 	if w.threshold > 0 {
 		return w.threshold
 	}
-	if iv := w.agent.Region.UpdateInterval; iv > 0 {
+	if iv := w.agent.Interval(); iv > 0 {
 		return DefaultStallFactor * iv
 	}
 	return DefaultStallFactor * time.Second

@@ -31,11 +31,17 @@ jq -e '
     # ...and per-region currency-SLO figures in [0, 1] where reported.
     and (.slo_within_ratio | (type == "number" and . >= 0 and . <= 1) or . == null)
     and (.slo_error_budget | (type == "number" and . >= 0 and . <= 1) or . == null)
+    # ...and autotuner shift-scenario figures where reported: a non-negative
+    # retune count and a post-shift within-bound ratio in [0, 1].
+    and (.retunes_total | (type == "number" and . >= 0) or . == null)
+    and (.post_shift_slo_within_ratio | (type == "number" and . >= 0 and . <= 1) or . == null)
   )
   # The guarded SwitchUnion benchmark must be present with its C&C columns.
   and any(.[]; .guard_local_ratio != null and .stale_p95_ms != null)
   # The SLO view of the same guard decisions must ride along.
   and any(.[]; .slo_within_ratio != null and .slo_error_budget != null)
+  # The autotune shift benchmark must be present with the loop columns.
+  and any(.[]; .retunes_total != null and .post_shift_slo_within_ratio != null)
 ' "$file" > /dev/null
 
 # --- Performance gates -----------------------------------------------------
@@ -73,6 +79,23 @@ gate_monotone() {
   ' "$file" > /dev/null
 }
 
+# gate_autotune NAME: the shift benchmark's closed loop must actually act
+# (at least 2 retunes — one max-step round cannot cross the 4x cap) and the
+# post-shift SLO must recover (a majority of post-shift serves within
+# bound; the no-autotune arm sits under 10%).
+gate_autotune() {
+  jq -e --arg n "$1" '
+    def entry($n): map(select(.name | test("^" + $n + "(-[0-9]+)?$"))) | .[0];
+    (entry($n)) as $e
+    | if $e == null then ("check_bench: missing benchmark " + $n) | halt_error
+      elif $e.retunes_total == null or $e.retunes_total < 2 then
+        ("check_bench: " + $n + " autotuner inactive: retunes_total \($e.retunes_total)") | halt_error
+      elif $e.post_shift_slo_within_ratio == null or $e.post_shift_slo_within_ratio < 0.5 then
+        ("check_bench: " + $n + " post-shift SLO did not recover: \($e.post_shift_slo_within_ratio)") | halt_error
+      else true end
+  ' "$file" > /dev/null
+}
+
 # The hash join ran at ~412,600 allocs/op before the vectorized rebuild;
 # the ceiling holds the ≥10x reduction (it sits ~100x below the old number,
 # ~160x above the current one, so only a real regression trips it).
@@ -81,5 +104,6 @@ gate_allocs 'BenchmarkExecHashJoin/batch' 41000
 gate_allocs 'BenchmarkExecScan/batch' 100
 gate_monotone 'BenchmarkExecScan'
 gate_monotone 'BenchmarkExecFilterScan'
+gate_autotune 'BenchmarkExecAutotuneShift'
 
 echo "check_bench: $file ok ($(jq length "$file") benchmark(s))"
