@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench metrics-lint verify cover chaos
+.PHONY: build test vet race lint lint-fixtures bench metrics-lint verify cover chaos
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,19 @@ vet:
 race:
 	$(GO) test -race ./internal/exec/... ./internal/core/... ./internal/mtcache/... ./internal/repl/... ./internal/remote/... ./internal/fault/... ./internal/vclock/... ./internal/harness/...
 
-# Run the full in-repo static-analysis suite (cmd/rcclint): operator Close
-# propagation, lock pairing and ordering, atomic/plain mixed access, and
-# metric-name hygiene.
+# Run the full in-repo static-analysis suite (cmd/rcclint), all seven
+# analyzers: operator Close propagation, lock pairing and ordering,
+# atomic/plain mixed access, metric-name hygiene, wall-clock determinism
+# (wallclock), the columnar selection-vector contract (selvec), and
+# goroutine join/shutdown ownership (goownership).
 lint:
 	$(GO) run ./cmd/rcclint
+
+# Run only the analyzers' own fixture tests: every known-bad/known-good
+# package under internal/analysis/testdata/src, checked against their
+# want:<analyzer> markers, plus the ignore-directive and -strict suites.
+lint-fixtures:
+	$(GO) test ./internal/analysis/ -run 'TestFixtures|TestIgnore|TestStrict|TestMetricNames'
 
 # Check that all registered metric names are lowercase_snake and unique.
 # Kept as a named target for the tier-1 line; now a subset of `make lint`.

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	rcclint [-root dir] [-only a,b] [-json] [dir ...]
+//	rcclint [-root dir] [-only a,b] [-strict] [-json] [dir ...]
 //
 // With no directory arguments it analyzes internal and cmd under the module
-// root. -only restricts the run to a comma-separated subset of analyzers
-// (operatorclose, lockorder, atomicmix, metricnames); -json emits the
-// findings as a JSON array for tooling instead of file:line text.
+// root. -only restricts the run to a comma-separated subset of analyzers;
+// -strict additionally fails the run when the loader degraded anything — an
+// import replaced by an empty placeholder, or a package that type-checked
+// with errors — instead of silently falling back to syntactic analysis;
+// -json emits the findings as a JSON array for tooling instead of
+// file:line text.
 package main
 
 import (
@@ -27,9 +30,10 @@ import (
 func main() {
 	root := flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
 	only := flag.String("only", "", "comma-separated analyzer subset to run")
+	strict := flag.Bool("strict", false, "fail when the loader degrades a package (placeholder import or type errors)")
 	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rcclint [-root dir] [-only a,b] [-json] [dir ...]\nanalyzers: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: rcclint [-root dir] [-only a,b] [-strict] [-json] [dir ...]\nanalyzers: %s\n",
 			strings.Join(analysis.AnalyzerNames(), ", "))
 		flag.PrintDefaults()
 	}
@@ -79,6 +83,9 @@ func main() {
 		fatal(err)
 	}
 	diags := analysis.Run(pkgs, analyzers)
+	if *strict {
+		diags = append(diags, analysis.StrictDiagnostics(loader, pkgs)...)
+	}
 
 	// Report positions relative to the module root for stable output.
 	for i := range diags {

@@ -80,6 +80,9 @@ func Analyzers() []*Analyzer {
 		NewLockOrder(),
 		NewAtomicMix(),
 		NewMetricNames(),
+		NewWallClock(),
+		NewSelVec(),
+		NewGoOwnership(),
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"go/types"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -168,63 +167,3 @@ func runAtomicMix(pass *Pass) {
 	}
 }
 
-// fieldRefOf resolves a selector x.f to (struct type in this package, f).
-// Type information is preferred; the syntactic fallback handles method
-// receivers when the checker could not resolve the expression.
-func fieldRefOf(pass *Pass, fd *ast.FuncDecl, sel *ast.SelectorExpr) (fieldRef, bool) {
-	if pass.Pkg.Info != nil {
-		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && tv.Type != nil {
-			t := tv.Type
-			if p, ok := t.(*types.Pointer); ok {
-				t = p.Elem()
-			}
-			if named, ok := t.(*types.Named); ok {
-				if _, isStruct := named.Underlying().(*types.Struct); isStruct &&
-					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pass.Pkg.ImportPath {
-					return fieldRef{typeName: named.Obj().Name(), field: sel.Sel.Name}, true
-				}
-			}
-			return fieldRef{}, false
-		}
-	}
-	// Fallback: receiver selector in a method.
-	if id, ok := sel.X.(*ast.Ident); ok && fd.Recv != nil && len(fd.Recv.List) > 0 {
-		if len(fd.Recv.List[0].Names) > 0 && fd.Recv.List[0].Names[0].Name == id.Name {
-			if tn := recvTypeName(fd.Recv.List[0].Type); tn != "" {
-				return fieldRef{typeName: tn, field: sel.Sel.Name}, true
-			}
-		}
-	}
-	return fieldRef{}, false
-}
-
-// freshlyConstructed returns local variable names assigned from a composite
-// literal in this function — values not yet visible to other goroutines,
-// whose plain initialization is safe.
-func freshlyConstructed(fd *ast.FuncDecl) map[string]bool {
-	out := map[string]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || as.Tok != token.DEFINE {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			if i >= len(as.Rhs) {
-				break
-			}
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			rhs := as.Rhs[i]
-			if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
-				rhs = un.X
-			}
-			if _, ok := rhs.(*ast.CompositeLit); ok {
-				out[id.Name] = true
-			}
-		}
-		return true
-	})
-	return out
-}

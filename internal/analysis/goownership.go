@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewGoOwnership builds the goownership analyzer with the repo's default
+// target set.
+//
+// Bug class (PR 4): a long-lived component spawns a goroutine with no join
+// or shutdown path — the live-workload agent's first cut leaked its step
+// loop past Close, so a finished scenario kept mutating the store while the
+// next one set up, and the virtual clock's waiter count drifted between
+// runs. The contract: in long-lived components every `go` statement must
+// have a provable ownership story.
+//
+// Accepted ownership shapes, checked syntactically over the spawned body
+// and its spawning function:
+//
+//   - WaitGroup: the body calls X.Done() (directly or deferred) and the
+//     spawning function calls X.Add(...);
+//   - shutdown channel: the body receives from (or selects on) a channel
+//     named stop/done/quit/closing, from ctx.Done(), or from any .Done()
+//     channel, or drains a channel with `for range ch` (joins when the
+//     owner closes it);
+//   - barrier: the body calls X.Wait() — the collector that outlives the
+//     workers it joins;
+//   - clock waiter: the body blocks on a Clock's .After(...) — registered
+//     with the virtual clock and joined through vclock.AwaitWaiters;
+//   - handoff: a non-literal spawn `go x.M(a, b)` where some argument is a
+//     stop/done/quit channel (the callee owns its shutdown), checked by
+//     type when available and by name otherwise.
+//
+// Anything else is flagged at the `go` statement. Genuinely fire-and-forget
+// goroutines carry //rcclint:ignore goownership <reason>.
+func NewGoOwnership() *Analyzer {
+	return NewGoOwnershipWith()
+}
+
+// goTargetDefaults are the long-lived components under the ownership
+// contract; short-lived CLI helpers are out of scope.
+var goTargetDefaults = []string{
+	"internal/repl",
+	"internal/remote",
+	"internal/exec",
+	"internal/harness",
+}
+
+// NewGoOwnershipWith builds the goownership analyzer targeting the default
+// packages plus extra import-path fragments (used by fixture tests).
+func NewGoOwnershipWith(extra ...string) *Analyzer {
+	targets := append(append([]string{}, goTargetDefaults...), extra...)
+	return &Analyzer{
+		Name: "goownership",
+		Doc:  "goroutines in long-lived components must have a provable join or shutdown path",
+		Run: func(pass *Pass) {
+			runGoOwnership(pass, targets)
+		},
+	}
+}
+
+func runGoOwnership(pass *Pass, targets []string) {
+	hit := false
+	for _, frag := range targets {
+		if strings.Contains(pass.Pkg.ImportPath, frag) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Receivers with an Add(...) call anywhere in the spawning
+			// function; matched against Done() inside spawned bodies.
+			adds := waitGroupAdds(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goStmtOwned(pass, gs, adds) {
+					pass.Reportf(gs.Pos(), "goroutine in long-lived component %s has no provable join or shutdown path (WaitGroup Add/Done, stop channel, Wait barrier, or clock-waiter registration)", pass.Pkg.ImportPath)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// waitGroupAdds collects the rendered receivers of X.Add(...) calls.
+func waitGroupAdds(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+			out[renderExpr(sel.X)] = true
+		}
+		return true
+	})
+	return out
+}
+
+// shutdownChanName matches conventional stop-channel identifiers.
+func shutdownChanName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"stop", "done", "quit", "closing", "shutdown"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsShutdown reports whether a receive operand looks like a shutdown
+// or completion signal: a conventionally named channel or a .Done() call.
+func recvIsShutdown(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return shutdownChanName(e.Name)
+	case *ast.SelectorExpr:
+		return shutdownChanName(e.Sel.Name)
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done" || sel.Sel.Name == "After"
+		}
+	}
+	return false
+}
+
+// isChanExpr reports whether an expression has channel type (requires type
+// information; false without it, which errs toward reporting).
+func isChanExpr(pass *Pass, e ast.Expr) bool {
+	if pass.Pkg.Info == nil {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// goStmtOwned decides whether one `go` statement has an ownership story.
+func goStmtOwned(pass *Pass, gs *ast.GoStmt, adds map[string]bool) bool {
+	fl, isLit := gs.Call.Fun.(*ast.FuncLit)
+	if !isLit {
+		// Handoff spawn: go x.M(stop) — some argument carries the shutdown
+		// signal into the callee.
+		for _, arg := range gs.Call.Args {
+			switch a := arg.(type) {
+			case *ast.Ident:
+				if shutdownChanName(a.Name) || a.Name == "ctx" || isChanExpr(pass, a) {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if shutdownChanName(a.Sel.Name) || isChanExpr(pass, a) {
+					return true
+				}
+			case *ast.CallExpr:
+				if sel, ok := a.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+					return true
+				}
+			case *ast.ChanType:
+				return true
+			}
+		}
+		return false
+	}
+	owned := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if owned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Done":
+				// X.Done() as a plain or deferred statement is a WaitGroup
+				// countdown (a context's Done() only appears as a receive
+				// operand, which the UnaryExpr case handles).
+				if adds[renderExpr(sel.X)] {
+					owned = true
+				}
+			case "Wait":
+				owned = true // barrier: joins whatever it outlives
+			case "After":
+				owned = true // clock waiter, joined via vclock.AwaitWaiters
+			}
+		case *ast.UnaryExpr:
+			// <-stop, <-ctx.Done(), <-clock.After(d)
+			if n.Op.String() == "<-" && recvIsShutdown(n.X) {
+				owned = true
+			}
+		case *ast.RangeStmt:
+			// for v := range ch — drains until the owner closes the channel.
+			// Ranging over a slice is not a join, so this needs the type.
+			if isChanExpr(pass, n.X) {
+				owned = true
+			}
+		}
+		return true
+	})
+	return owned
+}

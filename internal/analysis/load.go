@@ -250,6 +250,20 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 	return ph, nil
 }
 
+// Placeholders returns the import paths the loader could not resolve and
+// degraded to empty placeholder packages, sorted. A non-empty list means
+// type information is partial: analyzers silently fell back to syntactic
+// reasoning for anything touching these imports. rcclint -strict turns the
+// list into findings instead of letting the degradation vanish.
+func (l *Loader) Placeholders() []string {
+	out := make([]string, 0, len(l.stdErr))
+	for ip := range l.stdErr {
+		out = append(out, ip)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func pathBase(path string) string {
 	if i := strings.LastIndexByte(path, '/'); i >= 0 {
 		return path[i+1:]

@@ -109,15 +109,6 @@ func (lo *lockOrder) run(pass *Pass) {
 	}
 }
 
-func funcID(pkg *Package, fd *ast.FuncDecl) string {
-	if fd.Recv != nil && len(fd.Recv.List) > 0 {
-		if tn := recvTypeName(fd.Recv.List[0].Type); tn != "" {
-			return pkg.ImportPath + ".(" + tn + ")." + fd.Name.Name
-		}
-	}
-	return pkg.ImportPath + "." + fd.Name.Name
-}
-
 // analyzeFunc collects lock events and calls for one body, runs the
 // intra-function checks, and records the summary for the cross-package
 // phase.
@@ -230,43 +221,6 @@ func (lo *lockOrder) analyzeFunc(pass *Pass, id, bareName string, fd *ast.FuncDe
 	}
 }
 
-// calleeCandidates resolves x.M() to summary keys. With type information
-// the receiver's named type gives an exact key; otherwise (or for interface
-// receivers) the call is matched by bare method name across the module.
-func calleeCandidates(pass *Pass, sel *ast.SelectorExpr) []string {
-	name := sel.Sel.Name
-	// Package-qualified call pkg.F().
-	if id, ok := sel.X.(*ast.Ident); ok && pass.Pkg.Info != nil {
-		if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok {
-			return []string{pn.Imported().Path() + "." + name}
-		}
-	}
-	if pass.Pkg.Info != nil {
-		if tv, ok := pass.Pkg.Info.Types[sel.X]; ok && tv.Type != nil {
-			t := tv.Type
-			for {
-				if p, ok := t.(*types.Pointer); ok {
-					t = p.Elem()
-					continue
-				}
-				break
-			}
-			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
-				// A named interface has no method bodies of its own; match
-				// its calls by bare name against every implementation.
-				if _, isIface := named.Underlying().(*types.Interface); isIface {
-					return []string{"?" + name}
-				}
-				return []string{named.Obj().Pkg().Path() + ".(" + named.Obj().Name() + ")." + name}
-			}
-			if _, ok := t.(*types.Interface); ok {
-				return []string{"?" + name}
-			}
-		}
-	}
-	return []string{"?" + name}
-}
-
 // lockKey names the lock a .Lock()/.Unlock() call targets, as stably as the
 // available information allows: owning named type plus field path when the
 // checker resolved it, else a receiver-type-qualified or package-qualified
@@ -293,26 +247,6 @@ func lockKey(pass *Pass, x ast.Expr, recvName, recvType string) string {
 		return pass.Pkg.ImportPath + "." + id.Name
 	}
 	return pass.Pkg.ImportPath + "." + renderExpr(x)
-}
-
-// renderExpr renders simple expressions (idents, selectors, index exprs)
-// for lock keys.
-func renderExpr(e ast.Expr) string {
-	switch e := e.(type) {
-	case *ast.Ident:
-		return e.Name
-	case *ast.SelectorExpr:
-		return renderExpr(e.X) + "." + e.Sel.Name
-	case *ast.IndexExpr:
-		return renderExpr(e.X) + "[...]"
-	case *ast.ParenExpr:
-		return renderExpr(e.X)
-	case *ast.StarExpr:
-		return renderExpr(e.X)
-	case *ast.CallExpr:
-		return renderExpr(e.Fun) + "()"
-	}
-	return "?"
 }
 
 // checkPairs runs the intra-function lock/unlock pairing checks.

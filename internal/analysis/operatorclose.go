@@ -148,18 +148,6 @@ func sortedStructs(m map[string]*opStruct) []*opStruct {
 	return out
 }
 
-func recvTypeName(e ast.Expr) string {
-	switch t := e.(type) {
-	case *ast.StarExpr:
-		return recvTypeName(t.X)
-	case *ast.Ident:
-		return t.Name
-	case *ast.IndexExpr: // generic receiver
-		return recvTypeName(t.X)
-	}
-	return ""
-}
-
 // mentionsField reports whether expr contains the selector rx.field (or an
 // index/slice of it).
 func mentionsField(e ast.Expr, rx, field string) bool {

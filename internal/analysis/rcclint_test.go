@@ -117,6 +117,12 @@ func TestFixtures(t *testing.T) {
 		{"atomicmix/good", NewAtomicMix},
 		{"metricnames/bad", NewMetricNames},
 		{"metricnames/good", NewMetricNames},
+		{"wallclock/bad", func() *Analyzer { return NewWallClockAllow("wallclock/bad/clockutil") }},
+		{"wallclock/good", NewWallClock},
+		{"selvec/bad", NewSelVec},
+		{"selvec/good", NewSelVec},
+		{"goownership/bad", func() *Analyzer { return NewGoOwnershipWith("testdata/src/goownership") }},
+		{"goownership/good", func() *Analyzer { return NewGoOwnershipWith("testdata/src/goownership") }},
 		{"ignore", NewAtomicMix},
 	}
 	for _, c := range cases {
@@ -153,6 +159,69 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+// TestIgnoreAcrossAnalyzers runs the full analyzer suite over a fixture
+// with one finding per analyzer, each suppressed by a directive naming
+// it. It pins three interaction rules at once: every analyzer honors
+// suppression, a directive silences only its own analyzer (the atomicmix
+// finding sharing a line with a suppressed wallclock finding survives),
+// and malformed directives — unknown analyzer, missing reason — are
+// still reported under the "rcclint" pseudo-analyzer.
+func TestIgnoreAcrossAnalyzers(t *testing.T) {
+	pkgs := loadFixture(t, "ignoreall")
+	all := []*Analyzer{
+		NewOperatorClose(), NewLockOrder(), NewAtomicMix(), NewMetricNames(),
+		NewWallClock(), NewSelVec(), NewGoOwnershipWith("testdata/src/ignoreall"),
+	}
+	diags := Run(pkgs, all)
+
+	var rest []Diagnostic
+	var badDirectives []string
+	for _, d := range diags {
+		if d.Analyzer == "rcclint" {
+			badDirectives = append(badDirectives, d.Message)
+			continue
+		}
+		rest = append(rest, d)
+	}
+
+	// Malformed directives survive no matter which analyzers ran.
+	if len(badDirectives) != 2 {
+		t.Fatalf("want 2 rcclint directive findings, got %v", diags)
+	}
+	for _, want := range []string{`unknown analyzer "nosuchpass"`, "missing reason"} {
+		found := false
+		for _, msg := range badDirectives {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no directive finding containing %q in %v", want, badDirectives)
+		}
+	}
+
+	// Everything else must match the want markers exactly: one surviving
+	// atomicmix finding on the line whose wallclock finding is suppressed,
+	// and nothing from the six analyzers whose findings carry directives.
+	want := wantedFindings(t, pkgs)
+	got := gotFindings(rest)
+	for f, n := range want {
+		if got[f] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", f.file, f.line, n, f.analyzer, got[f])
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("%s:%d: unexpected %s finding (x%d)", f.file, f.line, f.analyzer, n)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("finding: %s", d)
+		}
+	}
+}
+
 // TestMetricNamesZeroRegistrations checks the fail-closed behavior the old
 // shell script had: analyzing packages with no registrations at all is
 // itself a finding.
@@ -165,6 +234,52 @@ func TestMetricNamesZeroRegistrations(t *testing.T) {
 	d := diags[0]
 	if d.Analyzer != "metricnames" || !strings.Contains(d.Message, "no metric registrations") {
 		t.Fatalf("unexpected finding: %s", d)
+	}
+}
+
+// TestStrictDiagnostics pins -strict semantics: a package that parses but
+// fails the type check is silently analyzed on partial information in a
+// normal run, and becomes a positioned "strict" finding under -strict.
+func TestStrictDiagnostics(t *testing.T) {
+	pkgs := loadFixture(t, "strict/broken")
+	if len(pkgs[0].TypeErrors) == 0 {
+		t.Fatal("fixture should have type errors")
+	}
+	// A normal run stays silent: degradation must be opt-in to surface.
+	if diags := Run(pkgs, []*Analyzer{NewAtomicMix()}); len(diags) != 0 {
+		t.Fatalf("normal run should not report degradation: %v", diags)
+	}
+	diags := StrictDiagnostics(fixtureLoader(t), pkgs)
+	var broken []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != "strict" {
+			t.Fatalf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+		if strings.Contains(d.File, "broken") {
+			broken = append(broken, d)
+		}
+	}
+	if len(broken) != 1 {
+		t.Fatalf("want exactly one strict finding for the broken package, got %v", diags)
+	}
+	d := broken[0]
+	if !strings.Contains(d.Message, "type-checked with 1 error(s)") || !strings.Contains(d.Message, "weight") {
+		t.Errorf("finding should carry the error count and first message: %s", d)
+	}
+	if filepath.Base(d.File) != "broken.go" || d.Line == 0 {
+		t.Errorf("finding should be positioned at the offending line: %s", d)
+	}
+}
+
+// TestStrictCleanPackages checks that healthy packages produce no strict
+// findings of the type-error kind (placeholder findings are loader-wide
+// and depend on the environment's stdlib, so they are not asserted here).
+func TestStrictCleanPackages(t *testing.T) {
+	pkgs := loadFixture(t, "lockorder/good")
+	for _, d := range StrictDiagnostics(fixtureLoader(t), pkgs) {
+		if strings.Contains(d.Message, "type-checked") {
+			t.Errorf("unexpected type-error finding for a healthy package: %s", d)
+		}
 	}
 }
 

@@ -1,0 +1,471 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NewSelVec builds the selvec analyzer.
+//
+// Bug class (PR 6): the columnar engine's selection vectors ([]int32) use
+// nil to mean "all rows" and an empty non-nil slice to mean "no rows
+// survive". A kernel that builds its output with `dst = dst[:0]` followed
+// by conditional appends returns nil when the caller passed a nil dst and
+// nothing matched — and the nil flips the meaning from "zero rows" to
+// "every row", which is exactly the andKernel regression the PR 6 review
+// caught.
+//
+// The check is an intra-procedural nil-flow analysis over selection-typed
+// values. Each variable carries two bits: mayNil (could be nil on some
+// path) and produced (this function constructed or resliced it, as opposed
+// to passing a caller's value through). A finding fires when a value that
+// is both mayNil and produced reaches a selection sink:
+//
+//   - a return at a []int32 result position whose accompanying error
+//     result is nil or absent (error paths may return nil freely);
+//   - an assignment or composite-literal key targeting a field named Sel.
+//
+// Pass-throughs (`return cand`, `b.Sel = in.Sel`) are not produced and
+// stay legal; an explicit nil literal at a sink is an intentional
+// "all rows" and is also not flagged. Results of calls to other functions
+// are trusted non-nil, because their producers are lint-enforced under the
+// same contract. The canonical fix is resetting through a non-nil empty
+// selection (exec's emptySel) instead of `dst[:0]` on a possibly-nil dst.
+func NewSelVec() *Analyzer {
+	return &Analyzer{
+		Name: "selvec",
+		Doc:  "selection-vector producers must not return nil to mean \"no rows survive\" (nil reads as \"all rows\")",
+		Run:  runSelVec,
+	}
+}
+
+// selState is the per-variable dataflow state.
+type selState struct {
+	mayNil   bool
+	produced bool
+}
+
+// selFlow analyzes one function body against one signature.
+type selFlow struct {
+	pass  *Pass
+	ftype *ast.FuncType
+	// selResults are the []int32 result positions; errResult the index of a
+	// trailing error result, or -1.
+	selResults []int
+	errResult  int
+}
+
+// isSelTypeExpr reports whether a type expression denotes []int32 (the
+// selection-vector spelling used across the columnar engine).
+func isSelTypeExpr(e ast.Expr) bool {
+	arr, ok := e.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	id, ok := arr.Elt.(*ast.Ident)
+	return ok && id.Name == "int32"
+}
+
+func runSelVec(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Analyze the declaration and every function literal inside it
+			// (kernel constructors return closures; the closure body is where
+			// the contract lives) as independent functions.
+			analyzeSelFn(pass, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					analyzeSelFn(pass, fl.Type, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func analyzeSelFn(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	sf := &selFlow{pass: pass, ftype: ftype, errResult: -1}
+	if ftype.Results != nil {
+		pos := 0
+		for _, field := range ftype.Results.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				if isSelTypeExpr(field.Type) {
+					sf.selResults = append(sf.selResults, pos)
+				}
+				if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+					sf.errResult = pos
+				}
+				pos++
+			}
+		}
+	}
+
+	state := map[string]selState{}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			if !isSelTypeExpr(field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				// A caller's selection may be nil ("all rows"); passing it
+				// through unchanged is legal, so produced stays false.
+				state[name.Name] = selState{mayNil: true, produced: false}
+			}
+		}
+	}
+	sf.walkBlock(body.List, state)
+}
+
+// exprState evaluates the nil-flow state of an expression.
+func (sf *selFlow) exprState(e ast.Expr, state map[string]selState) selState {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return selState{mayNil: true, produced: true}
+		}
+		return state[e.Name]
+	case *ast.ParenExpr:
+		return sf.exprState(e.X, state)
+	case *ast.SliceExpr:
+		// Reslicing keeps the backing pointer: dst[:0] of a nil dst is nil.
+		base := sf.exprState(e.X, state)
+		return selState{mayNil: base.mayNil, produced: true}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "append":
+				if len(e.Args) == 0 {
+					return selState{}
+				}
+				base := sf.exprState(e.Args[0], state)
+				if len(e.Args) > 1 && e.Ellipsis == token.NoPos {
+					// Appending at least one element allocates if needed.
+					return selState{mayNil: false, produced: true}
+				}
+				// append(a, b...) with an empty b keeps a's nilness.
+				return selState{mayNil: base.mayNil, produced: true}
+			case "make":
+				return selState{mayNil: false, produced: true}
+			}
+		}
+		// Other calls: trust lint-enforced producers to return non-nil.
+		return selState{}
+	case *ast.CompositeLit:
+		return selState{mayNil: false, produced: true}
+	}
+	return selState{}
+}
+
+func copySelState(state map[string]selState) map[string]selState {
+	out := make(map[string]selState, len(state))
+	for k, v := range state {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeSelState unions may-nil (and produced) over both branches.
+func mergeSelState(dst, a, b map[string]selState) {
+	names := map[string]bool{}
+	for k := range a {
+		names[k] = true
+	}
+	for k := range b {
+		names[k] = true
+	}
+	for k := range names {
+		sa, sb := a[k], b[k]
+		dst[k] = selState{mayNil: sa.mayNil || sb.mayNil, produced: sa.produced || sb.produced}
+	}
+}
+
+// terminates reports whether a block always leaves the enclosing scope
+// (return, break/continue/goto, or panic) — its state does not flow past
+// the statement that contains it.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch s := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilCheckVar matches `x == nil` / `x != nil` conditions on tracked idents,
+// returning the variable name and whether equality means nil.
+func nilCheckVar(cond ast.Expr) (name string, eqNil, ok bool) {
+	bin, isBin := cond.(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return "", false, false
+	}
+	x, y := bin.X, bin.Y
+	if id, isID := y.(*ast.Ident); isID && id.Name == "nil" {
+		if v, isV := x.(*ast.Ident); isV {
+			return v.Name, bin.Op == token.EQL, true
+		}
+	}
+	if id, isID := x.(*ast.Ident); isID && id.Name == "nil" {
+		if v, isV := y.(*ast.Ident); isV {
+			return v.Name, bin.Op == token.EQL, true
+		}
+	}
+	return "", false, false
+}
+
+func (sf *selFlow) walkBlock(stmts []ast.Stmt, state map[string]selState) {
+	for _, stmt := range stmts {
+		sf.walkStmt(stmt, state)
+	}
+}
+
+func (sf *selFlow) walkStmt(stmt ast.Stmt, state map[string]selState) {
+	// Composite-literal Sel: fields are a sink wherever they appear in this
+	// statement (function literals have their own analysis).
+	sf.checkSelKeys(stmt, state)
+
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		sf.walkBlock(s.List, state)
+	case *ast.AssignStmt:
+		sf.walkAssign(s, state)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					switch {
+					case i < len(vs.Values):
+						state[name.Name] = sf.exprState(vs.Values[i], state)
+					case isSelTypeExpr(vs.Type):
+						// var dst []int32 — zero value is nil.
+						state[name.Name] = selState{mayNil: true, produced: true}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sf.walkStmt(s.Init, state)
+		}
+		thenState := copySelState(state)
+		elseState := copySelState(state)
+		if name, eqNil, ok := nilCheckVar(s.Cond); ok {
+			if v, tracked := state[name]; tracked {
+				if eqNil {
+					elseState[name] = selState{mayNil: false, produced: v.produced}
+				} else {
+					thenState[name] = selState{mayNil: false, produced: v.produced}
+				}
+			}
+		}
+		sf.walkBlock(s.Body.List, thenState)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			sf.walkBlock(e.List, elseState)
+			switch {
+			case terminates(s.Body.List):
+				// Only the else branch falls through (or neither does, in
+				// which case the post-state is unreachable anyway).
+				mergeSelState(state, elseState, elseState)
+			case terminates(e.List):
+				mergeSelState(state, thenState, thenState)
+			default:
+				mergeSelState(state, thenState, elseState)
+			}
+		case *ast.IfStmt:
+			sf.walkStmt(e, elseState)
+			mergeSelState(state, thenState, elseState)
+		default:
+			if terminates(s.Body.List) {
+				mergeSelState(state, elseState, elseState)
+			} else {
+				mergeSelState(state, thenState, elseState)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sf.walkStmt(s.Init, state)
+		}
+		bodyState := copySelState(state)
+		sf.walkBlock(s.Body.List, bodyState)
+		if s.Post != nil {
+			sf.walkStmt(s.Post, bodyState)
+		}
+		mergeSelState(state, state, bodyState)
+	case *ast.RangeStmt:
+		bodyState := copySelState(state)
+		sf.walkBlock(s.Body.List, bodyState)
+		mergeSelState(state, state, bodyState)
+	case *ast.SwitchStmt:
+		sf.walkCases(selCaseBodies(s.Body), state, switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		sf.walkCases(selCaseBodies(s.Body), state, switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		sf.walkCases(selCommBodies(s.Body), state, true)
+	case *ast.ReturnStmt:
+		sf.checkReturn(s, state)
+	case *ast.LabeledStmt:
+		sf.walkStmt(s.Stmt, state)
+	}
+}
+
+func selCaseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func selCommBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (sf *selFlow) walkCases(bodies [][]ast.Stmt, state map[string]selState, hasDefault bool) {
+	// Without a default clause the implicit empty case keeps the pre-switch
+	// state live, so it participates in the merge from the start.
+	merged := copySelState(state)
+	first := hasDefault
+	for _, body := range bodies {
+		cs := copySelState(state)
+		sf.walkBlock(body, cs)
+		if terminates(body) {
+			continue
+		}
+		if first {
+			merged = cs
+			first = false
+		} else {
+			mergeSelState(merged, merged, cs)
+		}
+	}
+	for k, v := range merged {
+		state[k] = v
+	}
+}
+
+func (sf *selFlow) walkAssign(s *ast.AssignStmt, state map[string]selState) {
+	multiCall := len(s.Rhs) == 1 && len(s.Lhs) > 1
+	for i, lhs := range s.Lhs {
+		var rhsState selState
+		var rhs ast.Expr
+		switch {
+		case multiCall:
+			// x, err := f(...): trust the lint-enforced producer.
+			rhsState = selState{}
+		case i < len(s.Rhs):
+			rhs = s.Rhs[i]
+			rhsState = sf.exprState(rhs, state)
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			state[l.Name] = rhsState
+		case *ast.SelectorExpr:
+			if l.Sel.Name != "Sel" {
+				continue
+			}
+			// An explicit nil literal is an intentional "all rows".
+			if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if rhsState.mayNil && rhsState.produced {
+				sf.pass.Reportf(lhs.Pos(), "possibly nil selection stored in %s.Sel: nil means \"all rows\"; reset through the canonical empty selection (emptySel) so zero survivors stay zero", renderExpr(l.X))
+			}
+		}
+	}
+}
+
+// checkSelKeys flags Sel: fields in composite literals built from a
+// possibly-nil produced selection (e.g. Batch{Sel: dst}).
+func (sf *selFlow) checkSelKeys(stmt ast.Stmt, state map[string]selState) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed independently
+		}
+		// Nested statements are walked (and checked) on their own by
+		// walkStmt; descending into them here would double-report.
+		if sub, ok := n.(ast.Stmt); ok && sub != stmt {
+			return false
+		}
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Sel" {
+			return true
+		}
+		id, ok := kv.Value.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := state[id.Name]; v.mayNil && v.produced {
+			sf.pass.Reportf(kv.Pos(), "possibly nil selection stored in Sel: nil means \"all rows\"; reset through the canonical empty selection (emptySel) so zero survivors stay zero")
+		}
+		return true
+	})
+}
+
+func (sf *selFlow) checkReturn(s *ast.ReturnStmt, state map[string]selState) {
+	if len(sf.selResults) == 0 || len(s.Results) == 0 {
+		return
+	}
+	// An error path may return whatever it likes in the data positions.
+	if sf.errResult >= 0 && sf.errResult < len(s.Results) {
+		if id, ok := s.Results[sf.errResult].(*ast.Ident); !ok || id.Name != "nil" {
+			return
+		}
+	}
+	for _, pos := range sf.selResults {
+		if pos >= len(s.Results) {
+			continue
+		}
+		id, ok := s.Results[pos].(*ast.Ident)
+		if !ok || id.Name == "nil" {
+			// Direct nil literal: an intentional "all rows".
+			continue
+		}
+		if v := state[id.Name]; v.mayNil && v.produced {
+			sf.pass.Reportf(s.Results[pos].Pos(), "possibly nil selection returned from a producer: nil means \"all rows\" under the selection contract; reset %s through the canonical empty selection (emptySel) before returning", id.Name)
+		}
+	}
+}

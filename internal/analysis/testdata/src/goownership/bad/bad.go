@@ -1,0 +1,64 @@
+// Package bad holds the goownership fixtures: the PR 4 leak shapes —
+// goroutines in a long-lived component with no join or shutdown path.
+package bad
+
+import "sync"
+
+// Agent is the live-workload agent shape whose first cut leaked its step
+// loop past Close: the spawned body neither counts down a WaitGroup nor
+// watches a stop channel.
+type Agent struct {
+	mu    sync.Mutex
+	steps int
+}
+
+func (a *Agent) step() {
+	a.mu.Lock()
+	a.steps++
+	a.mu.Unlock()
+}
+
+func (a *Agent) Start() {
+	go func() { // want:goownership
+		for {
+			a.step()
+		}
+	}()
+}
+
+// loop has no shutdown-capable parameters, so handing it to `go` is an
+// unowned spawn.
+func (a *Agent) loop(n int) {
+	for i := 0; i < n; i++ {
+		a.step()
+	}
+}
+
+func (a *Agent) StartLoop() {
+	go a.loop(100) // want:goownership
+}
+
+// StartWorkers has the Add without the Done: the body never counts down,
+// so the WaitGroup evidence is missing where it matters.
+func (a *Agent) StartWorkers(n int) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want:goownership
+			a.step()
+		}()
+	}
+	return &wg
+}
+
+// DrainSlice ranges over a slice, not a channel — iteration ends but the
+// enclosing for keeps the goroutine alive with no owner.
+func (a *Agent) DrainSlice(items []int) {
+	go func() { // want:goownership
+		for {
+			for range items {
+				a.step()
+			}
+		}
+	}()
+}

@@ -1,0 +1,75 @@
+// Package good holds the accepted goroutine-ownership shapes: WaitGroup
+// join, stop-channel shutdown, collector barrier, clock-waiter
+// registration, handoff spawns, and the justified fire-and-forget.
+package good
+
+import (
+	"sync"
+	"time"
+
+	"relaxedcc/internal/vclock"
+)
+
+type Pool struct {
+	wg    sync.WaitGroup
+	tasks chan func()
+	out   chan int
+	stop  chan struct{}
+	clock vclock.Clock
+}
+
+// StartWorkers is the parallel-scan shape: Add before spawn, deferred Done
+// inside, and the body drains a channel the owner closes.
+func (p *Pool) StartWorkers(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t()
+			}
+		}()
+	}
+}
+
+// StartCollector is the barrier shape: the collector outlives the workers
+// it joins, then closes the output.
+func (p *Pool) StartCollector() {
+	go func() {
+		p.wg.Wait()
+		close(p.out)
+	}()
+}
+
+// StartTicker watches the stop channel in a select, the canonical
+// long-lived loop shutdown.
+func (p *Pool) StartTicker(period time.Duration) {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-p.clock.After(period):
+			}
+		}
+	}()
+}
+
+// run owns its shutdown through the stop parameter, so handing it off to
+// `go` transfers ownership with it.
+func (p *Pool) run(stop <-chan struct{}) {
+	<-stop
+}
+
+func (p *Pool) StartRun() {
+	go p.run(p.stop)
+}
+
+// StartLogger is a genuinely fire-and-forget goroutine; the directive
+// records why that is acceptable here.
+func (p *Pool) StartLogger() {
+	//rcclint:ignore goownership best-effort startup log line, exits on its own
+	go func() {
+		_ = len("started")
+	}()
+}

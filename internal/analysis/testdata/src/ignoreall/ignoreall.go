@@ -1,0 +1,107 @@
+// Package ignoreall exercises //rcclint:ignore across every analyzer in
+// the suite: each analyzer has exactly one finding here, suppressed by a
+// directive naming it. It also pins the interaction rules — a directive
+// only silences its own analyzer (the same line can keep another
+// analyzer's finding alive), and malformed directives are findings.
+package ignoreall
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Operator mirrors exec.Operator; operatorclose matches the interface by
+// name.
+type Operator interface {
+	Open() error
+	Next() (int, bool)
+	Close() error
+}
+
+// PassThrough opens its child and never closes it; the scheduler owns the
+// child lifecycle in this (fictional) shape, hence the suppression.
+type PassThrough struct {
+	Child Operator
+}
+
+//rcclint:ignore operatorclose child lifecycle owned by the scheduler in this fixture shape
+func (p *PassThrough) Open() error { return p.Child.Open() }
+
+func (p *PassThrough) Next() (int, bool) { return p.Child.Next() }
+
+func (p *PassThrough) Close() error { return nil }
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// leak holds the mutex past return; the (fictional) unlock happens on the
+// caller's side.
+func (b *box) leak() {
+	//rcclint:ignore lockorder handed to the caller locked; released by unlockBox
+	b.mu.Lock()
+	b.n++
+}
+
+func (b *box) unlockBox() { b.mu.Unlock() }
+
+type counter struct {
+	v int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.v, 1) }
+
+func (c *counter) reset() {
+	//rcclint:ignore atomicmix init-time store before the counter is published
+	c.v = 0
+}
+
+// stampReset pins directive isolation: the wallclock directive silences
+// the time.Now on its line, but the atomicmix finding on the same line
+// (plain store to an atomic field) survives.
+func (c *counter) stampReset() {
+	//rcclint:ignore wallclock wall timestamp is part of the exported snapshot
+	c.v = time.Now().UnixNano() // want:atomicmix
+}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int { return new(int) }
+
+func register(r *Registry) {
+	r.Counter("queries_total")
+	//rcclint:ignore metricnames legacy dashboard name kept for continuity
+	r.Counter("LegacyCamel")
+}
+
+// filterPos is the selection-producer shape; this (fictional) helper's
+// callers treat nil and empty alike.
+func filterPos(cand, dst []int32) []int32 {
+	dst = dst[:0]
+	for _, r := range cand {
+		if r > 0 {
+			dst = append(dst, r)
+		}
+	}
+	//rcclint:ignore selvec callers of this helper treat nil and empty alike
+	return dst
+}
+
+func spawn() {
+	//rcclint:ignore goownership fire-and-forget telemetry flush, exits on its own
+	go func() {
+		println("flush")
+	}()
+}
+
+func misdirected() {
+	//rcclint:ignore nosuchpass this analyzer does not exist
+	println("x")
+}
+
+func reasonless() {
+	//rcclint:ignore selvec
+	println("y")
+}

@@ -1,0 +1,73 @@
+// Package bad reproduces the PR 6 selection-contract regressions: kernels
+// and helpers that can hand a nil selection to a caller for whom nil means
+// "all rows".
+package bad
+
+// Batch is a stand-in for the columnar batch: Sel == nil selects all rows.
+type Batch struct {
+	N   int
+	Sel []int32
+}
+
+// BoolKernel mirrors the exec kernel shape.
+type BoolKernel func(cand, dst []int32) ([]int32, error)
+
+// FilterEven is the andKernel regression shape: dst[:0] of a nil dst stays
+// nil, and when no candidate matches, the nil return flips "zero rows"
+// into "every row".
+func FilterEven(cand, dst []int32) ([]int32, error) {
+	dst = dst[:0]
+	for _, r := range cand {
+		if r%2 == 0 {
+			dst = append(dst, r)
+		}
+	}
+	return dst, nil // want:selvec
+}
+
+// CompileThreshold returns a closure; the contract lives in the closure
+// body, which is analyzed as its own function.
+func CompileThreshold(limit int32) BoolKernel {
+	return func(cand, dst []int32) ([]int32, error) {
+		dst = dst[:0]
+		for _, r := range cand {
+			if r < limit {
+				dst = append(dst, r)
+			}
+		}
+		return dst, nil // want:selvec
+	}
+}
+
+// ZeroValue leaks the nil zero value of an unassigned declaration.
+func ZeroValue(cand []int32) []int32 {
+	var out []int32
+	for _, r := range cand {
+		if r > 0 {
+			out = append(out, r)
+		}
+	}
+	return out // want:selvec
+}
+
+// StoreSel writes a possibly-nil produced selection into the batch field.
+func StoreSel(b *Batch, cand, dst []int32) {
+	dst = dst[:0]
+	for _, r := range cand {
+		if r%3 == 0 {
+			dst = append(dst, r)
+		}
+	}
+	b.Sel = dst // want:selvec
+}
+
+// BuildBatch hits the composite-literal sink.
+func BuildBatch(cand, dst []int32) Batch {
+	dst = dst[:0]
+	for _, r := range cand {
+		if r != 0 {
+			dst = append(dst, r)
+		}
+	}
+	return Batch{N: len(dst), Sel: dst} // want:selvec
+}

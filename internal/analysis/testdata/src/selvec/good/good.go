@@ -1,0 +1,73 @@
+// Package good holds the sanctioned selection shapes: the canonical
+// non-nil empty reset, nil-guards, pass-throughs, explicit nil literals
+// ("all rows"), and error paths.
+package good
+
+type Batch struct {
+	N   int
+	Sel []int32
+}
+
+// emptySel is the canonical non-nil "no rows survive" selection.
+var emptySel = make([]int32, 0)
+
+// resetSel is the PR fix shape: reslice when backed, emptySel when nil.
+func resetSel(dst []int32) []int32 {
+	if dst == nil {
+		return emptySel
+	}
+	return dst[:0]
+}
+
+// FilterEven resets through resetSel, so the zero-match return is the
+// canonical empty selection, never nil.
+func FilterEven(cand, dst []int32) ([]int32, error) {
+	dst = resetSel(dst)
+	for _, r := range cand {
+		if r%2 == 0 {
+			dst = append(dst, r)
+		}
+	}
+	return dst, nil
+}
+
+// GuardedReturn re-establishes non-nil with an explicit guard before the
+// sink, the original andKernel review fix.
+func GuardedReturn(cand, dst []int32) ([]int32, error) {
+	dst = dst[:0]
+	for _, r := range cand {
+		if r > 0 {
+			dst = append(dst, r)
+		}
+	}
+	if dst == nil {
+		dst = emptySel
+	}
+	return dst, nil
+}
+
+// PassThrough forwards the caller's selection unchanged: nil in means
+// "all rows" in, and keeps meaning that on the way out.
+func PassThrough(cand []int32) []int32 {
+	return cand
+}
+
+// AllRows opts into the full batch with an explicit literal.
+func AllRows(b *Batch) {
+	b.Sel = nil
+}
+
+// CopySel forwards a field read — not produced here, so not this
+// function's contract to enforce.
+func CopySel(dst, src *Batch) {
+	dst.Sel = src.Sel
+}
+
+// ErrorPath may return nil in the data position alongside a real error.
+func ErrorPath(cand, dst []int32, fail error) ([]int32, error) {
+	if fail != nil {
+		return nil, fail
+	}
+	dst = resetSel(dst)
+	return append(dst, cand...), nil
+}

@@ -1,0 +1,55 @@
+// Package bad holds the wallclock fixtures: direct wall-clock reads and
+// global-rand draws in a deterministic package, plus the call-graph shape
+// where determinism leaks through an exempt helper package.
+package bad
+
+import (
+	"math/rand"
+	"time"
+
+	"relaxedcc/internal/analysis/testdata/src/wallclock/bad/clockutil"
+)
+
+// Freshness is the paper's currency-bound check gone wrong: comparing
+// against the OS clock makes replay diverge between runs.
+func Freshness(stamp time.Time, bound time.Duration) bool {
+	return time.Since(stamp) < bound // want:wallclock
+}
+
+func Deadline() time.Time {
+	return time.Now().Add(time.Second) // want:wallclock
+}
+
+func Backoff() {
+	time.Sleep(10 * time.Millisecond) // want:wallclock
+	<-time.After(time.Millisecond)    // want:wallclock
+}
+
+func Timers() {
+	t := time.NewTimer(time.Second) // want:wallclock
+	defer t.Stop()
+	tk := time.NewTicker(time.Second) // want:wallclock
+	tk.Stop()
+}
+
+// Jitter draws from the process-global source; chaos schedules must come
+// from a seeded generator instead.
+func Jitter(n int) int {
+	return rand.Intn(n) // want:wallclock
+}
+
+// Stamp reaches wall clock through an exempt helper package: reported
+// here, where determinism is lost, not inside the helper.
+func Stamp() int64 {
+	return clockutil.StampNow() // want:wallclock
+}
+
+// localNow is reported at its own direct call; callers are not re-flagged
+// (the taint barrier sits on deterministic nodes).
+func localNow() time.Time {
+	return time.Now() // want:wallclock
+}
+
+func UsesLocalNow() time.Time {
+	return localNow()
+}

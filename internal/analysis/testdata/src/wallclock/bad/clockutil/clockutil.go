@@ -1,0 +1,11 @@
+// Package clockutil stands in for an exempt helper (a CLI main's util
+// package): its own wall-clock use is allowed, but it is not sanctioned,
+// so deterministic callers routing time through it are still flagged at
+// their call site.
+package clockutil
+
+import "time"
+
+func StampNow() int64 {
+	return time.Now().UnixNano()
+}

@@ -6,6 +6,7 @@ import (
 
 	"relaxedcc/internal/sqlparser"
 	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/vclock"
 )
 
 // EvalContext carries per-execution state for expression evaluation.
@@ -13,6 +14,11 @@ type EvalContext struct {
 	// Now is the query start time, returned by GETDATE(). Fixing it per
 	// execution keeps currency-guard evaluation consistent within a plan.
 	Now time.Time
+	// Clock is the time source for the executor's own measurements — phase
+	// timings, guard-wait accounting, trace instrumentation. Nil falls back
+	// to the wall clock; deterministic harnesses inject a vclock.Virtual so
+	// timings replay byte-identically.
+	Clock vclock.Clock
 	// BatchSize overrides DefaultBatchSize for batch-at-a-time operators.
 	// Zero means the default.
 	BatchSize int
@@ -41,6 +47,16 @@ type EvalContext struct {
 	// progress and reports whether to keep blocking. Returning false gives
 	// up and proceeds with the guard's last choice.
 	GuardRetry func(region, attempt int) bool
+}
+
+// clock returns the injected time source, defaulting to the wall clock, so
+// measurement sites never have to nil-check. Safe on a nil context (trace
+// instrumentation may wrap operators that are opened without one).
+func (ctx *EvalContext) clock() vclock.Clock {
+	if ctx == nil || ctx.Clock == nil {
+		return vclock.Wall{}
+	}
+	return ctx.Clock
 }
 
 // Compiled is an expression compiled against a schema: it evaluates on one

@@ -73,7 +73,7 @@ func CompileKernel(e sqlparser.Expr, schema *Schema) (BoolKernel, bool) {
 // vectors flowing when a predicate has no columnar form.
 func KernelFromPredicate(p Compiled) BoolKernel {
 	return func(ctx *EvalContext, cb *sqltypes.ColBatch, cand, dst []int32) ([]int32, error) {
-		dst = dst[:0]
+		dst = resetSel(dst)
 		var evalErr error
 		forCand(cb, cand, func(i int32) bool {
 			keep, err := PredicateTrue(p, ctx, cb.Row(int(i)))
@@ -98,6 +98,16 @@ func KernelFromPredicate(p Compiled) BoolKernel {
 // rows", so a nil result fed back into a kernel chain would re-widen the
 // selection instead of keeping it empty.
 var emptySel = make([]int32, 0)
+
+// resetSel truncates a reusable selection buffer for refilling. A nil dst
+// is replaced by emptySel rather than resliced: dst[:0] of nil is still
+// nil, which a zero-match kernel would then return as "all rows".
+func resetSel(dst []int32) []int32 {
+	if dst == nil {
+		return emptySel
+	}
+	return dst[:0]
+}
 
 // andKernel chains two kernels: the second refines the first's survivors in
 // place (safe because kernels compact left to right).
@@ -207,7 +217,7 @@ func cmpTrue(op sqlparser.BinOp, c int) bool {
 func cmpLitKernel(col int, op sqlparser.BinOp, lit sqltypes.Value) BoolKernel {
 	return func(ctx *EvalContext, cb *sqltypes.ColBatch, cand, dst []int32) ([]int32, error) {
 		v := cb.Col(col)
-		dst = dst[:0]
+		dst = resetSel(dst)
 		if lit.IsNull() {
 			return dst, nil // NULL comparison is never TRUE
 		}
@@ -284,7 +294,7 @@ func cmpLitKernel(col int, op sqlparser.BinOp, lit sqltypes.Value) BoolKernel {
 func cmpColKernel(lc, rc int, op sqlparser.BinOp) BoolKernel {
 	return func(ctx *EvalContext, cb *sqltypes.ColBatch, cand, dst []int32) ([]int32, error) {
 		l, r := cb.Col(lc), cb.Col(rc)
-		dst = dst[:0]
+		dst = resetSel(dst)
 		switch {
 		case l.Kind == sqltypes.KindInt && r.Kind == sqltypes.KindInt:
 			forCand(cb, cand, func(i int32) bool {

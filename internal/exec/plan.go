@@ -54,7 +54,8 @@ func Run(root Operator, ctx *EvalContext, setup time.Duration) (*Result, error) 
 	res := &Result{Schema: root.Schema()}
 	res.Phases.Setup = setup
 
-	start := time.Now()
+	clk := ctx.clock()
+	start := clk.Now()
 	if err := root.Open(ctx); err != nil {
 		root.Close()
 		return nil, err
@@ -98,13 +99,13 @@ func Run(root Operator, ctx *EvalContext, setup time.Duration) (*Result, error) 
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	res.Phases.Run = time.Since(start)
+	res.Phases.Run = clk.Now().Sub(start)
 
-	start = time.Now()
+	start = clk.Now()
 	if err := root.Close(); err != nil {
 		return nil, err
 	}
-	res.Phases.Shutdown = time.Since(start)
+	res.Phases.Shutdown = clk.Now().Sub(start)
 	return res, nil
 }
 
@@ -115,7 +116,8 @@ func RunRows(root Operator, ctx *EvalContext, setup time.Duration) (*Result, err
 	res := &Result{Schema: root.Schema()}
 	res.Phases.Setup = setup
 
-	start := time.Now()
+	clk := ctx.clock()
+	start := clk.Now()
 	if err := root.Open(ctx); err != nil {
 		root.Close()
 		return nil, err
@@ -131,13 +133,13 @@ func RunRows(root Operator, ctx *EvalContext, setup time.Duration) (*Result, err
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	res.Phases.Run = time.Since(start)
+	res.Phases.Run = clk.Now().Sub(start)
 
-	start = time.Now()
+	start = clk.Now()
 	if err := root.Close(); err != nil {
 		return nil, err
 	}
-	res.Phases.Shutdown = time.Since(start)
+	res.Phases.Shutdown = clk.Now().Sub(start)
 	return res, nil
 }
 

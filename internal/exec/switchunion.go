@@ -131,9 +131,10 @@ func (s *SwitchUnion) Schema() *Schema { return s.Children[0].Schema() }
 // falls back to the local branch — recording a Violation warning — when the
 // remote branch's Open reports link unavailability.
 func (s *SwitchUnion) Open(ctx *EvalContext) error {
-	start := time.Now()
+	clk := ctx.clock()
+	start := clk.Now()
 	idx, err := s.Selector(ctx)
-	guardTime := time.Since(start)
+	guardTime := clk.Now().Sub(start)
 	if err != nil {
 		return err
 	}
@@ -150,9 +151,9 @@ func (s *SwitchUnion) Open(ctx *EvalContext) error {
 				break
 			}
 			waits++
-			st := time.Now()
+			st := clk.Now()
 			idx, err = s.Selector(ctx)
-			guardTime += time.Since(st)
+			guardTime += clk.Now().Sub(st)
 			if err != nil {
 				return err
 			}

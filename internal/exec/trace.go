@@ -2,10 +2,10 @@ package exec
 
 import (
 	"fmt"
-	"time"
 
 	"relaxedcc/internal/obs"
 	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/vclock"
 )
 
 // Instrument wraps every operator in the tree with a timing shim and
@@ -24,7 +24,7 @@ import (
 func Instrument(root Operator) (Operator, *obs.TraceNode) {
 	node := &obs.TraceNode{Name: describe(root)}
 	wrapChildren(root, node)
-	t := &Traced{child: root, node: node}
+	t := &Traced{child: root, node: node, clk: vclock.Wall{}}
 	if su, ok := root.(*SwitchUnion); ok {
 		t.su = su
 	}
@@ -131,6 +131,9 @@ type Traced struct {
 	vchild VecOperator
 	su     *SwitchUnion // non-nil when child is a SwitchUnion
 	node   *obs.TraceNode
+	// clk stamps the shim's timings: the wall clock until Open, then the
+	// execution's injected clock so traces replay under vclock.Virtual.
+	clk vclock.Clock
 }
 
 // Unwrap returns the operator the shim wraps.
@@ -145,9 +148,10 @@ func (t *Traced) Schema() *Schema { return t.child.Schema() }
 // Open implements Operator, timing the child's Open and capturing the guard
 // decision for SwitchUnion children.
 func (t *Traced) Open(ctx *EvalContext) error {
-	start := time.Now()
+	t.clk = ctx.clock()
+	start := t.clk.Now()
 	err := t.child.Open(ctx)
-	t.node.Open += time.Since(start)
+	t.node.Open += t.clk.Now().Sub(start)
 	t.node.Opens++
 	t.bchild = nil
 	t.vchild = nil
@@ -170,9 +174,9 @@ func (t *Traced) Open(ctx *EvalContext) error {
 
 // Next implements Operator.
 func (t *Traced) Next() (sqltypes.Row, bool, error) {
-	start := time.Now()
+	start := t.clk.Now()
 	row, ok, err := t.child.Next()
-	t.node.Next += time.Since(start)
+	t.node.Next += t.clk.Now().Sub(start)
 	if ok {
 		t.node.Rows++
 	}
@@ -184,9 +188,9 @@ func (t *Traced) NextBatch() (sqltypes.Batch, bool, error) {
 	if t.bchild == nil {
 		t.bchild = AsBatch(t.child)
 	}
-	start := time.Now()
+	start := t.clk.Now()
 	batch, ok, err := t.bchild.NextBatch()
-	t.node.Next += time.Since(start)
+	t.node.Next += t.clk.Now().Sub(start)
 	if ok {
 		t.node.Rows += int64(len(batch))
 		t.node.Batches++
@@ -201,9 +205,9 @@ func (t *Traced) NextVec() (*sqltypes.ColBatch, bool, error) {
 	if t.vchild == nil {
 		t.vchild = AsVec(t.child)
 	}
-	start := time.Now()
+	start := t.clk.Now()
 	cb, ok, err := t.vchild.NextVec()
-	t.node.Next += time.Since(start)
+	t.node.Next += t.clk.Now().Sub(start)
 	if ok {
 		t.node.Rows += int64(cb.NumActive())
 		t.node.Batches++
@@ -213,8 +217,8 @@ func (t *Traced) NextVec() (*sqltypes.ColBatch, bool, error) {
 
 // Close implements Operator.
 func (t *Traced) Close() error {
-	start := time.Now()
+	start := t.clk.Now()
 	err := t.child.Close()
-	t.node.Close += time.Since(start)
+	t.node.Close += t.clk.Now().Sub(start)
 	return err
 }

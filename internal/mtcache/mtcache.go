@@ -532,9 +532,9 @@ func (s *Session) Floor() time.Time {
 // with C&C enforcement; DML forwards to the back end (returning an empty
 // result); BEGIN/END TIMEORDERED toggle timeline consistency.
 func (s *Session) Execute(sql string) (*QueryResult, error) {
-	parseStart := time.Now()
+	parseStart := s.cache.clock.Now()
 	stmt, err := sqlparser.Parse(sql)
-	parse := time.Since(parseStart)
+	parse := s.cache.clock.Now().Sub(parseStart)
 	if err != nil {
 		return nil, err
 	}
@@ -572,9 +572,9 @@ func (s *Session) Execute(sql string) (*QueryResult, error) {
 
 // Query parses and runs one SELECT in the session.
 func (s *Session) Query(sql string) (*QueryResult, error) {
-	parseStart := time.Now()
+	parseStart := s.cache.clock.Now()
 	sel, err := sqlparser.ParseSelect(sql)
-	parse := time.Since(parseStart)
+	parse := s.cache.clock.Now().Sub(parseStart)
 	if err != nil {
 		return nil, err
 	}
@@ -586,9 +586,9 @@ func (s *Session) Query(sql string) (*QueryResult, error) {
 // verdicts) in Trace, and the trace is retained in the cache's TraceStore
 // for /trace/last.
 func (s *Session) ExplainAnalyze(sql string) (*QueryResult, error) {
-	parseStart := time.Now()
+	parseStart := s.cache.clock.Now()
 	sel, err := sqlparser.ParseSelect(sql)
-	parse := time.Since(parseStart)
+	parse := s.cache.clock.Now().Sub(parseStart)
 	if err != nil {
 		return nil, err
 	}
@@ -632,7 +632,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool, parse time.Dura
 	qt.Parse(parse)
 	var planStart time.Time
 	if qt != nil {
-		planStart = time.Now()
+		planStart = s.cache.clock.Now()
 	}
 	if cacheable {
 		plan = s.cache.cachedPlan(key)
@@ -661,7 +661,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool, parse time.Dura
 		plan = &reused
 	}
 	if qt != nil {
-		qt.Plan(time.Since(planStart))
+		qt.Plan(s.cache.clock.Now().Sub(planStart))
 	}
 	qr, err := s.run(plan, analyze, key, qt)
 	if err != nil {
@@ -725,6 +725,7 @@ func (s *Session) run(plan *opt.Plan, analyze bool, sql string, qt *obs.QueryTra
 	var violations []exec.Violation
 	ctx := &exec.EvalContext{
 		Now:         now,
+		Clock:       s.cache.clock,
 		OnGuard:     o.onGuard,
 		Degrade:     s.degradeMode(),
 		Unavailable: remote.IsUnavailable,
@@ -749,11 +750,11 @@ func (s *Session) run(plan *opt.Plan, analyze bool, sql string, qt *obs.QueryTra
 	var retriesBefore int64
 	if qt != nil {
 		retriesBefore = s.cache.link.Stats().Retries
-		execStart = time.Now()
+		execStart = s.cache.clock.Now()
 	}
 	res, err := exec.Run(root, ctx, plan.Setup)
 	if qt != nil {
-		qt.Exec(time.Since(execStart))
+		qt.Exec(s.cache.clock.Now().Sub(execStart))
 		qt.Retries(s.cache.link.Stats().Retries - retriesBefore)
 	}
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"relaxedcc/internal/sqlparser"
 	"relaxedcc/internal/sqltypes"
 	"relaxedcc/internal/storage"
+	"relaxedcc/internal/vclock"
 )
 
 // Planner builds physical plans for one site.
@@ -40,7 +41,8 @@ const keepPerState = 3
 // PlanSelect algebrizes and plans a SELECT, returning the chosen plan and
 // the logical query (for inspection by tests and the experiment harness).
 func (p *Planner) PlanSelect(sel *sqlparser.SelectStmt) (*Plan, *Query, error) {
-	start := time.Now()
+	clk := p.clock()
+	start := clk.Now()
 	q, err := Algebrize(sel, p.Site.Cat)
 	if err != nil {
 		return nil, nil, err
@@ -50,8 +52,17 @@ func (p *Planner) PlanSelect(sel *sqlparser.SelectStmt) (*Plan, *Query, error) {
 	if err != nil {
 		return nil, q, err
 	}
-	plan.Setup = time.Since(start)
+	plan.Setup = clk.Now().Sub(start)
 	return plan, q, nil
+}
+
+// clock returns the site's time source, defaulting to the wall clock for
+// sites built without one (tests constructing a bare Site).
+func (p *Planner) clock() vclock.Clock {
+	if p.Site != nil && p.Site.Clock != nil {
+		return p.Site.Clock
+	}
+	return vclock.Wall{}
 }
 
 // cand is a partial or complete physical plan candidate. build must return a

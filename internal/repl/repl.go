@@ -204,6 +204,10 @@ type Agent struct {
 	// lastProgress is when the agent last completed a propagation step
 	// (stalled wake-ups do not count); the Watchdog's staleness signal.
 	lastProgress time.Time
+	// clock stamps the instrumentation timings (apply-latency histogram).
+	// NewAgent defaults to the wall clock; Run rebinds to its driving
+	// clock so simulated runs stay deterministic. Guarded by mu.
+	clock vclock.Clock
 	// restarts counts supervisor-initiated restarts.
 	restarts int64
 
@@ -222,7 +226,7 @@ type Agent struct {
 // NewAgent creates an agent reading the given commit log. hbTable names the
 // back-end heartbeat table whose rows for this region are routed to sink.
 func NewAgent(region *catalog.Region, log *txn.Log, hbTable string, sink HeartbeatSink) *Agent {
-	return &Agent{Region: region, log: log, hbTable: hbTable, hbSink: sink}
+	return &Agent{Region: region, log: log, hbTable: hbTable, hbSink: sink, clock: vclock.Wall{}}
 }
 
 // Instrument binds the agent's built-in metrics to a registry: per-region
@@ -374,7 +378,7 @@ func (a *Agent) Step(now time.Time) error {
 	}
 	var applyStart time.Time
 	if a.mApply != nil {
-		applyStart = time.Now()
+		applyStart = a.clock.Now()
 	}
 	cutoff := now.Add(-a.Region.UpdateDelay)
 	records := a.log.SinceUntil(a.lastSeq, cutoff)
@@ -399,7 +403,7 @@ func (a *Agent) Step(now time.Time) error {
 		a.applied++
 	}
 	if a.mApply != nil && len(records) > 0 {
-		a.mApply.ObserveDuration(time.Since(applyStart))
+		a.mApply.ObserveDuration(a.clock.Now().Sub(applyStart))
 		a.mTxns.Add(int64(len(records)))
 		a.mRows.Add(rowsApplied)
 	}
@@ -452,6 +456,9 @@ func (a *Agent) TransactionsApplied() int64 {
 // delivered to errs if non-nil. Use the Coordinator instead for
 // deterministic virtual-time simulations.
 func (a *Agent) Run(clock vclock.Clock, stop <-chan struct{}, errs chan<- error) {
+	a.mu.Lock()
+	a.clock = clock
+	a.mu.Unlock()
 	for {
 		select {
 		case <-stop:
