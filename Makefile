@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint lint-fixtures bench metrics-lint verify cover chaos
+.PHONY: build test vet race lint lint-fixtures bench bench-compare load metrics-lint verify cover chaos
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,18 @@ verify: build vet lint test race
 # Emits BENCH_exec.json with rows/sec per benchmark.
 bench:
 	./scripts/bench.sh
+
+# Compare BENCH_exec.json against the committed BENCH_baseline.json with
+# tolerance bands (allocs/op tight, rows/sec loose): the perf-regression
+# gate. Run `make bench` first so BENCH_exec.json exists.
+bench-compare:
+	./scripts/check_bench.sh compare
+
+# Open-loop macro-benchmark: saturation sweep over multi-tenant sessions,
+# emits BENCH_load.json (same as `rccbench -load`). `make load SHORT=1`
+# runs the 3-step CI smoke sweep.
+load:
+	./scripts/load.sh $(if $(SHORT),short,)
 
 # Coverage with a minimum-total gate (MIN_COVER, default 70%). CI runs the
 # same script, so the gate is identical locally and in the workflow.

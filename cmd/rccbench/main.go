@@ -10,7 +10,10 @@
 // are written as JSON files when the run ends (the bench-smoke CI artifact).
 // -chaos runs the fault-injection workload instead; -shift runs the
 // workload bound-mix shift scenario that demonstrates closed-loop
-// autotuning; -autotune enables the tuning loop on any scenario.
+// autotuning; -autotune enables the tuning loop on any scenario. -load runs
+// the open-loop macro-benchmark (saturation sweep over multi-tenant
+// sessions) and writes BENCH_load.json via -load-json; -load-short selects
+// the CI smoke sweep and -wall paces arrivals in real time for demos.
 package main
 
 import (
@@ -23,8 +26,10 @@ import (
 
 	"relaxedcc/internal/core"
 	"relaxedcc/internal/harness"
+	"relaxedcc/internal/load"
 	"relaxedcc/internal/obs"
 	"relaxedcc/internal/tuner"
+	"relaxedcc/internal/vclock"
 )
 
 func main() {
@@ -44,6 +49,14 @@ func main() {
 		"run the fault-injection workload instead: availability and served-staleness under link faults")
 	shift := flag.Bool("shift", false,
 		"run the workload bound-mix shift scenario: SLO budget recovery with vs without closed-loop autotuning")
+	loadRun := flag.Bool("load", false,
+		"run the open-loop macro-benchmark: throughput-vs-latency saturation sweep over multi-tenant sessions")
+	loadShort := flag.Bool("load-short", false,
+		"with -load: the short CI smoke sweep (3 steps, 2 virtual seconds each)")
+	loadJSON := flag.String("load-json", "",
+		"with -load: also write the machine-readable report (BENCH_load.json) to this path")
+	wall := flag.Bool("wall", false,
+		"with -load: pace arrivals in real time for demos (measurement stays on the virtual clock)")
 	autotune := flag.Bool("autotune", false,
 		"enable the closed-loop currency autotuner (tuner.Loop) for the run")
 	obsAddr := flag.String("obs", "",
@@ -73,7 +86,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving ops endpoints on http://%s/metrics (/slo, /queries/recent, /queries/slow, /regions, /trace/last, /tuner)\n", addr)
 	}
 
-	if *shift {
+	if *loadRun {
+		lcfg := load.DefaultConfig()
+		if *loadShort {
+			lcfg = load.ShortConfig()
+		}
+		lcfg.Seed = cfg.Seed
+		lcfg.OnSystem = attach
+		if *wall {
+			lcfg.Pace = vclock.Wall{}
+		}
+		if err := harness.RunLoadReport(os.Stdout, lcfg, *loadJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "rccbench:", err)
+			os.Exit(1)
+		}
+	} else if *shift {
 		scfg := harness.DefaultShiftConfig()
 		scfg.Seed = cfg.Seed
 		scfg.OnSystem = attach

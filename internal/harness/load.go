@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"relaxedcc/internal/load"
+)
+
+// RunLoadReport runs the open-loop load sweep, prints the human-readable
+// report and, when jsonPath is non-empty, writes the BENCH_load.json
+// payload there. Under the virtual clock the whole output — text and JSON —
+// is a pure function of cfg.
+func RunLoadReport(w io.Writer, cfg load.Config, jsonPath string) error {
+	rep, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	section(w, "Load: open-loop saturation sweep (latency from scheduled arrival)")
+	fmt.Fprintf(w, "arrival %s, %d workers, %.0fs steps, zipf s=%.2f over %d keys\n",
+		rep.Arrival, rep.Workers, rep.StepSeconds, rep.ZipfS, rep.ZipfKeys)
+	fmt.Fprintf(w, "%8s %9s %10s %10s %10s %7s %7s %10s %4s\n",
+		"offered", "achieved", "p50", "p99", "p999", "local", "degr", "stale-p95", "sat")
+	for _, s := range rep.Steps {
+		sat := ""
+		if s.Saturated {
+			sat = "SAT"
+		}
+		fmt.Fprintf(w, "%8.0f %9.1f %10s %10s %10s %6.1f%% %6.1f%% %10s %4s\n",
+			s.OfferedQPS, s.AchievedQPS,
+			time.Duration(s.LatencyP50NS), time.Duration(s.LatencyP99NS),
+			time.Duration(s.LatencyP999NS),
+			s.GuardLocalRatio*100, s.DegradedRatio*100,
+			time.Duration(s.StalenessP95NS), sat)
+	}
+	fmt.Fprintf(w, "knee: %.0f qps (highest unsaturated offered step)\n", rep.KneeQPS)
+
+	section(w, "Load: per-tenant SLO by offered step")
+	fmt.Fprintf(w, "%8s %-8s %-11s %8s %7s %7s %8s %7s %10s %6s\n",
+		"offered", "class", "action", "bound", "queries", "failed", "within", "budget", "p99", "blocks")
+	for _, s := range rep.Steps {
+		for _, t := range s.Tenants {
+			fmt.Fprintf(w, "%8.0f %-8s %-11s %8s %7d %7d %7.1f%% %6.0f%% %10s %6d\n",
+				s.OfferedQPS, t.Class, t.Action, time.Duration(t.BoundNS),
+				t.Queries, t.Failed, t.SLOWithinRatio*100, t.SLOErrorBudget*100,
+				time.Duration(t.LatencyP99NS), t.BlockWaits)
+		}
+	}
+
+	section(w, "Currency SLO (cumulative, per region)")
+	fmt.Fprint(w, renderSLO(rep.SLO))
+
+	if jsonPath != "" {
+		payload, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, payload, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	}
+	return nil
+}

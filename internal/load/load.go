@@ -1,0 +1,302 @@
+// Package load is the open-loop macro-benchmark: latency under sustained
+// concurrent load, key skew and multi-tenancy over the TPC-D workload.
+//
+// Everything BENCH_exec.json reports is a closed-loop microbench — the next
+// query waits for the previous one, so a slow server conveniently slows the
+// load down and the tail disappears. This package measures the opposite
+// regime, the one the paper's cost model is ultimately about: queries
+// arrive on a fixed target-QPS schedule whether or not the server keeps up
+// (open loop), and every query's latency is charged from its *scheduled*
+// arrival, not from when a worker finally dispatched it. A stalled worker
+// therefore inflates the tail of every query queued behind it — the
+// coordinated-omission correction.
+//
+// The generator sweeps a list of offered-QPS steps over a multi-tenant
+// session mix (heterogeneous currency bounds and violation actions) with
+// Zipf-skewed key selection, records latencies in log2 histograms, and
+// reports throughput-vs-latency curves (p50/p99/p999), guard pick ratios,
+// served-staleness percentiles and per-tenant SLO budgets per step, plus
+// the saturation knee. Under the virtual clock a run is fully deterministic:
+// same seed, same report, byte for byte.
+package load
+
+import (
+	"time"
+
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/obs"
+	"relaxedcc/internal/vclock"
+)
+
+// Class is one tenant class: a share of the traffic with its own currency
+// bound and violation action, issued through its own cache session.
+type Class struct {
+	// Name labels the class in reports and on the session (obs ring).
+	Name string
+	// Weight is the class's relative share of arrivals.
+	Weight int
+	// Bound is the class's currency bound (0 = unbounded).
+	Bound time.Duration
+	// Action is the session's violation action when remote fall-back fails.
+	Action mtcache.ViolationAction
+	// MaxBlockWaits bounds ActionBlock's guard re-evaluations (0 = cache
+	// default). Classes that block should keep this small: each wait is one
+	// full replication interval of virtual time.
+	MaxBlockWaits int
+}
+
+// ActionName renders the violation action for reports.
+func ActionName(a mtcache.ViolationAction) string {
+	switch a {
+	case mtcache.ActionServeStale:
+		return "serve-stale"
+	case mtcache.ActionServeLocal:
+		return "serve-local"
+	case mtcache.ActionBlock:
+		return "block"
+	default:
+		return "error"
+	}
+}
+
+// Config scripts one load run. The zero value is not runnable; start from
+// DefaultConfig or ShortConfig.
+type Config struct {
+	Seed int64
+	// ScaleFactor is the physical TPC-D scale of the backing data.
+	ScaleFactor float64
+
+	// Steps are the offered-QPS levels of the saturation sweep, ascending.
+	Steps []float64
+	// StepDuration is the virtual time each step offers load for.
+	StepDuration time.Duration
+	// StepGap is idle virtual time between steps (regions settle, the
+	// previous step's backlog drains out of the bookkeeping).
+	StepGap time.Duration
+
+	// Workers models the server's concurrency: the number of service
+	// channels draining the arrival queue. Open-loop latency is queueing
+	// delay on these workers plus service time.
+	Workers int
+	// LocalService is the synthetic CPU cost of a local point serve; joins
+	// cost JoinServiceFactor times as much. Remote fetches additionally pay
+	// the injected link latency in virtual time.
+	LocalService time.Duration
+	// JoinServiceFactor scales LocalService for join queries (default 3).
+	JoinServiceFactor int
+
+	// Poisson selects exponentially distributed inter-arrival gaps; the
+	// default is a uniform (fixed-gap) schedule.
+	Poisson bool
+
+	// Zipf key skew over the customer population.
+	ZipfS float64
+	ZipfV float64
+
+	// Tenants is the traffic mix; empty selects DefaultTenants.
+	Tenants []Class
+	// Mix weights point lookups vs cross-region joins per arrival.
+	PointWeight int
+	JoinWeight  int
+
+	// SLOTarget is the per-tenant within-bound objective used for the
+	// error-budget columns (and the cache SLO tracker's target).
+	SLOTarget float64
+
+	// Link model: every remote call pays Latency plus uniform jitter, and
+	// fails transiently with ErrorRate probability (retried by the
+	// resilient link).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	ErrorRate     float64
+
+	// PartitionStep, when >= 0, cuts the remote link for PartitionDur at
+	// the start of that step (0-indexed) — the latency-under-failure
+	// scenario. Blocking tenants wedge workers for a replication interval,
+	// which is exactly what the omission correction must surface.
+	PartitionStep int
+	PartitionDur  time.Duration
+
+	// KneeP99 is the saturation criterion: a step whose p99 exceeds it (or
+	// whose achieved throughput falls below KneeMinAchieved of offered) is
+	// saturated; the knee is the highest unsaturated offered QPS.
+	KneeP99         time.Duration
+	KneeMinAchieved float64
+
+	// Pace, when non-nil, paces arrivals in real time on this clock (demo
+	// mode: watch the ops surface move). Measurement stays on the virtual
+	// clock, so pacing changes presentation, never results.
+	Pace vclock.Clock
+
+	// OnSystem, if set, receives the fully wired system before any virtual
+	// time passes (same contract as harness.ChaosConfig.OnSystem).
+	OnSystem func(sys *core.System)
+}
+
+// DefaultTenants is the standard three-class mix: a strict tier that blocks
+// for currency, a standard tier that degrades to guarded-local serves, and
+// a batch tier that tolerates stale data outright.
+func DefaultTenants() []Class {
+	return []Class{
+		{Name: "gold", Weight: 2, Bound: 2 * time.Second, Action: mtcache.ActionBlock, MaxBlockWaits: 1},
+		{Name: "silver", Weight: 3, Bound: 15 * time.Second, Action: mtcache.ActionServeLocal},
+		{Name: "bronze", Weight: 5, Bound: 2 * time.Minute, Action: mtcache.ActionServeStale},
+	}
+}
+
+// DefaultConfig is the full sweep: five offered-QPS steps sized so the top
+// step sits past the modeled capacity knee (2 workers at ~3-4ms mean
+// service saturate around 500-600 QPS).
+func DefaultConfig() Config {
+	return Config{
+		Seed:              2004,
+		ScaleFactor:       0.005,
+		Steps:             []float64{50, 100, 200, 400, 800},
+		StepDuration:      15 * time.Second,
+		StepGap:           2 * time.Second,
+		Workers:           2,
+		LocalService:      2 * time.Millisecond,
+		JoinServiceFactor: 3,
+		ZipfS:             0, // sampler defaults
+		ZipfV:             0,
+		PointWeight:       9,
+		JoinWeight:        1,
+		SLOTarget:         0.95,
+		Latency:           2 * time.Millisecond,
+		LatencyJitter:     2 * time.Millisecond,
+		ErrorRate:         0.02,
+		PartitionStep:     -1,
+		KneeP99:           250 * time.Millisecond,
+		KneeMinAchieved:   0.95,
+	}
+}
+
+// ShortConfig is the CI smoke sweep: three steps, two virtual seconds each
+// — a few hundred queries, fast enough for PR CI while still exercising
+// every reporting path (the load-smoke job's schema gates run against it).
+func ShortConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Steps = []float64{40, 80, 160}
+	cfg.StepDuration = 2 * time.Second
+	cfg.StepGap = time.Second
+	return cfg
+}
+
+// TenantStep is one tenant class's slice of one step.
+type TenantStep struct {
+	Class   string `json:"class"`
+	Action  string `json:"action"`
+	BoundNS int64  `json:"bound_ns"`
+	Queries int    `json:"queries"`
+	Failed  int    `json:"failed"`
+	// Within counts answers within the class's currency bound (remote
+	// serves are current by definition; degraded and serve-stale answers
+	// never count; local serves count iff observed staleness fits).
+	Within         int     `json:"within"`
+	SLOWithinRatio float64 `json:"slo_within_ratio"`
+	// SLOErrorBudget is the remaining error budget against SLOTarget over
+	// the step's serves: 1 = untouched, 0 = spent.
+	SLOErrorBudget float64 `json:"slo_error_budget"`
+	LatencyP50NS   int64   `json:"latency_p50_ns"`
+	LatencyP99NS   int64   `json:"latency_p99_ns"`
+	LatencyP999NS  int64   `json:"latency_p999_ns"`
+	BlockWaits     int     `json:"block_waits"`
+}
+
+// RegionStep is one currency region's workload profile over one step,
+// tapped from the cache's obs.WorkloadObserver window.
+type RegionStep struct {
+	Region           int     `json:"region"`
+	Queries          int64   `json:"queries"`
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	Local            int64   `json:"local"`
+	Remote           int64   `json:"remote"`
+	Degraded         int64   `json:"degraded"`
+	DistinctBounds   int     `json:"distinct_bounds"`
+	StalenessP50NS   int64   `json:"staleness_p50_ns"`
+	StalenessMaxNS   int64   `json:"staleness_max_ns"`
+}
+
+// Step is one offered-QPS level of the sweep.
+type Step struct {
+	OfferedQPS float64 `json:"offered_qps"`
+	Queries    int     `json:"queries"`
+	Answered   int     `json:"answered"`
+	Failed     int     `json:"failed"`
+	// AchievedQPS counts completions inside the step window over the step
+	// duration; under saturation it flattens below OfferedQPS.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Open-loop latency percentiles (charged from scheduled arrival),
+	// estimated from a 65-bucket log2 histogram.
+	LatencyP50NS  int64 `json:"latency_p50_ns"`
+	LatencyP99NS  int64 `json:"latency_p99_ns"`
+	LatencyP999NS int64 `json:"latency_p999_ns"`
+	LatencyMaxNS  int64 `json:"latency_max_ns"`
+	// Guard outcome mix over answered queries.
+	Local           int     `json:"local"`
+	Degraded        int     `json:"degraded"`
+	Remote          int     `json:"remote"`
+	GuardLocalRatio float64 `json:"guard_local_ratio"`
+	DegradedRatio   float64 `json:"degraded_ratio"`
+	// Served-staleness percentiles (nearest-rank, exact) over answers that
+	// used local views.
+	StalenessP50NS int64 `json:"staleness_p50_ns"`
+	StalenessP95NS int64 `json:"staleness_p95_ns"`
+	StalenessP99NS int64 `json:"staleness_p99_ns"`
+	StalenessMaxNS int64 `json:"staleness_max_ns"`
+	// Saturated marks the step as past the knee (p99 over KneeP99 or
+	// achieved under KneeMinAchieved of offered).
+	Saturated bool         `json:"saturated"`
+	Tenants   []TenantStep `json:"tenants"`
+	Regions   []RegionStep `json:"regions"`
+}
+
+// Report is one load run: the BENCH_load.json payload.
+type Report struct {
+	Seed        int64   `json:"seed"`
+	Arrival     string  `json:"arrival"` // "uniform" or "poisson"
+	Workers     int     `json:"workers"`
+	StepSeconds float64 `json:"step_seconds"`
+	ZipfS       float64 `json:"zipf_s"`
+	ZipfKeys    int64   `json:"zipf_keys"`
+	SLOTarget   float64 `json:"slo_target"`
+	Steps       []Step  `json:"steps"`
+	// KneeQPS is the highest offered QPS whose step stayed unsaturated
+	// (0 when even the first step saturated).
+	KneeQPS float64 `json:"knee_qps"`
+	// SLO is the cache's cumulative per-region currency-SLO snapshot at the
+	// end of the run.
+	SLO obs.SLOSnapshot `json:"slo"`
+}
+
+// errorBudget mirrors the obs.SLOTracker budget rule for the per-tenant
+// columns: with target t over n serves the budget allows (1-t)*n misses;
+// the return value is the unspent fraction in [0,1].
+func errorBudget(target float64, within, count int) float64 {
+	if count == 0 {
+		return 1
+	}
+	allowed := (1 - target) * float64(count)
+	missed := float64(count - within)
+	if allowed <= 0 {
+		if missed > 0 {
+			return 0
+		}
+		return 1
+	}
+	rem := 1 - missed/allowed
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// ratio is a NaN-safe division for the report's JSON (json.Marshal rejects
+// NaN, and an empty step must still serialize).
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,14 @@
+package load
+
+import "encoding/json"
+
+// JSON renders the report as the BENCH_load.json payload: indented, stable
+// field order (struct order), trailing newline. Same-seed virtual-clock
+// runs produce byte-identical output.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,333 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"relaxedcc/internal/core"
+	"relaxedcc/internal/fault"
+	"relaxedcc/internal/mtcache"
+	"relaxedcc/internal/obs"
+	"relaxedcc/internal/remote"
+	"relaxedcc/internal/tpcd"
+)
+
+// blockVisible is the threshold separating ordinary service time from a
+// replication block: local and remote serves cost milliseconds of virtual
+// time, a blocked guard waits a full replication interval (10-15s). Queries
+// above it count in TenantStep.BlockWaits.
+const blockVisible = time.Second
+
+// stepSeedStride decorrelates per-step rng streams; any odd constant works,
+// a large prime keeps adjacent steps far apart in seed space.
+const stepSeedStride = 1000003
+
+// Run executes the load sweep and returns the report. Deterministic under
+// the virtual clock: two runs with the same Config produce identical
+// reports.
+func Run(cfg Config) (*Report, error) {
+	cfg = normalize(cfg)
+
+	sys, err := tpcd.NewLoadedSystem(tpcd.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sys.EnableResilience(remote.Policy{})
+	inj := fault.New(cfg.Seed)
+	inj.SetLatency(cfg.Latency, cfg.LatencyJitter)
+	inj.SetErrorRate(cfg.ErrorRate)
+	sys.InjectFaults(inj)
+
+	// Size the count-based SLO window to the whole sweep so the final
+	// snapshot covers every serve.
+	expected := 0
+	for _, qps := range cfg.Steps {
+		expected += int(qps * cfg.StepDuration.Seconds())
+	}
+	sys.Cache.ConfigureSLO(cfg.SLOTarget, expected)
+
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
+
+	sessions := make([]*mtcache.Session, len(cfg.Tenants))
+	for i, c := range cfg.Tenants {
+		s := sys.Cache.NewSession()
+		s.Action = c.Action
+		s.MaxBlockWaits = c.MaxBlockWaits
+		s.Tenant = c.Name
+		sessions[i] = s
+	}
+
+	keys := tpcd.Config{ScaleFactor: cfg.ScaleFactor}.Customers()
+
+	rep := &Report{
+		Seed:        cfg.Seed,
+		Arrival:     "uniform",
+		Workers:     cfg.Workers,
+		StepSeconds: cfg.StepDuration.Seconds(),
+		ZipfS:       cfg.ZipfS,
+		ZipfKeys:    int64(keys),
+		SLOTarget:   cfg.SLOTarget,
+		Steps:       make([]Step, 0, len(cfg.Steps)),
+	}
+	if cfg.Poisson {
+		rep.Arrival = "poisson"
+	}
+
+	// Open a fresh workload window so step 0's region profiles do not
+	// include warm-up traffic.
+	sys.Cache.Workload().Cut(sys.Clock.Now())
+
+	for i, qps := range cfg.Steps {
+		step, err := runStep(cfg, sys, inj, sessions, keys, i, qps)
+		if err != nil {
+			return nil, err
+		}
+		rep.Steps = append(rep.Steps, *step)
+		if cfg.StepGap > 0 {
+			if err := sys.Run(cfg.StepGap); err != nil {
+				return nil, err
+			}
+			sys.Cache.Workload().Cut(sys.Clock.Now())
+		}
+	}
+
+	rep.KneeQPS = findKnee(rep.Steps, cfg.KneeP99, cfg.KneeMinAchieved)
+	rep.SLO = sys.Cache.SLO().Snapshot()
+	return rep, nil
+}
+
+// normalize fills defaulted Config fields so Run and the schedule builder
+// never see zeros.
+func normalize(cfg Config) Config {
+	def := DefaultConfig()
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = def.ScaleFactor
+	}
+	if len(cfg.Steps) == 0 {
+		cfg.Steps = def.Steps
+	}
+	if cfg.StepDuration <= 0 {
+		cfg.StepDuration = def.StepDuration
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.LocalService <= 0 {
+		cfg.LocalService = def.LocalService
+	}
+	if cfg.JoinServiceFactor < 1 {
+		cfg.JoinServiceFactor = def.JoinServiceFactor
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = tpcd.DefaultZipfS
+	}
+	if cfg.ZipfV == 0 {
+		cfg.ZipfV = tpcd.DefaultZipfV
+	}
+	if len(cfg.Tenants) == 0 {
+		cfg.Tenants = DefaultTenants()
+	}
+	if cfg.PointWeight <= 0 && cfg.JoinWeight <= 0 {
+		cfg.PointWeight, cfg.JoinWeight = def.PointWeight, def.JoinWeight
+	}
+	if cfg.SLOTarget <= 0 {
+		cfg.SLOTarget = def.SLOTarget
+	}
+	if cfg.KneeP99 <= 0 {
+		cfg.KneeP99 = def.KneeP99
+	}
+	if cfg.KneeMinAchieved <= 0 {
+		cfg.KneeMinAchieved = def.KneeMinAchieved
+	}
+	return cfg
+}
+
+// clampNS caps a histogram quantile estimate at the exact observed maximum.
+func clampNS(est int64, max time.Duration) int64 {
+	if est > int64(max) {
+		return int64(max)
+	}
+	return est
+}
+
+// tenantTally accumulates one tenant class's step slice.
+type tenantTally struct {
+	hist       obs.Histogram
+	queries    int
+	failed     int
+	within     int
+	blockWaits int
+}
+
+// runStep offers one QPS level for one step duration and measures it.
+func runStep(cfg Config, sys *core.System, inj *fault.Injector, sessions []*mtcache.Session, keys, idx int, qps float64) (*Step, error) {
+	seed := cfg.Seed + int64(idx+1)*stepSeedStride
+	rng := rand.New(rand.NewSource(seed))
+	sampler := tpcd.NewKeySampler(seed, keys, cfg.ZipfS, cfg.ZipfV)
+	schedule := buildSchedule(cfg, rng, sampler, qps)
+
+	stepStart := sys.Clock.Now()
+	stepEnd := stepStart.Add(cfg.StepDuration)
+	if cfg.PartitionStep == idx && cfg.PartitionDur > 0 {
+		inj.PartitionUntil(stepStart.Add(cfg.PartitionDur))
+	}
+
+	pool := newWorkerPool(cfg.Workers, stepStart)
+	lat := &obs.Histogram{}
+	tenants := make([]tenantTally, len(cfg.Tenants))
+	var staleness []time.Duration
+	var maxLat time.Duration
+	step := &Step{OfferedQPS: qps, Queries: len(schedule)}
+	inWindow := 0
+
+	var paceStart time.Time
+	if cfg.Pace != nil {
+		paceStart = cfg.Pace.Now()
+	}
+
+	for _, a := range schedule {
+		arrive := stepStart.Add(a.at)
+		// Let replication, heartbeats and watchdogs catch up to the arrival
+		// instant. Query execution itself advances the clock (remote link
+		// latency, block waits), so the target may already be in the past —
+		// the coordinator treats that as a no-op.
+		if arrive.After(sys.Clock.Now()) {
+			if err := sys.RunTo(arrive); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Pace != nil {
+			// Demo pacing: hold real time to the virtual schedule. Strictly
+			// presentational — nothing measured below reads this clock.
+			if wait := a.at - cfg.Pace.Now().Sub(paceStart); wait > 0 {
+				<-cfg.Pace.After(wait)
+			}
+		}
+
+		class := cfg.Tenants[a.tenant]
+		tally := &tenants[a.tenant]
+		tally.queries++
+		sql := tpcd.Query(a.kind, a.key, class.Bound)
+
+		execStart := sys.Clock.Now()
+		res, err := sessions[a.tenant].Query(sql)
+		now := sys.Clock.Now()
+		vdelta := now.Sub(execStart)
+
+		// Open-loop service time: the synthetic local CPU cost plus whatever
+		// virtual time the query actually consumed (link latency, retries,
+		// replication block waits).
+		svc := cfg.LocalService
+		if a.kind == tpcd.KindJoin {
+			svc *= time.Duration(cfg.JoinServiceFactor)
+		}
+		svc += vdelta
+		done := pool.dispatch(arrive, svc)
+		latency := done.Sub(arrive)
+		lat.ObserveDuration(latency)
+		tally.hist.ObserveDuration(latency)
+		if latency > maxLat {
+			maxLat = latency
+		}
+		if !done.After(stepEnd) {
+			inWindow++
+		}
+		if vdelta >= blockVisible && class.Action == mtcache.ActionBlock {
+			tally.blockWaits++
+		}
+
+		if err != nil {
+			step.Failed++
+			tally.failed++
+			continue
+		}
+		step.Answered++
+		if len(res.LocalViews) > 0 {
+			step.Local++
+		}
+		if res.RemoteQueries > 0 {
+			step.Remote++
+		}
+		degraded := res.Degraded || res.ServedStale
+		if degraded {
+			step.Degraded++
+		}
+		if len(res.LocalViews) > 0 && !res.AsOf.IsZero() {
+			if st := now.Sub(res.AsOf); st > 0 {
+				staleness = append(staleness, st)
+			}
+		}
+		// Within-bound rule (mirrors obs.SLOTracker): remote serves are
+		// current by definition; degraded answers never count; local serves
+		// count iff the observed staleness fits the class bound.
+		within := !degraded
+		if within && class.Bound > 0 && !res.AsOf.IsZero() {
+			within = now.Sub(res.AsOf) <= class.Bound
+		}
+		if within {
+			tally.within++
+		}
+	}
+
+	// Drain: run virtual time to the step boundary so the next step starts
+	// on schedule even if the last arrivals finished early.
+	if stepEnd.After(sys.Clock.Now()) {
+		if err := sys.RunTo(stepEnd); err != nil {
+			return nil, err
+		}
+	}
+
+	step.AchievedQPS = float64(inWindow) / cfg.StepDuration.Seconds()
+	// Histogram quantiles are bucket-bound estimates and can overshoot the
+	// true extremum; clamping to the exact max keeps p999 <= max invariant.
+	step.LatencyP50NS = clampNS(lat.Quantile(0.50), maxLat)
+	step.LatencyP99NS = clampNS(lat.Quantile(0.99), maxLat)
+	step.LatencyP999NS = clampNS(lat.Quantile(0.999), maxLat)
+	step.LatencyMaxNS = int64(maxLat)
+	step.GuardLocalRatio = ratio(step.Local, step.Answered)
+	step.DegradedRatio = ratio(step.Degraded, step.Answered)
+	step.StalenessP50NS = int64(percentileDur(staleness, 0.50))
+	step.StalenessP95NS = int64(percentileDur(staleness, 0.95))
+	step.StalenessP99NS = int64(percentileDur(staleness, 0.99))
+	step.StalenessMaxNS = int64(percentileDur(staleness, 1.0))
+
+	step.Tenants = make([]TenantStep, len(cfg.Tenants))
+	for i, c := range cfg.Tenants {
+		t := &tenants[i]
+		step.Tenants[i] = TenantStep{
+			Class:          c.Name,
+			Action:         ActionName(c.Action),
+			BoundNS:        int64(c.Bound),
+			Queries:        t.queries,
+			Failed:         t.failed,
+			Within:         t.within,
+			SLOWithinRatio: ratio(t.within, t.queries),
+			SLOErrorBudget: errorBudget(cfg.SLOTarget, t.within, t.queries),
+			LatencyP50NS:   t.hist.Quantile(0.50),
+			LatencyP99NS:   t.hist.Quantile(0.99),
+			LatencyP999NS:  t.hist.Quantile(0.999),
+			BlockWaits:     t.blockWaits,
+		}
+	}
+
+	for _, p := range sys.Cache.Workload().Cut(sys.Clock.Now()) {
+		step.Regions = append(step.Regions, RegionStep{
+			Region:           p.Region,
+			Queries:          p.Queries,
+			QueriesPerSecond: p.QueriesPerSecond,
+			Local:            p.Local,
+			Remote:           p.Remote,
+			Degraded:         p.Degraded,
+			DistinctBounds:   len(p.Bounds),
+			StalenessP50NS:   p.StalenessP50NS,
+			StalenessMaxNS:   p.StalenessMaxNS,
+		})
+	}
+	if step.Queries == 0 {
+		return nil, fmt.Errorf("load: step %d (%.0f qps) scheduled no arrivals", idx, qps)
+	}
+	return step, nil
+}

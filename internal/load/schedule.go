@@ -1,0 +1,173 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"relaxedcc/internal/tpcd"
+)
+
+// arrival is one scheduled query: its offset from step start and the
+// already-drawn tenant/kind/key, so the schedule is fixed before any query
+// runs (an open-loop generator does not re-plan under pressure).
+type arrival struct {
+	at     time.Duration
+	tenant int
+	kind   tpcd.QueryKind
+	key    int64
+}
+
+// buildSchedule draws one step's arrival schedule: target-QPS arrival
+// times (uniform gaps, or exponential gaps for a Poisson process), a
+// weighted tenant per arrival, a Zipf-skewed key and a query kind. All
+// draws come from the step's seeded rng and sampler, so the schedule is a
+// pure function of (config, step index).
+func buildSchedule(cfg Config, rng *rand.Rand, keys *tpcd.KeySampler, qps float64) []arrival {
+	n := int(qps * cfg.StepDuration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	mix := tpcd.Mix{PointWeight: cfg.PointWeight, JoinWeight: cfg.JoinWeight}
+	weights, total := tenantWeights(cfg.Tenants)
+	out := make([]arrival, 0, n)
+	var at time.Duration
+	gap := time.Duration(float64(time.Second) / qps)
+	for i := 0; i < n; i++ {
+		if cfg.Poisson {
+			at += time.Duration(rng.ExpFloat64() * float64(gap))
+		} else {
+			at = time.Duration(i) * gap
+		}
+		if at >= cfg.StepDuration {
+			break
+		}
+		out = append(out, arrival{
+			at:     at,
+			tenant: pickWeighted(rng, weights, total),
+			kind:   mix.Pick(rng),
+			key:    keys.Next(),
+		})
+	}
+	return out
+}
+
+// tenantWeights flattens class weights for the weighted draw.
+func tenantWeights(tenants []Class) ([]int, int) {
+	weights := make([]int, len(tenants))
+	total := 0
+	for i, c := range tenants {
+		w := c.Weight
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	return weights, total
+}
+
+func pickWeighted(rng *rand.Rand, weights []int, total int) int {
+	if total <= 0 {
+		return 0
+	}
+	d := rng.Intn(total)
+	for i, w := range weights {
+		if d < w {
+			return i
+		}
+		d -= w
+	}
+	return len(weights) - 1
+}
+
+// workerPool is the open-loop service model: W channels, each busy until
+// its current query's completion. Dispatch assigns an arrival to the
+// earliest-free worker; the returned completion time is
+// max(arrival, workerFree) + service. Latency charged against the
+// *scheduled* arrival — not the dispatch — is the coordinated-omission
+// correction: a wedged worker bills every query queued behind it for the
+// full wait.
+type workerPool struct {
+	freeAt []time.Time
+}
+
+func newWorkerPool(n int, start time.Time) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	free := make([]time.Time, n)
+	for i := range free {
+		free[i] = start
+	}
+	return &workerPool{freeAt: free}
+}
+
+// dispatch serves one arrival with the given service time and returns its
+// completion instant.
+func (p *workerPool) dispatch(arrival time.Time, service time.Duration) time.Time {
+	w := 0
+	for i := 1; i < len(p.freeAt); i++ {
+		if p.freeAt[i].Before(p.freeAt[w]) {
+			w = i
+		}
+	}
+	start := arrival
+	if p.freeAt[w].After(start) {
+		start = p.freeAt[w]
+	}
+	done := start.Add(service)
+	p.freeAt[w] = done
+	return done
+}
+
+// openLoop runs a pure bookkeeping simulation: arrivals (offsets from a
+// common origin) served by `workers` channels, each query's service time
+// supplied by svc(i) in arrival order. It returns per-query latencies
+// measured from scheduled arrival. This is the unit the coordinated-
+// omission test drives directly.
+func openLoop(arrivals []time.Duration, workers int, svc func(i int) time.Duration) []time.Duration {
+	origin := time.Time{}.Add(time.Hour) // any fixed origin; only differences matter
+	pool := newWorkerPool(workers, origin)
+	out := make([]time.Duration, len(arrivals))
+	for i, at := range arrivals {
+		t := origin.Add(at)
+		done := pool.dispatch(t, svc(i))
+		out[i] = done.Sub(t)
+	}
+	return out
+}
+
+// findKnee marks saturated steps in place and returns the highest offered
+// QPS whose step stayed unsaturated (0 when every step saturated).
+func findKnee(steps []Step, p99Cap time.Duration, minAchieved float64) float64 {
+	knee := 0.0
+	for i := range steps {
+		s := &steps[i]
+		s.Saturated = time.Duration(s.LatencyP99NS) > p99Cap ||
+			s.AchievedQPS < minAchieved*s.OfferedQPS
+		if !s.Saturated && s.OfferedQPS > knee {
+			knee = s.OfferedQPS
+		}
+	}
+	return knee
+}
+
+// percentileDur returns the exact p-quantile (nearest-rank) of samples,
+// zero for an empty set. Staleness percentiles use this — the sample sets
+// are small and exactness keeps them comparable with the chaos report.
+func percentileDur(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -500,6 +500,10 @@ type Session struct {
 	// MaxBlockWaits bounds guard re-evaluations under ActionBlock; zero
 	// means DefaultBlockWaits.
 	MaxBlockWaits int
+	// Tenant labels the session's queries with a tenant class in sampled
+	// trace records (the load generator's multi-tenant attribution). Empty
+	// means unattributed; the field is read-only once traffic flows.
+	Tenant string
 
 	mu          sync.Mutex
 	timeOrdered bool
@@ -629,6 +633,7 @@ func (s *Session) query(sel *sqlparser.SelectStmt, analyze bool, parse time.Dura
 	// qt is nil on the unsampled path; every QueryTrace method is nil-safe,
 	// so the hot path pays one atomic add and no allocation.
 	qt := s.cache.obs.tracer.Begin(key)
+	qt.Tenant(s.Tenant)
 	qt.Parse(parse)
 	var planStart time.Time
 	if qt != nil {

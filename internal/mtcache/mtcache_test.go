@@ -310,3 +310,28 @@ func TestPlanCacheReusesAndRevalidates(t *testing.T) {
 		t.Fatal("plan cache not invalidated by CreateView")
 	}
 }
+
+// A session's Tenant label must flow into the sampled trace records — the
+// load generator's per-tenant attribution on /queries/recent.
+func TestSessionTenantLabelsTraceRecords(t *testing.T) {
+	c, _, _ := newPair(t)
+	addRegionAndView(t, c)
+	s := c.NewSession()
+	s.Tenant = "gold"
+	// The tracer samples 1-in-8 starting with the first query, so one query
+	// is guaranteed to land in the ring.
+	if _, err := s.Query("SELECT id, v FROM t WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Tracer().Ring().Snapshot()
+	if len(recs) == 0 {
+		t.Fatal("no sampled trace records")
+	}
+	if recs[0].Tenant != "gold" {
+		t.Fatalf("trace record tenant = %q, want %q", recs[0].Tenant, "gold")
+	}
+	// Sessions without a tenant stay unattributed (field omitted in JSON).
+	if _, err := c.NewSession().Query("SELECT id, v FROM t WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,9 @@ type QueryRecord struct {
 	SQLHash uint64 `json:"sql_hash"`
 	// SQL is the canonical query text.
 	SQL string `json:"sql"`
+	// Tenant is the issuing session's tenant class, when the session set
+	// one (multi-tenant load runs); empty otherwise.
+	Tenant string `json:"tenant,omitempty"`
 	// BoundNS is the session's currency bound on the guarded region in
 	// nanoseconds; 0 means the query carried no (finite) currency bound.
 	BoundNS int64 `json:"bound_ns"`

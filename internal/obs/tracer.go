@@ -134,6 +134,14 @@ func (q *QueryTrace) Parse(d time.Duration) {
 	}
 }
 
+// Tenant labels the record with the session's tenant class (empty = no
+// tenant attribution; the field is omitted from the JSON).
+func (q *QueryTrace) Tenant(name string) {
+	if q != nil && name != "" {
+		q.rec.Tenant = name
+	}
+}
+
 // Plan records the plan-phase duration (cache lookup or optimization).
 func (q *QueryTrace) Plan(d time.Duration) {
 	if q != nil {

@@ -1,0 +1,103 @@
+package tpcd
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Two samplers built from the same arguments must produce the same draw
+// sequence — the load generator's byte-identical reports depend on it.
+func TestKeySamplerDeterministic(t *testing.T) {
+	a := NewKeySampler(2004, 750, DefaultZipfS, DefaultZipfV)
+	b := NewKeySampler(2004, 750, DefaultZipfS, DefaultZipfV)
+	for i := 0; i < 10000; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, ka, kb)
+		}
+		if ka < 1 || ka > 750 {
+			t.Fatalf("draw %d out of range [1,750]: %d", i, ka)
+		}
+	}
+	c := NewKeySampler(2005, 750, DefaultZipfS, DefaultZipfV)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same first 100 draws")
+	}
+}
+
+// The distribution must actually be skewed: the hottest key must be the
+// most frequent, and the head of the distribution must dominate the tail.
+func TestKeySamplerZipfShape(t *testing.T) {
+	const n, draws = 750, 50000
+	k := NewKeySampler(2004, n, DefaultZipfS, DefaultZipfV)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[k.Next()]++
+	}
+	// Key 1 (rank 0) is the mode.
+	for key := 2; key <= n; key++ {
+		if counts[key] > counts[1] {
+			t.Fatalf("key %d (%d draws) hotter than key 1 (%d draws)", key, counts[key], counts[1])
+		}
+	}
+	// The top 10 keys take at least 40% of the traffic; the bottom half
+	// takes under 20%. (Deterministic given the fixed seed.)
+	sorted := append([]int(nil), counts[1:]...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top10 := 0
+	for _, c := range sorted[:10] {
+		top10 += c
+	}
+	if got := float64(top10) / draws; got < 0.40 {
+		t.Errorf("top-10 keys drew %.1f%% of traffic, want >= 40%%", got*100)
+	}
+	tail := 0
+	for _, c := range sorted[n/2:] {
+		tail += c
+	}
+	if got := float64(tail) / draws; got > 0.20 {
+		t.Errorf("bottom-half keys drew %.1f%% of traffic, want <= 20%%", got*100)
+	}
+}
+
+func TestMixPickAndQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := DefaultMix()
+	var points, joins int
+	for i := 0; i < 1000; i++ {
+		switch m.Pick(rng) {
+		case KindPoint:
+			points++
+		case KindJoin:
+			joins++
+		}
+	}
+	if points == 0 || joins == 0 {
+		t.Fatalf("mix degenerate: %d points, %d joins", points, joins)
+	}
+	if points < joins {
+		t.Fatalf("point weight 9:1 but drew %d points vs %d joins", points, joins)
+	}
+
+	q := Query(KindPoint, 17, 2*time.Second)
+	if !strings.Contains(q, "c_custkey = 17") || !strings.Contains(q, "CURRENCY 2000 MS ON (Customer)") {
+		t.Errorf("point query malformed: %s", q)
+	}
+	q = Query(KindJoin, 5, 1500*time.Millisecond)
+	if !strings.Contains(q, "CURRENCY 1500 MS ON (C), 1500 MS ON (O)") {
+		t.Errorf("join query malformed: %s", q)
+	}
+	if q := Query(KindPoint, 3, 0); strings.Contains(q, "CURRENCY") {
+		t.Errorf("unbounded query carries a currency clause: %s", q)
+	}
+}

@@ -1,11 +1,25 @@
 #!/usr/bin/env bash
 # Validates the schema of BENCH_exec.json (written by scripts/bench.sh) so
 # CI fails loudly when the bench output drifts instead of silently uploading
-# garbage. Usage: scripts/check_bench.sh [file], default BENCH_exec.json.
+# garbage.
+#
+# Usage: scripts/check_bench.sh [compare] [file [baseline]]
+#   default: schema + absolute performance gates on BENCH_exec.json
+#   compare: additionally diff against the committed BENCH_baseline.json
+#            with tolerance bands — allocs/op tight (deterministic counts,
+#            ALLOC_TOL, default 10%), rows/sec loose (machine-dependent,
+#            RPS_TOL, default 60% drop) — so a perf regression fails CI even
+#            when it stays under the absolute ceilings.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+compare=0
+if [[ "${1:-}" == "compare" ]]; then
+  compare=1
+  shift
+fi
 file="${1:-BENCH_exec.json}"
+baseline="${2:-BENCH_baseline.json}"
 
 [ -f "$file" ] || { echo "check_bench: $file not found" >&2; exit 1; }
 
@@ -105,5 +119,42 @@ gate_allocs 'BenchmarkExecScan/batch' 100
 gate_monotone 'BenchmarkExecScan'
 gate_monotone 'BenchmarkExecFilterScan'
 gate_autotune 'BenchmarkExecAutotuneShift'
+
+# --- Baseline comparison ---------------------------------------------------
+# Relative gates against the committed baseline. allocs/op is a counted
+# quantity — identical across machines for the same code — so its band is
+# tight. rows/sec depends on the runner, so its band only catches order-of-
+# magnitude collapses; the absolute gates above carry the precise limits.
+if [ "$compare" = 1 ]; then
+  [ -f "$baseline" ] || { echo "check_bench: baseline $baseline not found" >&2; exit 1; }
+  alloc_tol="${ALLOC_TOL:-0.10}"
+  rps_tol="${RPS_TOL:-0.60}"
+  jq -e -n --slurpfile cur "$file" --slurpfile base "$baseline" \
+        --argjson atol "$alloc_tol" --argjson rtol "$rps_tol" '
+    def strip: sub("-[0-9]+$"; "");
+    ($cur[0]  | map({(.name | strip): .}) | add) as $c
+    | ($base[0] | map({(.name | strip): .}) | add) as $b
+    | [$b | keys[] | select($c[.] != null)] as $names
+    | if ($names | length) == 0 then
+        "check_bench: no overlapping benchmarks between \($cur) and baseline" | halt_error
+      else
+        all($names[];
+          . as $n | $b[$n] as $be | $c[$n] as $ce
+          | (if $be.allocs_op != null and $ce.allocs_op != null
+               and $ce.allocs_op > $be.allocs_op * (1 + $atol) then
+               ("check_bench: \($n) allocs/op regressed vs baseline: " +
+                "\($ce.allocs_op) > \($be.allocs_op) * \(1 + $atol)") | halt_error
+             else true end)
+          and
+            (if $be.rows_per_sec != null and $ce.rows_per_sec != null
+               and $ce.rows_per_sec < $be.rows_per_sec * (1 - $rtol) then
+               ("check_bench: \($n) rows/sec regressed vs baseline: " +
+                "\($ce.rows_per_sec) < \($be.rows_per_sec) * \(1 - $rtol)") | halt_error
+             else true end)
+        )
+      end
+  ' > /dev/null
+  echo "check_bench: $file within tolerance of $baseline (allocs +${ALLOC_TOL:-0.10}, rows/sec -${RPS_TOL:-0.60})"
+fi
 
 echo "check_bench: $file ok ($(jq length "$file") benchmark(s))"

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Validates the schema and sanity gates of BENCH_load.json (written by
+# scripts/load.sh / `rccbench -load`): the open-loop macro-benchmark report
+# must carry at least 3 offered-QPS steps in strictly ascending order, each
+# with ordered latency percentiles (p50 <= p99 <= p999) measured from
+# scheduled arrival, a guard pick ratio and per-tenant SLO figures in
+# [0, 1], served-staleness percentiles, and the saturation-knee summary.
+# Usage: scripts/check_load.sh [file], default BENCH_load.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+file="${1:-BENCH_load.json}"
+
+[ -f "$file" ] || { echo "check_load: $file not found" >&2; exit 1; }
+
+jq -e '
+  # Run header: seed, arrival discipline, worker count, knee, SLO snapshot.
+  (.seed | type == "number")
+  and (.arrival == "uniform" or .arrival == "poisson")
+  and (.workers >= 1)
+  and (.zipf_s > 1)
+  and (.zipf_keys >= 1)
+  and (.slo_target > 0 and .slo_target <= 1)
+  and (.knee_qps | type == "number" and . >= 0)
+  and (.slo | (.target > 0) and (.regions | length > 0))
+  # The sweep: at least 3 steps, offered QPS strictly ascending.
+  and (.steps | type == "array" and length >= 3)
+  and ([.steps[].offered_qps] | . == sort and (unique | length) == length)
+  and all(.steps[];
+    # Traffic flowed and the bookkeeping adds up.
+    (.queries > 0)
+    and (.answered + .failed == .queries)
+    and (.achieved_qps >= 0)
+    # Open-loop latency percentiles are ordered.
+    and (.latency_p50_ns <= .latency_p99_ns)
+    and (.latency_p99_ns <= .latency_p999_ns)
+    and (.latency_p999_ns <= .latency_max_ns)
+    # Ratios live in [0, 1].
+    and (.guard_local_ratio >= 0 and .guard_local_ratio <= 1)
+    and (.degraded_ratio >= 0 and .degraded_ratio <= 1)
+    # Served-staleness percentiles are ordered.
+    and (.staleness_p50_ns <= .staleness_p95_ns)
+    and (.staleness_p95_ns <= .staleness_p99_ns)
+    and (.staleness_p99_ns <= .staleness_max_ns)
+    # Every step reports per-tenant SLO slices with sane figures.
+    and (.tenants | length > 0)
+    and all(.tenants[];
+      (.class | type == "string" and length > 0)
+      and (.action == "error" or .action == "serve-stale"
+           or .action == "serve-local" or .action == "block")
+      and (.queries > 0)
+      and (.within >= 0 and .within <= .queries)
+      and (.slo_within_ratio >= 0 and .slo_within_ratio <= 1)
+      and (.slo_error_budget >= 0 and .slo_error_budget <= 1)
+      and (.latency_p50_ns <= .latency_p99_ns)
+      and (.latency_p99_ns <= .latency_p999_ns))
+    # And per-region workload profiles from the observer window.
+    and (.regions | length > 0)
+    and all(.regions[]; .queries >= 0 and .region >= 1)
+  )
+  # The knee, when found, names one of the offered steps.
+  and (.knee_qps as $k | $k == 0 or ([.steps[].offered_qps] | index($k) != null))
+' "$file" > /dev/null
+
+steps=$(jq '.steps | length' "$file")
+knee=$(jq '.knee_qps' "$file")
+echo "check_load: $file ok ($steps step(s), knee ${knee} qps)"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the open-loop macro-benchmark (rccbench -load) and writes
+# BENCH_load.json in the repo root: throughput-vs-latency curves
+# (p50/p99/p999 from scheduled arrival), guard pick ratios, served-staleness
+# percentiles and per-tenant SLO budgets per offered-QPS step, plus the
+# saturation knee. Usage: scripts/load.sh [short], where "short" selects the
+# 3-step CI smoke sweep instead of the full 5-step saturation sweep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="BENCH_load.json"
+
+args=(-load -load-json "$out")
+if [[ "${1:-}" == "short" ]]; then
+    args+=(-load-short)
+fi
+
+go run ./cmd/rccbench "${args[@]}"
