@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint lint-fixtures bench bench-compare load metrics-lint verify cover chaos
+.PHONY: build test vet race lint lint-fixtures bench bench-compare load metrics-lint verify cover chaos audit audit-broken
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,15 @@ cover:
 # percentiles under link faults (same as `rccbench -chaos`).
 chaos:
 	$(GO) run ./cmd/rccbench -chaos
+
+# Chaos run with the delivered-guarantee auditor: snapshot validated by
+# scripts/check_audit.sh (zero silent violations, conserved counts).
+audit:
+	$(GO) run ./cmd/rccbench -chaos -audit -snapshot audit-snapshot
+	./scripts/check_audit.sh audit-snapshot/audit.json
+
+# Negative control: the deliberately broken guard-lie schedule; the gate
+# inverts and requires the auditor to flag it with evidence.
+audit-broken:
+	$(GO) run ./cmd/rccbench -chaos -audit -broken-guard -snapshot audit-broken-snapshot
+	./scripts/check_audit.sh --broken audit-broken-snapshot/audit.json

@@ -14,6 +14,10 @@
 // the open-loop macro-benchmark (saturation sweep over multi-tenant
 // sessions) and writes BENCH_load.json via -load-json; -load-short selects
 // the CI smoke sweep and -wall paces arrivals in real time for demos.
+// -audit enables the delivered-guarantee auditor on any scenario and
+// appends its ledger (plus the /audit snapshot when -snapshot is set);
+// -broken-guard swaps in the deliberately broken chaos schedule the
+// auditor must flag.
 package main
 
 import (
@@ -59,6 +63,10 @@ func main() {
 		"with -load: pace arrivals in real time for demos (measurement stays on the virtual clock)")
 	autotune := flag.Bool("autotune", false,
 		"enable the closed-loop currency autotuner (tuner.Loop) for the run")
+	auditOn := flag.Bool("audit", false,
+		"enable the delivered-guarantee auditor and append its ledger to the report")
+	brokenGuard := flag.Bool("broken-guard", false,
+		"with -chaos: run the deliberately broken guard-lie schedule the auditor must catch")
 	obsAddr := flag.String("obs", "",
 		"serve the ops HTTP surface (/metrics /slo /queries/... /regions /tuner) on this address for the run")
 	snapshotDir := flag.String("snapshot", "",
@@ -74,6 +82,9 @@ func main() {
 		sys = s
 		if *autotune && s.Tuner() == nil {
 			s.EnableAutotune(tuner.LoopConfig{})
+		}
+		if *auditOn && s.Audit() == nil {
+			s.EnableAudit()
 		}
 		if *obsAddr == "" {
 			return
@@ -110,6 +121,9 @@ func main() {
 		}
 	} else if *chaos {
 		ccfg := harness.DefaultChaosConfig()
+		if *brokenGuard {
+			ccfg = harness.BrokenGuardChaosConfig()
+		}
 		ccfg.Seed = cfg.Seed
 		ccfg.OnSystem = attach
 		if err := harness.RunChaosReport(os.Stdout, ccfg); err != nil {
@@ -129,6 +143,10 @@ func main() {
 		}
 	}
 
+	if *auditOn && sys != nil {
+		harness.RenderAudit(os.Stdout, sys.Audit())
+	}
+
 	if *snapshotDir != "" && sys != nil {
 		if err := writeSnapshots(sys, *snapshotDir); err != nil {
 			fmt.Fprintln(os.Stderr, "rccbench: snapshot:", err)
@@ -137,9 +155,10 @@ func main() {
 	}
 }
 
-// writeSnapshots dumps the post-run /slo, /queries/slow and /tuner payloads
-// as JSON files, exactly as the HTTP surface would serve them. /tuner is
-// optional: on a run without autotuning it 404s and no file is written.
+// writeSnapshots dumps the post-run /slo, /queries/slow, /tuner and /audit
+// payloads as JSON files, exactly as the HTTP surface would serve them.
+// /tuner and /audit are optional: on a run without the matching Enable*
+// they 404 and no file is written.
 func writeSnapshots(sys *core.System, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -152,6 +171,7 @@ func writeSnapshots(sys *core.System, dir string) error {
 		{file: "slo.json", url: "/slo"},
 		{file: "queries_slow.json", url: "/queries/slow?threshold=0s"},
 		{file: "tuner.json", url: "/tuner", optional: true},
+		{file: "audit.json", url: "/audit", optional: true},
 	} {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, snap.url, nil))

@@ -27,4 +27,12 @@ func register(r *Registry, suffix string) {
 	r.CounterVec("tuner_retunes", "region") // want:metricnames
 	r.Gauge("tuner_target_interval_ns")
 	r.Histogram("tuner_target_interval_ns") // want:metricnames
+	// Auditor-name drift: the violations counter without _total, a camel-case
+	// ledger name, a label key that is not lowercase_snake, and the slack
+	// histogram re-registered as a gauge.
+	r.CounterVec("audit_violations", "class")      // want:metricnames
+	r.Counter("audit_readsChecked_total")          // want:metricnames
+	r.CounterVec("audit_dropped_total", "perKind") // want:metricnames
+	r.Histogram("audit_slack_ns")
+	r.Gauge("audit_slack_ns") // want:metricnames
 }

@@ -7,6 +7,7 @@ type Registry struct{}
 func (r *Registry) Counter(name string) *int             { return new(int) }
 func (r *Registry) CounterVec(name, label string) *int   { return new(int) }
 func (r *Registry) GaugeVec(name, label string) *int     { return new(int) }
+func (r *Registry) Histogram(name string) *int           { return new(int) }
 func (r *Registry) HistogramVec(name, label string) *int { return new(int) }
 
 const hitPrefix = "cache_"
@@ -25,4 +26,11 @@ func register(r *Registry) {
 	r.CounterVec("tuner_retunes_total", "region")
 	r.CounterVec("tuner_held_total", "region")
 	r.GaugeVec("tuner_target_interval_ns", "region")
+	// The shapes the delivered-guarantee auditor registers: classification
+	// counters with labels, ns-suffixed slack/excess histograms.
+	r.Counter("audit_reads_checked_total")
+	r.CounterVec("audit_violations_total", "class")
+	r.CounterVec("audit_events_dropped_total", "kind")
+	r.Histogram("audit_excess_staleness_ns")
+	r.Histogram("audit_slack_ns")
 }

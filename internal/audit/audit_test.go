@@ -1,0 +1,384 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"relaxedcc/internal/obs"
+	"relaxedcc/internal/sqltypes"
+	"relaxedcc/internal/txn"
+)
+
+var t0 = time.Date(2004, 6, 13, 0, 0, 0, 0, time.UTC)
+
+func newTestAuditor(cfg Config) *Auditor {
+	a := New(obs.NewRegistry(), cfg)
+	a.Enable()
+	return a
+}
+
+// commit appends one single-table commit at t0+at.
+func commit(a *Auditor, seq int64, at time.Duration, table string) {
+	a.ObserveCommit(txn.CommitRecord{
+		TS:      txn.Timestamp{Seq: seq, At: t0.Add(at)},
+		Changes: []txn.Change{{Table: table, Op: txn.OpUpdate, New: sqltypes.Row{sqltypes.NewInt(1)}}},
+	})
+}
+
+// read builds a guard-approved local serve of region 1's copy of T.
+func read(bound, serveAt time.Duration, syncSeq int64) ReadEvent {
+	return ReadEvent{
+		Label:     "Guard(t_prj|Remote(T))",
+		Region:    1,
+		BoundNS:   int64(bound),
+		SyncSeq:   syncSeq,
+		ServeTSNS: t0.Add(serveAt).UnixNano(),
+	}
+}
+
+func TestCheckerClassifiesOKAndViolation(t *testing.T) {
+	a := newTestAuditor(Config{})
+	a.RegisterObject(1, "T", 0)
+	commit(a, 1, 0, "T")
+	commit(a, 2, 10*time.Second, "T")
+	a.ObserveApply(1, 1, t0.Add(2*time.Second))
+
+	// Synced through seq 1, served at +12s: stale since the seq-2 commit at
+	// +10s, delivered staleness 2s. Within a 5s bound: OK.
+	a.Reads([]ReadEvent{read(5*time.Second, 12*time.Second, 1)})
+	s := a.Summary()
+	if s.ReadsChecked != 1 || s.OK != 1 || s.ViolationsTotal != 0 {
+		t.Fatalf("ok serve: %+v", s.Tally)
+	}
+
+	// Same sync point at +30s: delivered 20s against a 5s bound — violation
+	// with the full evidence chain.
+	a.Reads([]ReadEvent{read(5*time.Second, 30*time.Second, 1)})
+	s = a.Summary()
+	if s.CurrencyViolations != 1 || len(s.RecentViolations) != 1 {
+		t.Fatalf("violation not recorded: %+v", s.Tally)
+	}
+	v := s.RecentViolations[0]
+	if v.Class != ClassViolationCurrency || v.Object != "T" || v.Region != 1 {
+		t.Fatalf("evidence = %+v", v)
+	}
+	if v.BoundNS != int64(5*time.Second) || v.DeliveredNS != int64(20*time.Second) ||
+		v.ExcessNS != int64(15*time.Second) {
+		t.Fatalf("bound/delivered/excess = %d/%d/%d", v.BoundNS, v.DeliveredNS, v.ExcessNS)
+	}
+	if v.StaleSeq != 2 || v.SyncSeq != 1 {
+		t.Fatalf("stale/sync seq = %d/%d", v.StaleSeq, v.SyncSeq)
+	}
+	if v.ReplLagNS != int64(28*time.Second) {
+		t.Fatalf("repl lag = %v", time.Duration(v.ReplLagNS))
+	}
+}
+
+func TestCheckerDisclosedUnboundedRemote(t *testing.T) {
+	a := newTestAuditor(Config{})
+	a.RegisterObject(1, "T", 0)
+	commit(a, 1, 0, "T")
+	commit(a, 2, 10*time.Second, "T")
+
+	degraded := read(time.Second, 30*time.Second, 1)
+	degraded.Degraded = true
+	stale := ReadEvent{ServedStale: true, ServeTSNS: t0.Add(30 * time.Second).UnixNano()}
+	unbounded := read(0, 30*time.Second, 1)
+	remote := read(time.Second, 30*time.Second, 1)
+	remote.Chosen = 1
+	a.Reads([]ReadEvent{degraded, stale, unbounded, remote})
+
+	s := a.Summary()
+	if s.ReadsChecked != 4 {
+		t.Fatalf("checked = %d", s.ReadsChecked)
+	}
+	// Broken promises that were disclosed to the client are not violations;
+	// remote serves read the master and are OK regardless of replication.
+	if s.Disclosed != 2 || s.Unbounded != 1 || s.OK != 1 || s.ViolationsTotal != 0 {
+		t.Fatalf("tally = %+v", s.Tally)
+	}
+}
+
+func TestCheckerBaseSeqOverridesAgentSeq(t *testing.T) {
+	a := newTestAuditor(Config{})
+	// The view's snapshot was taken at seq 2 even though the agent's applied
+	// sequence still reads 0 — the effective sync point is the snapshot.
+	a.RegisterObject(1, "T", 2)
+	commit(a, 1, 0, "T")
+	commit(a, 2, 10*time.Second, "T")
+	a.Reads([]ReadEvent{read(5*time.Second, 30*time.Second, 0)})
+	if s := a.Summary(); s.OK != 1 || s.ViolationsTotal != 0 {
+		t.Fatalf("snapshot-synced copy flagged: %+v", s.Tally)
+	}
+	// Re-registration keeps the most conservative (smallest) snapshot.
+	a.RegisterObject(1, "T", 5)
+	a.chk.mu.Lock()
+	base := a.chk.objects[1]["T"]
+	a.chk.mu.Unlock()
+	if base != 2 {
+		t.Fatalf("re-registration raised baseSeq to %d", base)
+	}
+}
+
+func TestCheckerUncheckedOutsideRetainedWindow(t *testing.T) {
+	a := newTestAuditor(Config{MaxCommits: 16})
+	a.RegisterObject(1, "T", 0)
+	// 40 commits with MaxCommits 16: compaction leaves a window starting well
+	// past seq 1.
+	for i := 1; i <= 40; i++ {
+		commit(a, int64(i), time.Duration(i)*time.Second, "T")
+	}
+	// A read synced at seq 1 needs history the checker compacted away.
+	a.Reads([]ReadEvent{read(5*time.Second, 50*time.Second, 1)})
+	s := a.Summary()
+	if s.Unchecked != 1 || s.ViolationsTotal != 0 {
+		t.Fatalf("pre-window read not unchecked: %+v", s.Tally)
+	}
+	// A read synced to the newest commit still checks fine.
+	a.Reads([]ReadEvent{read(5*time.Second, 50*time.Second, 40)})
+	if s := a.Summary(); s.OK != 1 {
+		t.Fatalf("in-window read: %+v", s.Tally)
+	}
+}
+
+func TestThetaConsistencyCheck(t *testing.T) {
+	// Honest multi-region serves never trip the Θ check: distance(A,B) is at
+	// most the older copy's delivered currency, which the per-read check
+	// already bounded. Assert that soundness end to end first.
+	a := newTestAuditor(Config{})
+	a.RegisterObject(1, "T", 0)
+	a.RegisterObject(2, "U", 0)
+	commit(a, 1, 0, "T")
+	commit(a, 2, 0, "U")
+	commit(a, 3, 10*time.Second, "U")
+	commit(a, 4, 40*time.Second, "T")
+	evT := read(5*time.Second, 41*time.Second, 4)
+	evU := ReadEvent{
+		Label: "Guard(u_prj|Remote(U))", Region: 2,
+		BoundNS: int64(40 * time.Second), SyncSeq: 2,
+		ServeTSNS: t0.Add(41 * time.Second).UnixNano(),
+	}
+	a.Reads([]ReadEvent{evT, evU})
+	if s := a.Summary(); s.ViolationsTotal != 0 || s.OK != 2 {
+		t.Fatalf("honest multi-region pair: %+v", s.Tally)
+	}
+
+	// The check itself (the safety net the soundness argument says honest
+	// runs never need): a pair whose Θ-bound exceeds every declared bound.
+	// distance(T@4, U@2) = currency(U, H_4) = time(4) - time(3) = 30s.
+	c := a.chk
+	c.mu.Lock()
+	locals := []localServe{
+		{ev: ReadEvent{Query: 9, Region: 1, SyncSeq: 4,
+			ServeTSNS: t0.Add(41 * time.Second).UnixNano()}, asOf: 4, bound: int64(5 * time.Second)},
+		{ev: ReadEvent{Query: 9, Region: 2, SyncSeq: 2,
+			ServeTSNS: t0.Add(41 * time.Second).UnixNano()}, asOf: 4, bound: int64(5 * time.Second)},
+	}
+	v, bad := c.thetaLocked(9, locals)
+	c.mu.Unlock()
+	if !bad {
+		t.Fatal("Θ excess not flagged")
+	}
+	if v.Class != ClassViolationConsistency || v.Object != "T,U" {
+		t.Fatalf("evidence = %+v", v)
+	}
+	if v.DeliveredNS != int64(30*time.Second) || v.BoundNS != int64(5*time.Second) ||
+		v.ExcessNS != int64(25*time.Second) {
+		t.Fatalf("Θ/bound/excess = %d/%d/%d", v.DeliveredNS, v.BoundNS, v.ExcessNS)
+	}
+
+	// Single-region sets are mutually consistent by construction.
+	c.mu.Lock()
+	_, bad = c.thetaLocked(9, []localServe{locals[0], locals[0]})
+	c.mu.Unlock()
+	if bad {
+		t.Fatal("single-region set flagged")
+	}
+}
+
+func TestRingOverflowCountsDrops(t *testing.T) {
+	r := newRing[int](16)
+	for i := 0; i < 20; i++ {
+		evicted := r.push(i)
+		if evicted != (i >= 16) {
+			t.Fatalf("push %d evicted=%v", i, evicted)
+		}
+	}
+	if r.pushed() != 20 || r.dropped() != 4 {
+		t.Fatalf("pushed/dropped = %d/%d", r.pushed(), r.dropped())
+	}
+	snap := r.snapshot()
+	if len(snap) != 16 || snap[0] != 4 || snap[15] != 19 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRingRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 16}, {16, 16}, {17, 32}, {1000, 1024}} {
+		if got := len(newRing[int](c.ask).slots); got != c.want {
+			t.Fatalf("newRing(%d) = %d slots, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestReplayMatchesOnline(t *testing.T) {
+	a := newTestAuditor(Config{})
+	a.RegisterObject(1, "T", 0)
+	commit(a, 1, 0, "T")
+	a.ObserveApply(1, 1, t0.Add(time.Second))
+	for i := int64(2); i <= 30; i++ {
+		commit(a, i, time.Duration(i)*time.Second, "T")
+		sync := i - 3
+		if sync < 1 {
+			sync = 1
+		}
+		a.ObserveApply(1, sync, t0.Add(time.Duration(i)*time.Second))
+		// Mix of outcomes: some within bound, some violations, one degraded.
+		ev := read(4*time.Second, time.Duration(i)*time.Second+500*time.Millisecond, sync)
+		if i%7 == 0 {
+			ev.Degraded = true
+		}
+		if i%5 == 0 {
+			ev.BoundNS = int64(500 * time.Millisecond)
+		}
+		a.Reads([]ReadEvent{ev})
+	}
+	online := a.Summary()
+	if online.ViolationsTotal == 0 || online.OK == 0 || online.Disclosed == 0 {
+		t.Fatalf("workload not mixed: %+v", online.Tally)
+	}
+	if online.DroppedCommits+online.DroppedReads+online.DroppedApplies != 0 {
+		t.Fatalf("unexpected drops: %+v", online)
+	}
+	replay := a.Replay()
+	if replay.Tally != online.Tally {
+		t.Fatalf("replay tally %+v != online %+v", replay.Tally, online.Tally)
+	}
+	if len(replay.RecentViolations) != len(online.RecentViolations) {
+		t.Fatalf("replay recent %d != online %d",
+			len(replay.RecentViolations), len(online.RecentViolations))
+	}
+	for i := range replay.RecentViolations {
+		if replay.RecentViolations[i] != online.RecentViolations[i] {
+			t.Fatalf("replay violation %d = %+v, online %+v",
+				i, replay.RecentViolations[i], online.RecentViolations[i])
+		}
+	}
+}
+
+func TestSummaryNilSafe(t *testing.T) {
+	var a *Auditor
+	if a.Enabled() {
+		t.Fatal("nil auditor enabled")
+	}
+	a.RegisterObject(1, "T", 0) // must not panic
+	s := a.Summary()
+	if s.Enabled || s.ReadsChecked != 0 || s.RecentViolations == nil {
+		t.Fatalf("nil summary = %+v", s)
+	}
+}
+
+func TestDisabledHooksRecordNothing(t *testing.T) {
+	a := New(obs.NewRegistry(), Config{})
+	commit(a, 1, 0, "T")
+	a.ObserveApply(1, 1, t0)
+	a.Reads([]ReadEvent{read(time.Second, time.Second, 0)})
+	s := a.Summary()
+	if s.ReadsChecked != 0 || s.Commits != 0 || s.Applies != 0 {
+		t.Fatalf("disabled auditor recorded: %+v", s)
+	}
+}
+
+// TestDisabledPathAllocatesNothing asserts the zero-overhead claim: with the
+// auditor disabled every hook is one atomic load and no allocation, so the
+// instrumentation can stay wired into production builds.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	a := New(obs.NewRegistry(), Config{})
+	rec := txn.CommitRecord{TS: txn.Timestamp{Seq: 1, At: t0}}
+	evs := []ReadEvent{read(time.Second, time.Second, 0)}
+	if n := testing.AllocsPerRun(1000, func() {
+		a.ObserveCommit(rec)
+		a.ObserveApply(1, 1, t0)
+		a.Reads(evs)
+	}); n != 0 {
+		t.Fatalf("disabled hooks allocate %.1f allocs/op", n)
+	}
+	var nilA *Auditor
+	if n := testing.AllocsPerRun(1000, func() {
+		if nilA.Enabled() {
+			t.Fatal("nil enabled")
+		}
+	}); n != 0 {
+		t.Fatalf("nil Enabled allocates %.1f allocs/op", n)
+	}
+}
+
+// TestConcurrentRecordingConservesCounts hammers the auditor from concurrent
+// recorders while snapshots run, then checks conservation: every recorded
+// read is classified exactly once and the classes sum to the total.
+func TestConcurrentRecordingConservesCounts(t *testing.T) {
+	a := newTestAuditor(Config{CommitRing: 64, ReadRing: 128, ApplyRing: 64})
+	a.RegisterObject(1, "T", 0)
+	const writers, per = 4, 200
+	var wg sync.WaitGroup
+	var seq int64
+	var seqMu sync.Mutex
+	nextSeq := func() int64 {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		seq++
+		return seq
+	}
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				// Every read classifies as exactly one of these five; consistency
+				// violations are query-level extras, not per-read classes.
+				s := a.Summary()
+				if got := s.OK + s.CurrencyViolations +
+					s.Disclosed + s.Unbounded + s.Unchecked; got != s.ReadsChecked {
+					t.Errorf("mid-run conservation: classes sum %d, checked %d", got, s.ReadsChecked)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n := nextSeq()
+				commit(a, n, time.Duration(n)*time.Millisecond, "T")
+				a.ObserveApply(1, n, t0.Add(time.Duration(n)*time.Millisecond))
+				ev := read(time.Duration(w+1)*time.Millisecond,
+					time.Duration(n)*time.Millisecond, n-1)
+				a.Reads([]ReadEvent{ev})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	s := a.Summary()
+	if s.ReadsChecked != writers*per {
+		t.Fatalf("checked %d of %d", s.ReadsChecked, writers*per)
+	}
+	if got := s.OK + s.CurrencyViolations +
+		s.Disclosed + s.Unbounded + s.Unchecked; got != s.ReadsChecked {
+		t.Fatalf("classes sum %d, checked %d", got, s.ReadsChecked)
+	}
+	// Ring accounting conserves too: pushed = retained capacity + dropped.
+	if s.DroppedReads != uint64(writers*per)-uint64(len(a.reads.slots)) {
+		t.Fatalf("read drops = %d", s.DroppedReads)
+	}
+}

@@ -27,5 +27,13 @@ func (s *System) ObsHandler() http.Handler {
 			}
 			return nil
 		},
+		// Same late-binding contract as Tuner: EnableAudit after the handler
+		// is built still lights up /audit.
+		Audit: func() any {
+			if a := s.audit; a != nil {
+				return a.Summary()
+			}
+			return nil
+		},
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"relaxedcc/internal/audit"
 	"relaxedcc/internal/backend"
 	"relaxedcc/internal/catalog"
 	"relaxedcc/internal/exec"
@@ -36,6 +37,9 @@ type System struct {
 	// tuner is the closed-loop autotuner installed by EnableAutotune (see
 	// autotune.go); nil until enabled.
 	tuner *tuner.Loop
+	// audit is the delivered-guarantee auditor installed by EnableAudit (see
+	// audit.go); nil until enabled.
+	audit *audit.Auditor
 }
 
 // NewSystem creates an empty system on a fresh virtual clock.
@@ -98,6 +102,9 @@ func (s *System) AddRegion(r *catalog.Region) error {
 	}
 	if s.tuner != nil {
 		s.tuner.AddRegion(agentActuator{agent})
+	}
+	if s.audit != nil {
+		s.wireAuditAgent(s.audit, agent)
 	}
 	return nil
 }

@@ -49,6 +49,23 @@ type ChaosConfig struct {
 	// the watchdog is expected to catch and restart it.
 	StallStart time.Duration
 
+	// WriteInterval issues a single-row UPDATE directly against the master
+	// at this cadence (zero disables), so the commit history keeps moving
+	// after setup and the delivered-guarantee auditor has real staleness to
+	// measure. The writes bypass the faulted link and never change the
+	// guard's heartbeat signal, so reports stay byte-identical with the
+	// write-free runs of earlier revisions.
+	WriteInterval time.Duration
+
+	// GuardLieStart is the deliberately broken fault schedule the auditor
+	// must catch: from that offset (zero disables) the region's agent is
+	// hard-wedged (stall survives watchdog restarts) while the local
+	// heartbeat is forged fresh before every query, so currency guards see
+	// staleness ~0 and keep approving local serves of data that is in fact
+	// arbitrarily stale. No honest component behaves this way — it exists
+	// to prove the auditor detects real violations with evidence.
+	GuardLieStart time.Duration
+
 	// Policy is the link's resilience policy; zero selects the system
 	// default (retry/backoff, deadline, breaker on heartbeat cadence).
 	Policy remote.Policy
@@ -79,7 +96,21 @@ func DefaultChaosConfig() ChaosConfig {
 		PartitionStart:    40 * time.Second,
 		PartitionDur:      25 * time.Second,
 		StallStart:        80 * time.Second,
+		WriteInterval:     2 * time.Second,
 	}
+}
+
+// BrokenGuardChaosConfig is the negative fixture for the auditor: the
+// guard-lie schedule on an otherwise fault-free run, so every violation the
+// auditor reports is attributable to the lie alone. Honest runs of the
+// default config must audit clean; this one must not.
+func BrokenGuardChaosConfig() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.ErrorRate = 0
+	cfg.PartitionDur = 0
+	cfg.StallStart = 0
+	cfg.GuardLieStart = 30 * time.Second
+	return cfg
 }
 
 // ChaosReport is the outcome of one chaos run.
@@ -166,6 +197,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	start := sys.Clock.Now()
 	partitionOn := false
 	stallOn := cfg.StallStart <= 0
+	lieOn := false
+	nextWrite := cfg.WriteInterval
+	writeVal := int64(1)
 	rep := &ChaosReport{}
 	var served []time.Duration
 
@@ -180,6 +214,23 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		if !stallOn && off >= cfg.StallStart {
 			stallOn = true
 			inj.StallAgent(1, true)
+		}
+		if cfg.WriteInterval > 0 && off >= nextWrite {
+			nextWrite += cfg.WriteInterval
+			writeVal++
+			if _, err := sys.Backend.Exec(fmt.Sprintf("UPDATE T SET v = %d WHERE id = 1", writeVal)); err != nil {
+				return nil, err
+			}
+		}
+		if !lieOn && cfg.GuardLieStart > 0 && off >= cfg.GuardLieStart {
+			lieOn = true
+			inj.SetStallSurvivesRestart(true)
+			inj.StallAgent(1, true)
+		}
+		if lieOn {
+			// The lie: replication is wedged, but the heartbeat claims the
+			// region synchronized this instant.
+			sys.Cache.SetLastSync(1, sys.Clock.Now())
 		}
 
 		rep.Queries++

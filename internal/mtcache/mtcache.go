@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"relaxedcc/internal/audit"
 	"relaxedcc/internal/backend"
 	"relaxedcc/internal/catalog"
 	"relaxedcc/internal/exec"
@@ -62,6 +64,12 @@ type Cache struct {
 	// obs holds the cache's metrics registry, instruments and trace store
 	// (see obs.go). Always non-nil; each cache owns its registry.
 	obs *cacheObs
+
+	// aud is the delivered-guarantee auditor, installed by EnableAudit (nil
+	// until then). Atomic so the per-query fast path is one load; when the
+	// auditor is absent or disabled the query path does no audit work and
+	// allocates nothing.
+	aud atomic.Pointer[audit.Auditor]
 
 	// waitMu guards wait, the hook blocking sessions use to let replication
 	// catch up between guard re-evaluations. Nil means advance the cache's
@@ -322,6 +330,46 @@ func (c *Cache) LastSync(regionID int) (time.Time, bool) {
 // HeartbeatTable exposes the local heartbeat table (read by guards).
 func (c *Cache) HeartbeatTable() *storage.Table { return c.hb }
 
+// EnableAudit installs the delivered-guarantee auditor on this cache: every
+// executed query's guard decisions are recorded as audit read events, and
+// the base tables of all current subscriptions register as audited objects
+// at their snapshot sequences (later CreateViews register as they land).
+// The commit and replication taps are wired by core.System.EnableAudit.
+func (c *Cache) EnableAudit(a *audit.Auditor) {
+	c.aud.Store(a)
+	for _, agent := range c.Agents() {
+		for _, sub := range agent.Subscriptions() {
+			a.RegisterObject(agent.Region.ID, sub.Base.Name, sub.StartSeq())
+		}
+	}
+}
+
+// Auditor returns the installed delivered-guarantee auditor, or nil.
+func (c *Cache) Auditor() *audit.Auditor { return c.aud.Load() }
+
+// auditReadEvent converts one guard decision into an audit read event,
+// resolving the versions the local branch served (the region agent's
+// applied commit sequence) and the heartbeat timestamp the guard trusted.
+func (c *Cache) auditReadEvent(d exec.GuardDecision) audit.ReadEvent {
+	ev := audit.ReadEvent{
+		Label:          d.Label,
+		Region:         d.Region,
+		BoundNS:        int64(obs.NormalizeBound(d.Bound)),
+		Chosen:         d.Chosen,
+		Degraded:       d.Degraded,
+		ServeTSNS:      c.clock.Now().UnixNano(),
+		StalenessNS:    int64(d.Staleness),
+		StalenessKnown: d.StalenessKnown,
+	}
+	if a := c.Agent(d.Region); a != nil {
+		ev.SyncSeq = a.LastSeq()
+	}
+	if ts, ok := c.LastSync(d.Region); ok {
+		ev.SyncTSNS = ts.UnixNano()
+	}
+	return ev
+}
+
 // CreateView defines a materialized view on the cache: it creates local
 // storage with the given extra secondary indexes, registers the matching
 // replication subscription with the region's agent, and populates the view
@@ -369,6 +417,9 @@ func (c *Cache) CreateView(view *catalog.View, extraIndexes ...*catalog.Index) e
 	agent.Subscribe(sub)
 	if err := agent.InitialSync(sub, baseData); err != nil {
 		return err
+	}
+	if a := c.aud.Load(); a != nil {
+		a.RegisterObject(view.RegionID, view.BaseTable, sub.StartSeq())
 	}
 	c.mu.Lock()
 	c.views[view.Name] = target
@@ -748,6 +799,17 @@ func (s *Session) run(plan *opt.Plan, analyze bool, sql string, qt *obs.QueryTra
 			qt.Guard(guardObservation(d))
 		}
 	}
+	// With the auditor enabled, every guard decision also becomes an audit
+	// read event; disabled, this is one atomic load and no allocation.
+	aud := s.cache.aud.Load()
+	var audEvents []audit.ReadEvent
+	if aud.Enabled() {
+		prev := ctx.OnGuard
+		ctx.OnGuard = func(d exec.GuardDecision) {
+			prev(d)
+			audEvents = append(audEvents, s.cache.auditReadEvent(d))
+		}
+	}
 	if ctx.Degrade == exec.DegradeBlock {
 		ctx.GuardRetry = s.guardRetry
 	}
@@ -786,6 +848,9 @@ func (s *Session) run(plan *opt.Plan, analyze bool, sql string, qt *obs.QueryTra
 		s.floor = observed
 	}
 	s.mu.Unlock()
+	if len(audEvents) > 0 {
+		aud.Reads(audEvents)
+	}
 	return qr, nil
 }
 
@@ -862,6 +927,14 @@ func (s *Session) serveStale(sel *sqlparser.SelectStmt, qt *obs.QueryTrace) (*Qu
 	qr.ServedStale = true
 	s.cache.obs.servedStale.Inc()
 	qr.AsOf = time.Time{} // staleness unknown: no guard vouched for it
+	if aud := s.cache.aud.Load(); aud.Enabled() {
+		// The guardless rerun produced no read events; record the downgrade
+		// itself as one disclosed serve (staleness unknown, promise waived).
+		aud.Reads([]audit.ReadEvent{{
+			ServedStale: true,
+			ServeTSNS:   s.cache.clock.Now().UnixNano(),
+		}})
+	}
 	qt.MarkDegraded()
 	qt.Finish(false)
 	return qr, nil

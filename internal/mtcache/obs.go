@@ -35,9 +35,19 @@ import (
 //	tuner_retunes_total{region}       autotuner decisions that changed the interval
 //	tuner_held_total{region}          autotuner decisions held by hysteresis
 //	tuner_target_interval_ns{region}  autotuner's current target interval
+//	audit_reads_checked_total         reads folded through the delivered-guarantee checker
+//	audit_reads_ok_total              reads that kept their declared promise
+//	audit_violations_total{class}     silent violations (currency, consistency)
+//	audit_disclosed_total             broken-but-disclosed serves (degraded, served-stale)
+//	audit_unbounded_total             reads with no finite bound to audit
+//	audit_unchecked_total             reads outside the retained history window
+//	audit_events_dropped_total{kind}  audit ring overwrites (commit, read, apply)
+//	audit_excess_staleness_ns         delivered minus declared staleness on violations
+//	audit_slack_ns                    declared minus delivered staleness on OK reads
 //
 // (the tuner_* instruments register from tuner.NewLoop when autotuning is
-// enabled; they are listed here because they share this cache's registry.)
+// enabled and the audit_* instruments from audit.New when the auditor is
+// installed; they are listed here because they share this cache's registry.)
 type cacheObs struct {
 	reg    *obs.Registry
 	clock  vclock.Clock

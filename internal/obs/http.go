@@ -45,6 +45,10 @@ type Ops struct {
 	// func returning nil — disables the endpoint with a 404, so a system
 	// without EnableAutotune keeps a working surface.
 	Tuner func() any
+	// Audit supplies the /audit payload (the delivered-guarantee auditor's
+	// ledger summary plus recent violations with evidence). Same nil
+	// contract as Tuner.
+	Audit func() any
 }
 
 // Handler serves the registry and trace store over HTTP — the PR 2 surface
@@ -67,6 +71,8 @@ func Handler(reg *Registry, traces *TraceStore, refresh func()) http.Handler {
 //	/regions          currency regions with cadence and live staleness
 //	/tuner            autotuning loop snapshot (hysteresis config, per-region
 //	                  intervals, full decision timeline)
+//	/audit            delivered-guarantee audit ledger (classification
+//	                  counts, recent violations with evidence)
 func NewHandler(o Ops) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -122,8 +128,9 @@ func NewHandler(o Ops) http.Handler {
 		threshold := time.Duration(0)
 		if t := r.URL.Query().Get("threshold"); t != "" {
 			d, err := time.ParseDuration(t)
-			if err != nil {
-				http.Error(w, "bad threshold: "+err.Error(), http.StatusBadRequest)
+			if err != nil || d < 0 {
+				writeJSONError(w, http.StatusBadRequest,
+					"bad threshold "+strconv.Quote(t)+": want a non-negative Go duration, e.g. 10ms")
 				return
 			}
 			threshold = d
@@ -169,6 +176,17 @@ func NewHandler(o Ops) http.Handler {
 		}
 		writeJSON(w, snap)
 	})
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		var snap any
+		if o.Audit != nil {
+			snap = o.Audit()
+		}
+		if snap == nil {
+			http.Error(w, "no auditor", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
+	})
 	mux.HandleFunc("/regions", func(w http.ResponseWriter, r *http.Request) {
 		if o.Regions == nil {
 			http.Error(w, "no region source", http.StatusNotFound)
@@ -210,6 +228,17 @@ func sortRecordsByTotal(recs []QueryRecord) {
 			recs[j-1], recs[j] = recs[j], recs[j-1]
 		}
 	}
+}
+
+// writeJSONError writes a JSON error body ({"error": msg}) with the given
+// status, so machine clients of the ops surface never have to sniff plain
+// text on failures.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]string{"error": msg})
 }
 
 // writeJSON writes v indented with the JSON content type.

@@ -141,11 +141,59 @@ func TestOpsQueriesSlowSchema(t *testing.T) {
 	if len(qs) != 2 || qs[0].(map[string]any)["sql"] != "SELECT slow" {
 		t.Fatalf("unfiltered slow list wrong: %v", qs)
 	}
-	// Bad threshold is a client error.
+}
+
+// TestOpsQueriesSlowBadThreshold: an unparsable or negative threshold is a
+// 400 with a machine-readable JSON error naming the bad value, not a silent
+// fall-back to zero.
+func TestOpsQueriesSlowBadThreshold(t *testing.T) {
+	o, _ := opsFixture()
+	h := NewHandler(o)
+	for _, bad := range []string{"nope", "-5ms", "10", "1h2x"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/queries/slow?threshold="+bad, nil))
+		if rr.Code != 400 {
+			t.Fatalf("threshold=%q = %d, want 400", bad, rr.Code)
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("threshold=%q content type = %q", bad, ct)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("threshold=%q: bad JSON error: %v\n%s", bad, err, rr.Body.String())
+		}
+		if !strings.Contains(body["error"], bad) {
+			t.Fatalf("threshold=%q error does not name the value: %q", bad, body["error"])
+		}
+	}
+	// An empty threshold stays the unfiltered default, not an error.
 	rr := httptest.NewRecorder()
-	NewHandler(o).ServeHTTP(rr, httptest.NewRequest("GET", "/queries/slow?threshold=nope", nil))
-	if rr.Code != 400 {
-		t.Fatalf("bad threshold = %d, want 400", rr.Code)
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/queries/slow?threshold=", nil))
+	if rr.Code != 200 {
+		t.Fatalf("empty threshold = %d, want 200", rr.Code)
+	}
+}
+
+// TestOpsAuditEndpoint: /audit serves whatever the Audit closure yields as
+// JSON, and 404s when the closure is missing or yields nil (auditor not
+// enabled) — the same late-binding contract as /tuner.
+func TestOpsAuditEndpoint(t *testing.T) {
+	o, _ := opsFixture()
+	o.Audit = func() any {
+		return map[string]any{"enabled": true, "reads_checked": 7}
+	}
+	v := getJSON(t, o, "/audit")
+	requireKeys(t, v, "enabled", "reads_checked")
+	if v["reads_checked"].(float64) != 7 {
+		t.Fatalf("payload = %v", v)
+	}
+	for _, o := range []Ops{{Registry: NewRegistry()},
+		{Registry: NewRegistry(), Audit: func() any { return nil }}} {
+		rr := httptest.NewRecorder()
+		NewHandler(o).ServeHTTP(rr, httptest.NewRequest("GET", "/audit", nil))
+		if rr.Code != 404 {
+			t.Fatalf("GET /audit without auditor = %d, want 404", rr.Code)
+		}
 	}
 }
 
@@ -197,7 +245,7 @@ func TestOpsRegionsSchema(t *testing.T) {
 // tuner) serves 404s on the missing surfaces instead of panicking.
 func TestOpsEndpointsDisabled(t *testing.T) {
 	h := NewHandler(Ops{Registry: NewRegistry()})
-	for _, url := range []string{"/queries/recent", "/queries/slow", "/slo", "/regions", "/tuner"} {
+	for _, url := range []string{"/queries/recent", "/queries/slow", "/slo", "/regions", "/tuner", "/audit"} {
 		rr := httptest.NewRecorder()
 		h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
 		if rr.Code != 404 {

@@ -221,6 +221,11 @@ type Agent struct {
 	// tracer receives a repl_apply span event per propagation step that
 	// applied transactions; nil means untraced.
 	tracer *obs.Tracer
+
+	// applySink, when set, receives (region, applied-through seq, step time)
+	// after every propagation step that applied transactions — the
+	// delivered-guarantee auditor's replication tap. Nil costs nothing.
+	applySink func(region int, throughSeq int64, at time.Time)
 }
 
 // NewAgent creates an agent reading the given commit log. hbTable names the
@@ -293,6 +298,20 @@ func (a *Agent) SetHeartbeatInterval(d time.Duration) {
 	a.hbInterval.Store(int64(d))
 }
 
+// SetApplySink installs (or clears, with nil) the propagation-progress tap.
+func (a *Agent) SetApplySink(fn func(region int, throughSeq int64, at time.Time)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.applySink = fn
+}
+
+// Subscriptions returns a snapshot of the agent's subscriptions.
+func (a *Agent) Subscriptions() []*Subscription {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*Subscription(nil), a.subs...)
+}
+
 // Subscribe adds a view to the region. The caller must populate the target
 // by calling InitialSync (or guarantee emptiness of the base table).
 func (a *Agent) Subscribe(sub *Subscription) {
@@ -326,6 +345,10 @@ func (a *Agent) InitialSync(sub *Subscription, baseData *storage.Table) error {
 	sub.startSeq = a.log.LastSeq()
 	return nil
 }
+
+// StartSeq returns the commit sequence the subscription's initial snapshot
+// reflects (set by InitialSync during quiesced setup).
+func (s *Subscription) StartSeq() int64 { return s.startSeq }
 
 // SetStallProbe installs (or clears, with nil) the fault hook that can
 // wedge this agent.
@@ -409,6 +432,9 @@ func (a *Agent) Step(now time.Time) error {
 	}
 	if len(records) > 0 {
 		a.tracer.Event(obs.EventReplApply)
+		if a.applySink != nil {
+			a.applySink(a.Region.ID, a.lastSeq, now)
+		}
 	}
 	a.lastProgress = now
 	return nil

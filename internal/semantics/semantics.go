@@ -141,6 +141,20 @@ func (h *History) StalePoint(c Copy, asOf int64) int64 {
 	return asOf
 }
 
+// StaleSince reports whether copy C is stale as of asOf and, if so, returns
+// the version that first made it stale — the stale point as an explicit
+// version rather than the appendix's "last commit" convention, so callers
+// can distinguish "not stale" from "stale since the most recent commit" and
+// read the staleness onset time directly.
+func (h *History) StaleSince(c Copy, asOf int64) (Version, bool) {
+	for _, v := range h.versions[c.ID] {
+		if v.XTime > c.SyncXTime && v.XTime <= asOf {
+			return v, true
+		}
+	}
+	return Version{}, false
+}
+
 // Currency computes currency(C, H_n) = time(T_n) - time(stale(C, H_n)) —
 // how long the copy has been stale, in wall time, as of the transaction
 // with timestamp asOf. A copy that is not stale has currency 0.

@@ -147,6 +147,81 @@ func TestSnapshotConsistentSet(t *testing.T) {
 	}
 }
 
+func TestStaleSince(t *testing.T) {
+	h := threeUpdateHistory(t)
+	c := Copy{ID: "x", SyncXTime: 1, Value: "a", Present: true}
+	// Before the second update the copy is not stale: no version, ok=false —
+	// distinguishable from "stale since the latest commit", which StalePoint's
+	// appendix convention conflates with freshness.
+	if _, ok := h.StaleSince(c, 2); ok {
+		t.Fatal("fresh copy reported stale")
+	}
+	v, ok := h.StaleSince(c, 7)
+	if !ok || v.XTime != 3 || !v.At.Equal(t0.Add(10*time.Second)) || v.Deleted {
+		t.Fatalf("stale since = %+v, %v", v, ok)
+	}
+	// A deletion is a staleness onset like any other version. The same copy
+	// synced at 3 has Currency 0 at asOf 7 (the delete IS the latest commit,
+	// so the convention rounds to zero) while StaleSince still surfaces it —
+	// the reason the auditor measures delivered staleness from StaleSince.
+	c3 := Copy{ID: "x", SyncXTime: 3, Value: "b", Present: true}
+	if cur := h.Currency(c3, 7); cur != 0 {
+		t.Fatalf("currency at the deleting commit = %v", cur)
+	}
+	v, ok = h.StaleSince(c3, 7)
+	if !ok || v.XTime != 7 || !v.Deleted {
+		t.Fatalf("stale-since deletion = %+v, %v", v, ok)
+	}
+	// An object the history never touched is never stale.
+	if _, ok := h.StaleSince(Copy{ID: "z", SyncXTime: 0}, 7); ok {
+		t.Fatal("untouched object reported stale")
+	}
+}
+
+func TestDeletionVersionsInDistance(t *testing.T) {
+	h := threeUpdateHistory(t)
+	// Extend past the delete so the deletion sits inside the window:
+	// w=d@9 (40s).
+	if err := h.Commit(9, t0.Add(40*time.Second), map[ObjectID]string{"w": "d"}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy of x synced before the delete vs a copy of w from snapshot 9:
+	// distance = currency(x, H_9) = time(9) - time(stale point 7, the delete)
+	// = 40s - 30s. Deletions create stale points that count toward Θ.
+	a := Copy{ID: "x", SyncXTime: 3, Value: "b", Present: true}
+	b := Copy{ID: "w", SyncXTime: 9, Value: "d", Present: true}
+	if d := h.Distance(a, b, 9); d != 10*time.Second {
+		t.Fatalf("distance through deletion = %v", d)
+	}
+	if bound := h.ConsistencyBound([]Copy{a, b}, 9); bound != 10*time.Second {
+		t.Fatalf("bound through deletion = %v", bound)
+	}
+}
+
+func TestMixedThetaObjectSets(t *testing.T) {
+	h := threeUpdateHistory(t)
+	// Copies of three different objects at three different sync points: the
+	// bound is the worst pairwise distance, and untouched objects (z) never
+	// contribute.
+	set := []Copy{
+		{ID: "x", SyncXTime: 1, Value: "a", Present: true}, // stale since 3
+		{ID: "y", SyncXTime: 5, Value: "c", Present: true}, // fresh at 5
+		{ID: "z", SyncXTime: 2, Present: false},            // never written
+	}
+	// distance(x,y) = currency(x, H_5) = time(5)-time(3) = 10s;
+	// distance(x,z) = currency(x, H_2) = 0 (x not yet stale at 2);
+	// distance(y,z) = currency(z, H_5) = 0 (z has no versions).
+	if bound := h.ConsistencyBound(set, 7); bound != 10*time.Second {
+		t.Fatalf("mixed-Θ bound = %v", bound)
+	}
+	// Tightening x to its post-update snapshot collapses the bound to 0 even
+	// though the sync points still differ — Θ is about distance, not equality.
+	set[0] = Copy{ID: "x", SyncXTime: 3, Value: "b", Present: true}
+	if bound := h.ConsistencyBound(set, 6); bound != 0 {
+		t.Fatalf("aligned mixed set bound = %v", bound)
+	}
+}
+
 func TestDistanceAndConsistencyBound(t *testing.T) {
 	h := threeUpdateHistory(t)
 	a := Copy{ID: "x", SyncXTime: 1, Value: "a", Present: true} // stale since xtime 3 (t=10s)

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Validates the schema and gates of audit.json (written by
+# `rccbench ... -audit -snapshot DIR`): the delivered-guarantee audit ledger
+# must be enabled, have checked reads, conserve its classification counts
+# (ok + currency violations + disclosed + unbounded + unchecked ==
+# reads_checked), and report no ring drops.
+#
+# Default mode is the honest-run gate: zero silent violations. With --broken
+# the gate inverts: the deliberately broken guard-lie schedule must produce
+# at least one violation, with evidence naming the object, the declared
+# bound, the delivered staleness and the excess.
+# Usage: scripts/check_audit.sh [--broken] [file], default audit.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+broken=0
+if [ "${1:-}" = "--broken" ]; then
+  broken=1
+  shift
+fi
+file="${1:-audit.json}"
+
+[ -f "$file" ] || { echo "check_audit: $file not found" >&2; exit 1; }
+
+jq -e '
+  (.enabled == true)
+  and (.reads_checked | type == "number" and . > 0)
+  # Every read classifies exactly once (consistency violations are
+  # query-level extras on top of individually-OK reads).
+  and (.ok + .currency_violations + .disclosed + .unbounded + .unchecked
+       == .reads_checked)
+  and (.violations_total == .currency_violations + .consistency_violations)
+  and (.recent_violations | type == "array")
+  and (.commits | type == "number" and . > 0)
+  and (.dropped_commits == 0)
+  and (.dropped_reads == 0)
+  and (.dropped_applies == 0)
+' "$file" > /dev/null
+
+if [ "$broken" = 1 ]; then
+  jq -e '
+    (.violations_total >= 1)
+    and (.recent_violations | length >= 1)
+    and all(.recent_violations[];
+      (.class == "currency" or .class == "consistency")
+      and (.object | type == "string" and length > 0)
+      and (.bound_ns > 0)
+      and (.delivered_ns > .bound_ns)
+      and (.excess_ns == .delivered_ns - .bound_ns)
+      and (.serve_ts_ns > 0))
+  ' "$file" > /dev/null
+else
+  jq -e '
+    (.violations_total == 0) and (.recent_violations | length == 0)
+  ' "$file" > /dev/null
+fi
+
+checked=$(jq '.reads_checked' "$file")
+viols=$(jq '.violations_total' "$file")
+mode=honest
+[ "$broken" = 1 ] && mode=broken-guard
+echo "check_audit: $file ok ($mode mode, $checked read(s) checked, $viols violation(s))"
